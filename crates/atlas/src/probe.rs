@@ -1,0 +1,80 @@
+//! A single measurement probe.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use tectonic_dns::resolver::{Resolver, ResolverKind, ResolverPolicy};
+use tectonic_dns::DomainName;
+use tectonic_net::Asn;
+
+use tectonic_geo::country::CountryCode;
+
+/// One probe of the platform.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Platform-assigned probe ID.
+    pub id: u32,
+    /// AS the probe is hosted in.
+    pub asn: Asn,
+    /// Country the probe is in.
+    pub cc: CountryCode,
+    /// The probe's own address.
+    pub addr: Ipv4Addr,
+    /// Which resolver service the probe uses.
+    pub resolver_kind: ResolverKind,
+    /// The address that resolver queries authoritatives from.
+    pub resolver_addr: IpAddr,
+    /// The resolver's blocking policy (almost always `Normal`).
+    pub policy: ResolverPolicy,
+    /// Probability a measurement from this probe transiently times out
+    /// (network flakiness, unrelated to DNS blocking).
+    pub flaky: f64,
+}
+
+impl Probe {
+    /// Builds the DNS resolver object this probe queries through, applying
+    /// its policy to the given blocked suffixes.
+    pub fn resolver(&self, blocked_suffixes: Vec<DomainName>) -> Resolver {
+        Resolver::new(self.resolver_kind, self.resolver_addr)
+            .with_policy(self.policy, blocked_suffixes)
+    }
+
+    /// Whether the probe's resolver blocks the relay domains.
+    pub fn is_blocking(&self) -> bool {
+        self.policy.is_blocking()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(policy: ResolverPolicy) -> Probe {
+        Probe {
+            id: 1,
+            asn: Asn(100_001),
+            cc: CountryCode::DE,
+            addr: Ipv4Addr::new(1, 2, 3, 4),
+            resolver_kind: ResolverKind::Isp,
+            resolver_addr: "1.2.3.53".parse().unwrap(),
+            policy,
+            flaky: 0.0,
+        }
+    }
+
+    #[test]
+    fn resolver_applies_policy_to_suffixes() {
+        let p = probe(ResolverPolicy::BlockNxDomain);
+        let r = p.resolver(vec!["icloud.com".parse().unwrap()]);
+        assert!(r.blocks(&"mask.icloud.com".parse().unwrap()));
+        assert!(!r.blocks(&"example.org".parse().unwrap()));
+        assert!(p.is_blocking());
+    }
+
+    #[test]
+    fn normal_probe_does_not_block() {
+        let p = probe(ResolverPolicy::Normal);
+        assert!(!p.is_blocking());
+        let r = p.resolver(vec!["icloud.com".parse().unwrap()]);
+        assert!(!r.blocks(&"mask.icloud.com".parse().unwrap()));
+    }
+}

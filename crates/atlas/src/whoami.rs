@@ -1,0 +1,116 @@
+//! The resolver-identity service (`whoami.akamai.net`).
+//!
+//! The paper identifies which resolvers Atlas probes actually use by
+//! resolving a name whose authoritative server answers with the *querying
+//! resolver's* address. [`WhoamiZone`] implements that behaviour as a
+//! dynamic zone hook: an `A` query is answered with the source address the
+//! server saw, and a `TXT` query spells it out.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use tectonic_dns::server::AuthoritativeServer;
+use tectonic_dns::zone::{EcsAnswer, EcsAnswerer, QueryInfo};
+use tectonic_dns::{QType, Question, RData, Zone};
+
+/// The dynamic answerer echoing the query source.
+#[derive(Debug, Default)]
+pub struct WhoamiZone;
+
+impl EcsAnswerer for WhoamiZone {
+    fn answer(
+        &self,
+        question: &Question,
+        _ecs: Option<&tectonic_dns::EcsOption>,
+        info: &QueryInfo,
+    ) -> Option<EcsAnswer> {
+        if question.name.to_ascii_lower() != "whoami.akamai.net" {
+            return None;
+        }
+        let rdatas = match (question.qtype, info.src) {
+            (QType::A, IpAddr::V4(a)) => vec![RData::A(a)],
+            (QType::AAAA, IpAddr::V6(a)) => vec![RData::Aaaa(a)],
+            (QType::TXT, src) => vec![RData::Txt(format!("resolver={src}"))],
+            _ => vec![],
+        };
+        Some(EcsAnswer {
+            rdatas,
+            ttl: 0, // identity answers must not be cached
+            scope_len: 0,
+        })
+    }
+}
+
+/// Builds an authoritative server hosting only the whoami zone.
+pub fn whoami_server() -> AuthoritativeServer {
+    let zone = Zone::new("akamai.net".parse().expect("static"))
+        .with_dynamic(Arc::new(WhoamiZone));
+    AuthoritativeServer::new().with_zone(zone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tectonic_dns::server::{NameServer, QueryContext, ServerReply};
+    use tectonic_dns::{decode_message, encode_message, Message};
+    use tectonic_net::SimTime;
+
+    fn ask(qtype: QType, src: &str) -> Message {
+        let auth = whoami_server();
+        let q = Message::query(1, "whoami.akamai.net".parse().unwrap(), qtype);
+        let ctx = QueryContext {
+            src: src.parse().unwrap(),
+            now: SimTime(0),
+        };
+        match auth.handle_query(&encode_message(&q), &ctx) {
+            ServerReply::Response(bytes) => decode_message(&bytes).unwrap(),
+            ServerReply::Dropped => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn a_query_echoes_source() {
+        let r = ask(QType::A, "8.8.8.8");
+        assert_eq!(r.a_answers(), vec![Ipv4Addr::new(8, 8, 8, 8)]);
+        assert_eq!(r.answers[0].ttl, 0);
+    }
+
+    #[test]
+    fn aaaa_from_v6_source() {
+        let r = ask(QType::AAAA, "2001:4860:4860::8888");
+        assert_eq!(r.aaaa_answers().len(), 1);
+    }
+
+    #[test]
+    fn txt_spells_out_source() {
+        let r = ask(QType::TXT, "9.9.9.9");
+        match &r.answers[0].rdata {
+            RData::Txt(s) => assert_eq!(s, "resolver=9.9.9.9"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_mismatch_yields_no_data() {
+        let r = ask(QType::AAAA, "9.9.9.9");
+        assert!(r.is_noerror_nodata());
+    }
+
+    #[test]
+    fn other_names_in_zone_nxdomain() {
+        let auth = whoami_server();
+        let q = Message::query(1, "other.akamai.net".parse().unwrap(), QType::A);
+        let ctx = QueryContext {
+            src: "1.2.3.4".parse().unwrap(),
+            now: SimTime(0),
+        };
+        match auth.handle_query(&encode_message(&q), &ctx) {
+            ServerReply::Response(bytes) => {
+                let r = decode_message(&bytes).unwrap();
+                assert_eq!(r.rcode, tectonic_dns::Rcode::NxDomain);
+            }
+            ServerReply::Dropped => panic!("dropped"),
+        }
+    }
+}

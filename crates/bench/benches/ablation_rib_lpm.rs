@@ -1,0 +1,65 @@
+//! Ablation — the prefix-trie RIB against a linear scan baseline.
+//!
+//! Every ECS query does at least two RIB lookups (routed check + client-AS
+//! attribution); this bench quantifies why the trie matters.
+
+use std::net::IpAddr;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tectonic_bench::{banner, bench_deployment};
+use tectonic_net::{Asn, IpNet, SimRng};
+
+/// The naive baseline: longest match by scanning every announcement.
+fn linear_lookup(routes: &[(IpNet, Asn)], addr: IpAddr) -> Option<(IpNet, Asn)> {
+    routes
+        .iter()
+        .filter(|(net, _)| net.contains(addr))
+        .max_by_key(|(net, _)| net.len())
+        .copied()
+}
+
+fn bench(c: &mut Criterion) {
+    let d = bench_deployment();
+    let routes: Vec<(IpNet, Asn)> = d.rib.iter().collect();
+    let mut rng = SimRng::new(99);
+    let addrs: Vec<IpAddr> = (0..1024)
+        .map(|_| IpAddr::V4(std::net::Ipv4Addr::from(rng.next_u64_raw() as u32)))
+        .collect();
+    banner("Ablation: RIB longest-prefix match — trie vs linear scan");
+    println!("routes in table : {}", routes.len());
+    // Correctness cross-check before timing.
+    for addr in addrs.iter().take(128) {
+        assert_eq!(d.rib.lookup(*addr), linear_lookup(&routes, *addr));
+    }
+    println!("trie and linear scan agree on 128 random addresses");
+
+    let mut group = c.benchmark_group("ablation_rib_lpm");
+    group.bench_function("trie_1k_lookups", |b| {
+        b.iter_batched(
+            || addrs.clone(),
+            |addrs| {
+                addrs
+                    .iter()
+                    .filter(|a| d.rib.lookup(**a).is_some())
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("linear_1k_lookups", |b| {
+        b.iter_batched(
+            || addrs.clone(),
+            |addrs| {
+                addrs
+                    .iter()
+                    .filter(|a| linear_lookup(&routes, **a).is_some())
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation — parallel scan workers (crossbeam) against the sequential
+//! single-source scanner.
+//!
+//! The paper scans from a single vantage point and is rate-limit bound.
+//! Sharding across source addresses trades ethical footprint for speed;
+//! this ablation quantifies the wall-clock side of that trade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tectonic_bench::{banner, bench_deployment};
+use tectonic_core::ecs_scan::EcsScanner;
+use tectonic_net::{Epoch, SimClock};
+use tectonic_relay::Domain;
+
+fn bench(c: &mut Criterion) {
+    let d = bench_deployment();
+    let auth = d.auth_server_unlimited();
+    let scanner = EcsScanner::default();
+    let start = Epoch::Apr2022.start();
+
+    let mut clock = SimClock::new(start);
+    let seq = scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
+    let par = scanner.scan_parallel(Domain::MaskQuic.name(), &auth, &d.rib, start, 8);
+    banner("Ablation: sequential vs 8-way parallel ECS scan");
+    println!(
+        "sequential : {} queries, {} addresses, simulated {} min",
+        seq.queries_sent,
+        seq.total(),
+        seq.duration.as_secs() / 60
+    );
+    println!(
+        "parallel(8): {} queries, {} addresses, simulated {} min (slowest worker)",
+        par.queries_sent,
+        par.total(),
+        par.duration.as_secs() / 60
+    );
+    println!("identical discovery: {}", seq.discovered == par.discovered);
+
+    // Timing kernels on a 1/256-scale deployment so one iteration is
+    // tens of milliseconds; the full comparison ran above.
+    let small = tectonic_relay::Deployment::build(
+        tectonic_bench::BENCH_SEED,
+        tectonic_relay::DeploymentConfig::scaled(256),
+    );
+    let small_auth = small.auth_server_unlimited();
+    let mut group = c.benchmark_group("ablation_scan_parallel");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut clock = SimClock::new(start);
+            scanner.scan(Domain::MaskQuic.name(), &small_auth, &small.rib, &mut clock)
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_function(format!("parallel_{workers}"), |b| {
+            b.iter(|| {
+                scanner.scan_parallel(
+                    Domain::MaskQuic.name(),
+                    &small_auth,
+                    &small.rib,
+                    start,
+                    workers,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

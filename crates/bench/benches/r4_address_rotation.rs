@@ -1,0 +1,42 @@
+//! R4 — egress address rotation (§4.3): 48 h of 30-second request rounds;
+//! the paper saw six addresses from four subnets with a >66 % change rate
+//! and diverging parallel requests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tectonic_bench::{banner, bench_deployment};
+use tectonic_core::relay_scan::{RelayScanConfig, RelayScanSeries};
+use tectonic_core::report::render_rotation;
+use tectonic_core::rotation::RotationReport;
+use tectonic_geo::country::CountryCode;
+use tectonic_net::{Asn, Epoch};
+use tectonic_relay::DnsMode;
+
+fn bench(c: &mut Criterion) {
+    let d = bench_deployment();
+    let auth = d.auth_server_unlimited();
+    let device = d.vantage_device(
+        CountryCode::DE,
+        DnsMode::Open,
+        vec![Asn::CLOUDFLARE, Asn::AKAMAI_PR],
+    );
+    let config = RelayScanConfig::rotation_series();
+    let series = RelayScanSeries::run(&device, &auth, &config, Epoch::May2022.start());
+    let report = RotationReport::from_series(&series);
+    banner("R4: egress address rotation (48 h, 30 s rounds)");
+    print!("{}", render_rotation(&report));
+    println!("(paper: 6 addresses / 4 subnets, >66% change rate, parallel requests diverge)");
+
+    let mut group = c.benchmark_group("r4");
+    group.sample_size(10);
+    group.bench_function("rotation_scan_48h", |b| {
+        b.iter(|| {
+            let series =
+                RelayScanSeries::run(&device, &auth, &config, Epoch::May2022.start());
+            RotationReport::from_series(&series)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

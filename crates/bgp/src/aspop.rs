@@ -1,0 +1,142 @@
+//! APNIC-style AS user populations.
+//!
+//! Table 2 of the paper joins the ECS scan's client-AS attribution with the
+//! APNIC "Visible ASNs: Customer Populations" dataset to estimate how many
+//! *users* each ingress operator serves. We cannot redistribute that
+//! dataset, so [`AsPopulation::synthesize`] generates a heavy-tailed
+//! population with the same character: a few hundred eyeball ASes hold the
+//! bulk of the ~5 B modelled users.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tectonic_net::{Asn, SimRng};
+
+/// Per-AS estimated user counts.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AsPopulation {
+    users: HashMap<Asn, u64>,
+}
+
+impl AsPopulation {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the user estimate for `asn`.
+    pub fn set(&mut self, asn: Asn, users: u64) {
+        self.users.insert(asn, users);
+    }
+
+    /// The user estimate for `asn` (0 when absent, like the live dataset's
+    /// treatment of invisible ASes).
+    pub fn get(&self, asn: Asn) -> u64 {
+        self.users.get(&asn).copied().unwrap_or(0)
+    }
+
+    /// Number of ASes with estimates.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` when no AS has an estimate.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Total users across a set of ASes.
+    pub fn total_for<'a>(&self, asns: impl IntoIterator<Item = &'a Asn>) -> u64 {
+        asns.into_iter().map(|a| self.get(*a)).sum()
+    }
+
+    /// Total users across the whole dataset.
+    pub fn total(&self) -> u64 {
+        self.users.values().sum()
+    }
+
+    /// Generates a heavy-tailed population over `asns`.
+    ///
+    /// Draws Pareto(min=2 k, α≈1.05) per AS, then rescales so the total hits
+    /// `target_total` users. The APNIC dataset's top-heavy shape (a handful
+    /// of >100 M-user ASes, a long tail of tiny ones) emerges from the tail
+    /// index.
+    pub fn synthesize(rng: &mut SimRng, asns: &[Asn], target_total: u64) -> AsPopulation {
+        if asns.is_empty() || target_total == 0 {
+            return AsPopulation::new();
+        }
+        let raw: Vec<f64> = asns.iter().map(|_| rng.pareto(2_000.0, 1.05)).collect();
+        let raw_total: f64 = raw.iter().sum();
+        let scale = target_total as f64 / raw_total;
+        let mut pop = AsPopulation::new();
+        for (asn, r) in asns.iter().zip(raw) {
+            pop.set(*asn, (r * scale).round().max(1.0) as u64);
+        }
+        pop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_total() {
+        let mut p = AsPopulation::new();
+        p.set(Asn(1), 100);
+        p.set(Asn(2), 250);
+        assert_eq!(p.get(Asn(1)), 100);
+        assert_eq!(p.get(Asn(3)), 0);
+        assert_eq!(p.total(), 350);
+        assert_eq!(p.total_for([Asn(1), Asn(3)].iter()), 100);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn synthesize_hits_target_roughly() {
+        let mut rng = SimRng::new(42);
+        let asns: Vec<Asn> = (1..=5000).map(Asn).collect();
+        let target = 3_000_000_000u64;
+        let pop = AsPopulation::synthesize(&mut rng, &asns, target);
+        assert_eq!(pop.len(), 5000);
+        let total = pop.total();
+        let ratio = total as f64 / target as f64;
+        assert!((0.99..1.01).contains(&ratio), "total {total}");
+    }
+
+    #[test]
+    fn synthesize_is_heavy_tailed() {
+        let mut rng = SimRng::new(7);
+        let asns: Vec<Asn> = (1..=10_000).map(Asn).collect();
+        let pop = AsPopulation::synthesize(&mut rng, &asns, 5_000_000_000);
+        let mut counts: Vec<u64> = asns.iter().map(|a| pop.get(*a)).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u64 = counts.iter().take(100).sum();
+        let total: u64 = counts.iter().sum();
+        // Top 1 % of ASes should hold a dominant share of users.
+        assert!(
+            top1pct as f64 / total as f64 > 0.3,
+            "tail too light: top-1% share {:.3}",
+            top1pct as f64 / total as f64
+        );
+        // Everyone got at least one user.
+        assert!(counts.iter().all(|c| *c >= 1));
+    }
+
+    #[test]
+    fn synthesize_edge_cases() {
+        let mut rng = SimRng::new(1);
+        assert!(AsPopulation::synthesize(&mut rng, &[], 100).is_empty());
+        assert!(AsPopulation::synthesize(&mut rng, &[Asn(1)], 0).is_empty());
+    }
+
+    #[test]
+    fn synthesize_is_deterministic() {
+        let asns: Vec<Asn> = (1..=100).map(Asn).collect();
+        let a = AsPopulation::synthesize(&mut SimRng::new(5), &asns, 1_000_000);
+        let b = AsPopulation::synthesize(&mut SimRng::new(5), &asns, 1_000_000);
+        for asn in &asns {
+            assert_eq!(a.get(*asn), b.get(*asn));
+        }
+    }
+}

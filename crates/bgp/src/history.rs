@@ -1,0 +1,164 @@
+//! Monthly AS-visibility history.
+//!
+//! The paper examined monthly BGP snapshots from 2016 through 2022 and found
+//! AS36183's first appearance in June 2021 — the month iCloud Private Relay
+//! was announced at WWDC. [`VisibilityHistory`] stores per-month visible-AS
+//! sets and answers first-seen queries.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tectonic_net::Asn;
+
+/// A calendar month.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Month {
+    /// Year (e.g. 2021).
+    pub year: u16,
+    /// Month 1–12.
+    pub month: u8,
+}
+
+impl Month {
+    /// Creates a month; panics on `month` outside 1–12 in debug builds.
+    pub fn new(year: u16, month: u8) -> Month {
+        debug_assert!((1..=12).contains(&month));
+        Month { year, month }
+    }
+
+    /// The following month.
+    pub fn next(&self) -> Month {
+        if self.month == 12 {
+            Month::new(self.year + 1, 1)
+        } else {
+            Month::new(self.year, self.month + 1)
+        }
+    }
+
+    /// Inclusive iterator from `self` through `end`.
+    pub fn through(self, end: Month) -> impl Iterator<Item = Month> {
+        let mut cur = self;
+        std::iter::from_fn(move || {
+            if cur > end {
+                None
+            } else {
+                let out = cur;
+                cur = cur.next();
+                Some(out)
+            }
+        })
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+/// Monthly snapshots of the set of globally visible ASes.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct VisibilityHistory {
+    snapshots: BTreeMap<Month, BTreeSet<Asn>>,
+}
+
+impl VisibilityHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `asn` as visible in `month`.
+    pub fn record(&mut self, month: Month, asn: Asn) {
+        self.snapshots.entry(month).or_default().insert(asn);
+    }
+
+    /// Records a whole visible-AS set for `month`.
+    pub fn record_many(&mut self, month: Month, asns: impl IntoIterator<Item = Asn>) {
+        self.snapshots.entry(month).or_default().extend(asns);
+    }
+
+    /// Whether `asn` was visible in `month` (false for missing snapshots).
+    pub fn visible_in(&self, month: Month, asn: Asn) -> bool {
+        self.snapshots
+            .get(&month)
+            .is_some_and(|set| set.contains(&asn))
+    }
+
+    /// First month in which `asn` appears, scanning chronologically.
+    pub fn first_seen(&self, asn: Asn) -> Option<Month> {
+        self.snapshots
+            .iter()
+            .find(|(_, set)| set.contains(&asn))
+            .map(|(m, _)| *m)
+    }
+
+    /// The months with snapshots, in order.
+    pub fn months(&self) -> Vec<Month> {
+        self.snapshots.keys().copied().collect()
+    }
+
+    /// Number of visible ASes in `month` (0 for missing snapshots).
+    pub fn as_count(&self, month: Month) -> usize {
+        self.snapshots.get(&month).map(BTreeSet::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_ordering_and_next() {
+        assert!(Month::new(2021, 12) < Month::new(2022, 1));
+        assert_eq!(Month::new(2021, 12).next(), Month::new(2022, 1));
+        assert_eq!(Month::new(2021, 5).next(), Month::new(2021, 6));
+        assert_eq!(Month::new(2020, 1).to_string(), "2020-01");
+    }
+
+    #[test]
+    fn through_is_inclusive() {
+        let months: Vec<Month> = Month::new(2021, 11).through(Month::new(2022, 2)).collect();
+        assert_eq!(months.len(), 4);
+        assert_eq!(months[0], Month::new(2021, 11));
+        assert_eq!(months[3], Month::new(2022, 2));
+        // Empty when start > end.
+        assert_eq!(Month::new(2022, 3).through(Month::new(2022, 2)).count(), 0);
+    }
+
+    #[test]
+    fn first_seen_finds_earliest_month() {
+        let mut h = VisibilityHistory::new();
+        for m in Month::new(2016, 1).through(Month::new(2022, 6)) {
+            h.record(m, Asn::APPLE);
+            if m >= Month::new(2021, 6) {
+                h.record(m, Asn::AKAMAI_PR);
+            }
+        }
+        assert_eq!(h.first_seen(Asn::APPLE), Some(Month::new(2016, 1)));
+        assert_eq!(h.first_seen(Asn::AKAMAI_PR), Some(Month::new(2021, 6)));
+        assert_eq!(h.first_seen(Asn(99999)), None);
+    }
+
+    #[test]
+    fn visible_in_specific_months() {
+        let mut h = VisibilityHistory::new();
+        h.record(Month::new(2021, 6), Asn::AKAMAI_PR);
+        assert!(h.visible_in(Month::new(2021, 6), Asn::AKAMAI_PR));
+        assert!(!h.visible_in(Month::new(2021, 5), Asn::AKAMAI_PR));
+        assert!(!h.visible_in(Month::new(2021, 6), Asn::APPLE));
+    }
+
+    #[test]
+    fn record_many_and_counts() {
+        let mut h = VisibilityHistory::new();
+        h.record_many(Month::new(2022, 1), [Asn(1), Asn(2), Asn(3)]);
+        h.record_many(Month::new(2022, 1), [Asn(3), Asn(4)]);
+        assert_eq!(h.as_count(Month::new(2022, 1)), 4);
+        assert_eq!(h.as_count(Month::new(2022, 2)), 0);
+        assert_eq!(h.months(), vec![Month::new(2022, 1)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The routing information base.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+use tectonic_net::{Asn, IpNet, PrefixTrie};
+
+/// One announced route.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Origin AS of the announcement.
+    pub origin: Asn,
+}
+
+/// A longest-prefix-match routing table over announced prefixes.
+///
+/// The reproduction uses a single global RIB (the "BGP collector view"): the
+/// relay deployment announces its prefixes here, the client-side Internet
+/// model announces eyeball prefixes, and the scanner and analyses query it.
+#[derive(Debug, Default)]
+pub struct Rib {
+    routes: PrefixTrie<RouteEntry>,
+    /// Per-AS announced prefix lists, kept alongside the trie for the
+    /// prefix-census analyses (Table 3, §6).
+    by_origin: HashMap<Asn, Vec<IpNet>>,
+}
+
+impl Rib {
+    /// An empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announces `prefix` with origin `asn`. Re-announcing an existing
+    /// prefix replaces the origin (and returns the previous one).
+    pub fn announce(&mut self, prefix: impl Into<IpNet>, origin: Asn) -> Option<Asn> {
+        let prefix = prefix.into();
+        let prev = self.routes.insert(prefix, RouteEntry { origin });
+        if let Some(prev) = &prev {
+            if prev.origin != origin {
+                if let Some(list) = self.by_origin.get_mut(&prev.origin) {
+                    list.retain(|p| p != &prefix);
+                }
+                self.by_origin.entry(origin).or_default().push(prefix);
+            }
+        } else {
+            self.by_origin.entry(origin).or_default().push(prefix);
+        }
+        prev.map(|e| e.origin)
+    }
+
+    /// Withdraws `prefix`, returning its origin if it was announced.
+    pub fn withdraw(&mut self, prefix: &IpNet) -> Option<Asn> {
+        let prev = self.routes.remove(prefix);
+        if let Some(entry) = &prev {
+            if let Some(list) = self.by_origin.get_mut(&entry.origin) {
+                list.retain(|p| p != prefix);
+            }
+        }
+        prev.map(|e| e.origin)
+    }
+
+    /// Number of announced prefixes (both families).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` when nothing is announced.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Longest-prefix match for an address.
+    pub fn lookup(&self, addr: IpAddr) -> Option<(IpNet, Asn)> {
+        self.routes
+            .longest_match(addr)
+            .map(|(net, entry)| (net, entry.origin))
+    }
+
+    /// The most specific announced prefix fully covering `net`.
+    pub fn lookup_net(&self, net: &IpNet) -> Option<(IpNet, Asn)> {
+        self.routes
+            .longest_match_net(net)
+            .map(|(covering, entry)| (covering, entry.origin))
+    }
+
+    /// Whether `addr` falls in any announced prefix — the scanner's
+    /// "is this space routed at all" check.
+    pub fn is_routed(&self, addr: IpAddr) -> bool {
+        self.routes.longest_match(addr).is_some()
+    }
+
+    /// Whether `net` is fully covered by an announcement.
+    pub fn is_routed_net(&self, net: &IpNet) -> bool {
+        self.routes.longest_match_net(net).is_some()
+    }
+
+    /// The origin AS of the exact prefix, if announced.
+    pub fn origin_of(&self, prefix: &IpNet) -> Option<Asn> {
+        self.routes.exact(prefix).map(|e| e.origin)
+    }
+
+    /// All prefixes announced by `asn` (unspecified order).
+    pub fn prefixes_of(&self, asn: Asn) -> &[IpNet] {
+        self.by_origin.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates every `(prefix, origin)` announcement.
+    pub fn iter(&self) -> impl Iterator<Item = (IpNet, Asn)> + '_ {
+        self.routes.iter().map(|(net, entry)| (net, entry.origin))
+    }
+
+    /// The set of origin ASes with at least one announcement.
+    pub fn origins(&self) -> Vec<Asn> {
+        let mut asns: Vec<Asn> = self
+            .by_origin
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(a, _)| *a)
+            .collect();
+        asns.sort();
+        asns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> IpNet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn announce_and_lookup() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        let (p, asn) = rib.lookup("17.5.6.7".parse().unwrap()).unwrap();
+        assert_eq!(p, net("17.0.0.0/8"));
+        assert_eq!(asn, Asn::APPLE);
+        assert!(rib.lookup("8.8.8.8".parse().unwrap()).is_none());
+        assert!(rib.is_routed("23.33.0.1".parse().unwrap()));
+        assert!(!rib.is_routed("198.51.100.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn more_specific_wins() {
+        let mut rib = Rib::new();
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        rib.announce(net("23.32.5.0/24"), Asn::AKAMAI_PR);
+        let (_, asn) = rib.lookup("23.32.5.9".parse().unwrap()).unwrap();
+        assert_eq!(asn, Asn::AKAMAI_PR);
+        let (_, asn) = rib.lookup("23.33.0.1".parse().unwrap()).unwrap();
+        assert_eq!(asn, Asn::AKAMAI_EG);
+    }
+
+    #[test]
+    fn reannounce_moves_origin() {
+        let mut rib = Rib::new();
+        rib.announce(net("203.0.113.0/24"), Asn(64512));
+        assert_eq!(rib.announce(net("203.0.113.0/24"), Asn(64513)), Some(Asn(64512)));
+        assert_eq!(rib.origin_of(&net("203.0.113.0/24")), Some(Asn(64513)));
+        assert!(rib.prefixes_of(Asn(64512)).is_empty());
+        assert_eq!(rib.prefixes_of(Asn(64513)), &[net("203.0.113.0/24")]);
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn reannounce_same_origin_is_idempotent() {
+        let mut rib = Rib::new();
+        rib.announce(net("203.0.113.0/24"), Asn(64512));
+        rib.announce(net("203.0.113.0/24"), Asn(64512));
+        assert_eq!(rib.prefixes_of(Asn(64512)).len(), 1);
+    }
+
+    #[test]
+    fn withdraw_removes_route() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        assert_eq!(rib.withdraw(&net("17.0.0.0/8")), Some(Asn::APPLE));
+        assert_eq!(rib.withdraw(&net("17.0.0.0/8")), None);
+        assert!(rib.is_empty());
+        assert!(rib.prefixes_of(Asn::APPLE).is_empty());
+        assert!(rib.lookup("17.1.1.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn lookup_net_requires_full_cover() {
+        let mut rib = Rib::new();
+        rib.announce(net("100.64.0.0/10"), Asn(64512));
+        assert!(rib.is_routed_net(&net("100.64.3.0/24")));
+        assert!(!rib.is_routed_net(&net("100.0.0.0/8")));
+        let (covering, asn) = rib.lookup_net(&net("100.64.3.0/24")).unwrap();
+        assert_eq!(covering, net("100.64.0.0/10"));
+        assert_eq!(asn, Asn(64512));
+    }
+
+    #[test]
+    fn families_are_separate() {
+        let mut rib = Rib::new();
+        rib.announce(net("2620:149::/32"), Asn::APPLE);
+        assert!(rib.is_routed("2620:149::1".parse().unwrap()));
+        assert!(!rib.is_routed("38.32.1.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn origins_and_iter() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        rib.announce(net("2620:149::/32"), Asn::APPLE);
+        assert_eq!(rib.origins(), vec![Asn::APPLE, Asn::AKAMAI_EG]);
+        assert_eq!(rib.iter().count(), 3);
+        assert_eq!(rib.prefixes_of(Asn::APPLE).len(), 2);
+    }
+}

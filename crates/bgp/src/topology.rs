@@ -1,0 +1,165 @@
+//! AS-level topology: peering links between autonomous systems.
+//!
+//! The paper's §6 notes that AS36183 (Akamai&#8239;PR) has exactly one
+//! publicly visible peering link — to AS20940 (Akamai&#8239;EG). The
+//! simulated topology reproduces that degree-1 attachment, and the
+//! correlation auditor reads it back out.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use tectonic_net::Asn;
+
+/// An undirected AS-level graph.
+#[derive(Debug, Default, Clone)]
+pub struct AsTopology {
+    edges: HashMap<Asn, BTreeSet<Asn>>,
+}
+
+impl AsTopology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an undirected peering/transit link. Self-links are ignored.
+    pub fn add_link(&mut self, a: Asn, b: Asn) {
+        if a == b {
+            return;
+        }
+        self.edges.entry(a).or_default().insert(b);
+        self.edges.entry(b).or_default().insert(a);
+    }
+
+    /// Ensures the AS exists in the graph even without links.
+    pub fn add_as(&mut self, asn: Asn) {
+        self.edges.entry(asn).or_default();
+    }
+
+    /// Whether a direct link exists.
+    pub fn has_link(&self, a: Asn, b: Asn) -> bool {
+        self.edges.get(&a).is_some_and(|n| n.contains(&b))
+    }
+
+    /// The neighbours of `asn`, sorted.
+    pub fn neighbors(&self, asn: Asn) -> Vec<Asn> {
+        self.edges
+            .get(&asn)
+            .map(|n| n.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Degree of `asn` (0 if unknown).
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.edges.get(&asn).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Whether the AS is present at all.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.edges.contains_key(&asn)
+    }
+
+    /// Number of ASes in the graph.
+    pub fn as_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Shortest AS path between two ASes (inclusive), by BFS.
+    pub fn path(&self, from: Asn, to: Asn) -> Option<Vec<Asn>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if !self.edges.contains_key(&from) || !self.edges.contains_key(&to) {
+            return None;
+        }
+        let mut prev: HashMap<Asn, Asn> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in self.edges.get(&cur).into_iter().flatten() {
+                if next == from || prev.contains_key(&next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut node = to;
+                    while let Some(&p) = prev.get(&node) {
+                        path.push(p);
+                        node = p;
+                        if node == from {
+                            break;
+                        }
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_are_undirected() {
+        let mut t = AsTopology::new();
+        t.add_link(Asn::AKAMAI_PR, Asn::AKAMAI_EG);
+        assert!(t.has_link(Asn::AKAMAI_PR, Asn::AKAMAI_EG));
+        assert!(t.has_link(Asn::AKAMAI_EG, Asn::AKAMAI_PR));
+        assert!(!t.has_link(Asn::AKAMAI_PR, Asn::APPLE));
+    }
+
+    #[test]
+    fn self_links_ignored() {
+        let mut t = AsTopology::new();
+        t.add_link(Asn::APPLE, Asn::APPLE);
+        assert_eq!(t.degree(Asn::APPLE), 0);
+    }
+
+    #[test]
+    fn akamai_pr_degree_one_scenario() {
+        // Reproduce the paper's single-peering observation.
+        let mut t = AsTopology::new();
+        t.add_link(Asn::AKAMAI_PR, Asn::AKAMAI_EG);
+        t.add_link(Asn::AKAMAI_EG, Asn(3356));
+        t.add_link(Asn::APPLE, Asn(3356));
+        assert_eq!(t.degree(Asn::AKAMAI_PR), 1);
+        assert_eq!(t.neighbors(Asn::AKAMAI_PR), vec![Asn::AKAMAI_EG]);
+    }
+
+    #[test]
+    fn bfs_path_is_shortest() {
+        let mut t = AsTopology::new();
+        // Triangle with a longer detour.
+        t.add_link(Asn(1), Asn(2));
+        t.add_link(Asn(2), Asn(3));
+        t.add_link(Asn(1), Asn(4));
+        t.add_link(Asn(4), Asn(5));
+        t.add_link(Asn(5), Asn(3));
+        let p = t.path(Asn(1), Asn(3)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], Asn(1));
+        assert_eq!(*p.last().unwrap(), Asn(3));
+    }
+
+    #[test]
+    fn path_to_self_and_unknown() {
+        let mut t = AsTopology::new();
+        t.add_as(Asn(10));
+        assert_eq!(t.path(Asn(10), Asn(10)), Some(vec![Asn(10)]));
+        assert_eq!(t.path(Asn(10), Asn(99)), None);
+        assert_eq!(t.path(Asn(99), Asn(10)), None);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut t = AsTopology::new();
+        t.add_link(Asn(1), Asn(2));
+        t.add_link(Asn(3), Asn(4));
+        assert_eq!(t.path(Asn(1), Asn(4)), None);
+        assert_eq!(t.as_count(), 4);
+    }
+}

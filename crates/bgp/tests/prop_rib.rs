@@ -1,0 +1,112 @@
+//! Property tests for the RIB: longest-prefix match against a brute-force
+//! reference, announce/withdraw laws, and per-origin bookkeeping.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use proptest::prelude::*;
+use tectonic_bgp::Rib;
+use tectonic_net::{Asn, IpNet, Ipv4Net};
+
+fn arb_route() -> impl Strategy<Value = (IpNet, Asn)> {
+    (any::<u32>(), 0u8..=28, 1u32..2000).prop_map(|(bits, len, asn)| {
+        (
+            IpNet::V4(Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap()),
+            Asn(asn),
+        )
+    })
+}
+
+/// Reference longest-prefix match over a plain list (last announce wins
+/// for duplicate prefixes).
+fn reference_lookup(routes: &[(IpNet, Asn)], addr: IpAddr) -> Option<(IpNet, Asn)> {
+    let mut dedup: Vec<(IpNet, Asn)> = Vec::new();
+    for (net, asn) in routes {
+        if let Some(slot) = dedup.iter_mut().find(|(n, _)| n == net) {
+            slot.1 = *asn;
+        } else {
+            dedup.push((*net, *asn));
+        }
+    }
+    dedup
+        .into_iter()
+        .filter(|(net, _)| net.contains(addr))
+        .max_by_key(|(net, _)| net.len())
+}
+
+proptest! {
+    #[test]
+    fn rib_matches_reference(
+        routes in prop::collection::vec(arb_route(), 1..80),
+        addrs in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut rib = Rib::new();
+        for (net, asn) in &routes {
+            rib.announce(*net, *asn);
+        }
+        for bits in addrs {
+            let addr = IpAddr::V4(Ipv4Addr::from(bits));
+            prop_assert_eq!(rib.lookup(addr), reference_lookup(&routes, addr));
+        }
+    }
+
+    #[test]
+    fn withdraw_undoes_announce(routes in prop::collection::vec(arb_route(), 1..60)) {
+        let mut rib = Rib::new();
+        let mut unique: Vec<(IpNet, Asn)> = Vec::new();
+        for (net, asn) in routes {
+            if !unique.iter().any(|(n, _)| *n == net) {
+                unique.push((net, asn));
+                rib.announce(net, asn);
+            }
+        }
+        prop_assert_eq!(rib.len(), unique.len());
+        for (net, asn) in &unique {
+            prop_assert_eq!(rib.withdraw(net), Some(*asn));
+        }
+        prop_assert!(rib.is_empty());
+        for (net, _) in &unique {
+            prop_assert!(rib.lookup(net.network()).is_none());
+        }
+    }
+
+    #[test]
+    fn prefixes_of_partitions_the_table(routes in prop::collection::vec(arb_route(), 1..60)) {
+        let mut rib = Rib::new();
+        for (net, asn) in &routes {
+            rib.announce(*net, *asn);
+        }
+        let total: usize = rib
+            .origins()
+            .iter()
+            .map(|asn| rib.prefixes_of(*asn).len())
+            .sum();
+        prop_assert_eq!(total, rib.len());
+        // Every prefix listed for an origin really has that origin.
+        for asn in rib.origins() {
+            for p in rib.prefixes_of(asn) {
+                prop_assert_eq!(rib.origin_of(p), Some(asn));
+            }
+        }
+    }
+
+    #[test]
+    fn reannounce_is_last_writer_wins(
+        net_bits in any::<u32>(),
+        len in 0u8..=24,
+        asns in prop::collection::vec(1u32..100, 1..10),
+    ) {
+        let net = IpNet::V4(Ipv4Net::new(Ipv4Addr::from(net_bits), len).unwrap());
+        let mut rib = Rib::new();
+        for asn in &asns {
+            rib.announce(net, Asn(*asn));
+        }
+        prop_assert_eq!(rib.len(), 1);
+        prop_assert_eq!(rib.origin_of(&net), Some(Asn(*asns.last().unwrap())));
+        // The loser ASes keep no stale per-origin entries.
+        for asn in &asns[..asns.len() - 1] {
+            if asn != asns.last().unwrap() {
+                prop_assert!(rib.prefixes_of(Asn(*asn)).is_empty());
+            }
+        }
+    }
+}

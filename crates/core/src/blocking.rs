@@ -1,0 +1,316 @@
+//! The service-blocking survey (§4.1, R3).
+//!
+//! Classifies RIPE-Atlas-style probe results for the mask domains against a
+//! control measurement, the way the paper does:
+//!
+//! * probes timing out on *both* runs are network flakiness, not blocking
+//!   (the paper's 10 % baseline),
+//! * NXDOMAIN and empty-NOERROR responses are attributed to intentional
+//!   blocking — the authoritative is known never to answer that way,
+//! * REFUSED counts as blocking only when the control run proves the
+//!   resolver otherwise functional,
+//! * an answer whose address is *not* an ingress address is a DNS hijack
+//!   (the paper caught one, pointing at a filtering service),
+//! * SERVFAIL / FORMERR stay unattributed (broken setups).
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+use tectonic_atlas::measurement::{MeasurementOutcome, ProbeResult};
+use tectonic_dns::Rcode;
+
+/// The survey's per-probe verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeVerdict {
+    /// Resolution succeeded with a plausible ingress address.
+    Working,
+    /// Timed out on the mask domain (and typically the control too).
+    Timeout,
+    /// Blocked: NXDOMAIN claimed by the resolver.
+    BlockedNxDomain,
+    /// Blocked: NOERROR with no data.
+    BlockedNoData,
+    /// Blocked: REFUSED while the control run worked.
+    BlockedRefused,
+    /// Blocked: answer hijacked to a non-ingress address.
+    Hijacked,
+    /// Broken resolver (SERVFAIL/FORMERR or REFUSED with broken control).
+    Broken,
+}
+
+impl ProbeVerdict {
+    /// Whether the verdict counts as intentional blocking.
+    pub fn is_blocked(&self) -> bool {
+        matches!(
+            self,
+            ProbeVerdict::BlockedNxDomain
+                | ProbeVerdict::BlockedNoData
+                | ProbeVerdict::BlockedRefused
+                | ProbeVerdict::Hijacked
+        )
+    }
+}
+
+/// The aggregated survey.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingReport {
+    /// Probes measured.
+    pub requested: usize,
+    /// Per-verdict counts.
+    pub verdicts: BTreeMap<String, usize>,
+    /// Probes that timed out (share of requested).
+    pub timeout_share: f64,
+    /// Probes with a failing DNS response (share of requested).
+    pub error_response_share: f64,
+    /// RCODE shares *within* the failing responses (the paper's 72 %
+    /// NXDOMAIN / 13 % NOERROR / 5 % REFUSED breakdown).
+    pub rcode_breakdown: BTreeMap<String, f64>,
+    /// Probes classified as blocked.
+    pub blocked: usize,
+    /// Blocked share of requested probes (the paper's 5.5 %).
+    pub blocked_share: f64,
+    /// Hijacks detected (the paper: one).
+    pub hijacks: usize,
+}
+
+/// Classifies one probe's mask-domain result against its control result.
+///
+/// `is_ingress` decides whether an answered address belongs to the relay
+/// service (hijack detection).
+pub fn classify(
+    mask: &MeasurementOutcome,
+    control: &MeasurementOutcome,
+    is_ingress: &dyn Fn(IpAddr) -> bool,
+) -> ProbeVerdict {
+    match mask {
+        MeasurementOutcome::Timeout => ProbeVerdict::Timeout,
+        MeasurementOutcome::Response {
+            rcode,
+            answers_v4,
+            answers_v6,
+        } => match rcode {
+            Rcode::NoError => {
+                if answers_v4.is_empty() && answers_v6.is_empty() {
+                    ProbeVerdict::BlockedNoData
+                } else {
+                    let all_ingress = answers_v4
+                        .iter()
+                        .map(|a| IpAddr::V4(*a))
+                        .chain(answers_v6.iter().map(|a| IpAddr::V6(*a)))
+                        .all(is_ingress);
+                    if all_ingress {
+                        ProbeVerdict::Working
+                    } else {
+                        ProbeVerdict::Hijacked
+                    }
+                }
+            }
+            Rcode::NxDomain => ProbeVerdict::BlockedNxDomain,
+            Rcode::Refused => {
+                // Verified against the control domain, as the paper did.
+                if matches!(control, MeasurementOutcome::Response { rcode, .. } if *rcode == Rcode::NoError || *rcode == Rcode::Refused)
+                {
+                    ProbeVerdict::BlockedRefused
+                } else {
+                    ProbeVerdict::Broken
+                }
+            }
+            _ => ProbeVerdict::Broken,
+        },
+    }
+}
+
+/// Builds the survey report from paired mask/control results (matched by
+/// probe ID).
+pub fn survey(
+    mask_results: &[ProbeResult],
+    control_results: &[ProbeResult],
+    is_ingress: &dyn Fn(IpAddr) -> bool,
+) -> BlockingReport {
+    let control_by_id: BTreeMap<u32, &MeasurementOutcome> = control_results
+        .iter()
+        .map(|r| (r.probe_id, &r.outcome))
+        .collect();
+    let mut verdicts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut blocked = 0usize;
+    let mut hijacks = 0usize;
+    let mut timeouts = 0usize;
+    let mut error_responses = 0usize;
+    let mut rcode_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for r in mask_results {
+        let control = control_by_id
+            .get(&r.probe_id)
+            .copied()
+            .unwrap_or(&MeasurementOutcome::Timeout);
+        let verdict = classify(&r.outcome, control, is_ingress);
+        *verdicts.entry(format!("{verdict:?}")).or_insert(0) += 1;
+        if verdict.is_blocked() {
+            blocked += 1;
+        }
+        if verdict == ProbeVerdict::Hijacked {
+            hijacks += 1;
+        }
+        match &r.outcome {
+            MeasurementOutcome::Timeout => timeouts += 1,
+            MeasurementOutcome::Response { rcode, .. } => {
+                let failing = verdict != ProbeVerdict::Working;
+                if failing {
+                    error_responses += 1;
+                    let label = if verdict == ProbeVerdict::BlockedNoData {
+                        "NOERROR".to_string()
+                    } else if verdict == ProbeVerdict::Hijacked {
+                        "HIJACK".to_string()
+                    } else {
+                        rcode.mnemonic()
+                    };
+                    *rcode_counts.entry(label).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let requested = mask_results.len();
+    let rcode_breakdown = rcode_counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / error_responses.max(1) as f64))
+        .collect();
+    BlockingReport {
+        requested,
+        verdicts,
+        timeout_share: timeouts as f64 / requested.max(1) as f64,
+        error_response_share: error_responses as f64 / requested.max(1) as f64,
+        rcode_breakdown,
+        blocked,
+        blocked_share: blocked as f64 / requested.max(1) as f64,
+        hijacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tectonic_net::Asn;
+    use tectonic_geo::country::CountryCode;
+
+    fn ok(addr: Ipv4Addr) -> MeasurementOutcome {
+        MeasurementOutcome::Response {
+            rcode: Rcode::NoError,
+            answers_v4: vec![addr],
+            answers_v6: vec![],
+        }
+    }
+
+    fn rcode_only(rcode: Rcode) -> MeasurementOutcome {
+        MeasurementOutcome::Response {
+            rcode,
+            answers_v4: vec![],
+            answers_v6: vec![],
+        }
+    }
+
+    fn ingress(addr: IpAddr) -> bool {
+        match addr {
+            IpAddr::V4(a) => a.octets()[0] == 17,
+            IpAddr::V6(_) => false,
+        }
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let control_ok = ok(Ipv4Addr::new(93, 184, 216, 34));
+        assert_eq!(
+            classify(&ok(Ipv4Addr::new(17, 1, 1, 1)), &control_ok, &ingress),
+            ProbeVerdict::Working
+        );
+        assert_eq!(
+            classify(&ok(Ipv4Addr::new(198, 18, 200, 200)), &control_ok, &ingress),
+            ProbeVerdict::Hijacked
+        );
+        assert_eq!(
+            classify(&rcode_only(Rcode::NxDomain), &control_ok, &ingress),
+            ProbeVerdict::BlockedNxDomain
+        );
+        assert_eq!(
+            classify(&rcode_only(Rcode::NoError), &control_ok, &ingress),
+            ProbeVerdict::BlockedNoData
+        );
+        assert_eq!(
+            classify(&rcode_only(Rcode::Refused), &control_ok, &ingress),
+            ProbeVerdict::BlockedRefused
+        );
+        assert_eq!(
+            classify(
+                &rcode_only(Rcode::Refused),
+                &MeasurementOutcome::Timeout,
+                &ingress
+            ),
+            ProbeVerdict::Broken
+        );
+        assert_eq!(
+            classify(&rcode_only(Rcode::ServFail), &control_ok, &ingress),
+            ProbeVerdict::Broken
+        );
+        assert_eq!(
+            classify(&MeasurementOutcome::Timeout, &control_ok, &ingress),
+            ProbeVerdict::Timeout
+        );
+    }
+
+    fn probe_result(id: u32, outcome: MeasurementOutcome) -> ProbeResult {
+        ProbeResult {
+            probe_id: id,
+            asn: Asn(100_000 + id),
+            cc: CountryCode::US,
+            resolver_kind: None,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn survey_aggregates_shares() {
+        // 10 probes: 5 working, 2 NXDOMAIN, 1 NOERROR-nodata, 1 timeout,
+        // 1 hijack.
+        let mask: Vec<ProbeResult> = (0..10)
+            .map(|i| {
+                let outcome = match i {
+                    0..=4 => ok(Ipv4Addr::new(17, 0, 0, i as u8 + 1)),
+                    5 | 6 => rcode_only(Rcode::NxDomain),
+                    7 => rcode_only(Rcode::NoError),
+                    8 => MeasurementOutcome::Timeout,
+                    _ => ok(Ipv4Addr::new(198, 18, 200, 200)),
+                };
+                probe_result(i, outcome)
+            })
+            .collect();
+        let control: Vec<ProbeResult> = (0..10)
+            .map(|i| probe_result(i, ok(Ipv4Addr::new(93, 184, 216, 34))))
+            .collect();
+        let report = survey(&mask, &control, &ingress);
+        assert_eq!(report.requested, 10);
+        assert_eq!(report.blocked, 4);
+        assert!((report.blocked_share - 0.4).abs() < 1e-9);
+        assert_eq!(report.hijacks, 1);
+        assert!((report.timeout_share - 0.1).abs() < 1e-9);
+        assert!((report.error_response_share - 0.4).abs() < 1e-9);
+        // Breakdown within the 4 failing responses: 2 NXDOMAIN.
+        assert!((report.rcode_breakdown["NXDOMAIN"] - 0.5).abs() < 1e-9);
+        assert!((report.rcode_breakdown["NOERROR"] - 0.25).abs() < 1e-9);
+        assert!((report.rcode_breakdown["HIJACK"] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_control_counts_as_broken_for_refused() {
+        let mask = vec![probe_result(0, rcode_only(Rcode::Refused))];
+        let report = survey(&mask, &[], &ingress);
+        assert_eq!(report.blocked, 0);
+        assert_eq!(report.verdicts["Broken"], 1);
+    }
+
+    #[test]
+    fn empty_survey() {
+        let report = survey(&[], &[], &ingress);
+        assert_eq!(report.requested, 0);
+        assert_eq!(report.blocked_share, 0.0);
+    }
+}

@@ -1,0 +1,854 @@
+//! The ECS enumeration scanner (§3, §4.1).
+//!
+//! Iterates the routed IPv4 space in /24 steps, attaching each subnet as an
+//! EDNS0 Client Subnet option to A queries for the mask domains, and
+//! collects every ingress address the authoritative servers reveal. The
+//! scanner implements the paper's two ethics optimisations (§7):
+//!
+//! * **routed-space filter** — only subnets covered by a BGP announcement
+//!   are queried,
+//! * **scope honouring** — when a response declares a scope shorter than
+//!   /24, no other subnet inside that scope is queried.
+//!
+//! Rate limiting by the server appears as dropped queries; the scanner
+//! backs off and retries, which is what stretches the full scan to tens of
+//! simulated hours (the paper reports ~40 h).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::{IpAddr, Ipv4Addr};
+
+use serde::{Deserialize, Serialize};
+use tectonic_bgp::Rib;
+use tectonic_dns::server::{NameServer, QueryContext, ServerReply};
+use tectonic_dns::{
+    decode_message, encode_message, DomainName, EcsOption, Message, QType, Rcode,
+};
+use tectonic_net::{Asn, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimTime};
+
+/// Scanner configuration.
+#[derive(Debug, Clone)]
+pub struct EcsScanConfig {
+    /// Source address the scanner queries from.
+    pub source: Ipv4Addr,
+    /// Honour server-returned ECS scopes shorter than /24 (§7).
+    pub respect_scopes: bool,
+    /// Skip address space with no covering BGP announcement (§7).
+    pub skip_unrouted: bool,
+    /// Back-off applied when a query is dropped by rate limiting.
+    pub retry_backoff: SimDuration,
+    /// Give up on a subnet after this many rate-limit retries.
+    pub max_retries: u32,
+    /// Fixed per-query pacing (simulated network + processing time).
+    pub query_pacing: SimDuration,
+}
+
+impl Default for EcsScanConfig {
+    fn default() -> Self {
+        EcsScanConfig {
+            source: Ipv4Addr::new(138, 246, 253, 10), // TUM-like scan host
+            respect_scopes: true,
+            skip_unrouted: true,
+            retry_backoff: SimDuration::from_millis(13),
+            max_retries: 32,
+            query_pacing: SimDuration::from_millis(12),
+        }
+    }
+}
+
+/// Per-client-AS serving counts observed by the scan (Table 2 input).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsServing {
+    /// /24 subnets answered from Apple's fleet.
+    pub apple_subnets: u64,
+    /// /24 subnets answered from Akamai PR's fleet.
+    pub akamai_subnets: u64,
+}
+
+impl AsServing {
+    /// The serving category this AS falls into, if it was seen at all.
+    pub fn category(&self) -> Option<ServingCategory> {
+        match (self.apple_subnets > 0, self.akamai_subnets > 0) {
+            (true, true) => Some(ServingCategory::Both),
+            (true, false) => Some(ServingCategory::AppleOnly),
+            (false, true) => Some(ServingCategory::AkamaiOnly),
+            (false, false) => None,
+        }
+    }
+}
+
+/// Observed serving categories (Table 2 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServingCategory {
+    /// Served exclusively by Akamai PR.
+    AkamaiOnly,
+    /// Served exclusively by Apple.
+    AppleOnly,
+    /// Served by both operators.
+    Both,
+}
+
+/// The outcome of one ECS scan of one domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcsScanReport {
+    /// The scanned domain.
+    pub domain: DomainName,
+    /// Every distinct ingress address uncovered.
+    pub discovered: BTreeSet<Ipv4Addr>,
+    /// Discovered addresses grouped by origin AS (RIB attribution).
+    pub by_ingress_as: BTreeMap<Asn, BTreeSet<Ipv4Addr>>,
+    /// Per-client-AS serving counts.
+    pub per_client_as: BTreeMap<Asn, AsServing>,
+    /// Distinct routed BGP prefixes containing discovered addresses.
+    pub ingress_prefixes: BTreeSet<String>,
+    /// Client /24 subnets served per discovered address (scope-credited) —
+    /// the input to the ingress-load analysis (§6 future work: "does the
+    /// system have bottlenecks?").
+    pub subnets_served: BTreeMap<Ipv4Addr, u64>,
+    /// Queries actually sent (after skipping).
+    pub queries_sent: u64,
+    /// Subnets skipped thanks to scope honouring.
+    pub skipped_by_scope: u64,
+    /// Subnets skipped as unrouted.
+    pub skipped_unrouted: u64,
+    /// Rate-limit retries performed.
+    pub rate_limited: u64,
+    /// Simulated wall-clock duration of the scan.
+    pub duration: SimDuration,
+}
+
+impl EcsScanReport {
+    /// Ingress address count for one operator.
+    pub fn count_for(&self, asn: Asn) -> usize {
+        self.by_ingress_as.get(&asn).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Total distinct addresses.
+    pub fn total(&self) -> usize {
+        self.discovered.len()
+    }
+}
+
+/// Outcome of the IPv6 ECS feasibility probe (§3's negative result).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct V6FeasibilityReport {
+    /// AAAA probes sent.
+    pub queries: u64,
+    /// ECS scopes observed in responses (the paper: only 0).
+    pub distinct_scopes: Vec<u8>,
+    /// Distinct AAAA addresses seen across the probes.
+    pub distinct_addresses: usize,
+    /// Whether subnet-scoped enumeration would work (the paper: no).
+    pub enumeration_feasible: bool,
+}
+
+/// The ECS enumeration scanner.
+#[derive(Debug, Clone, Default)]
+pub struct EcsScanner {
+    config: EcsScanConfig,
+}
+
+impl EcsScanner {
+    /// A scanner with the given configuration.
+    pub fn new(config: EcsScanConfig) -> EcsScanner {
+        EcsScanner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EcsScanConfig {
+        &self.config
+    }
+
+    /// Enumerates the candidate /24 subnets: every /24 of every announced
+    /// IPv4 prefix (deduplicated, in address order). With `skip_unrouted`
+    /// disabled, the entire unicast space is returned instead.
+    pub fn candidate_subnets(&self, rib: &Rib) -> Vec<Ipv4Net> {
+        if self.config.skip_unrouted {
+            let mut subnets = Vec::new();
+            let mut prefixes: Vec<Ipv4Net> = rib
+                .iter()
+                .filter_map(|(net, _)| net.as_v4().copied())
+                .collect();
+            prefixes.sort();
+            // Drop prefixes nested inside an earlier (shorter) one so each
+            // /24 appears once.
+            let mut last: Option<Ipv4Net> = None;
+            for p in prefixes {
+                if let Some(l) = last {
+                    if l.contains_net(&p) {
+                        continue;
+                    }
+                }
+                last = Some(p);
+                if p.len() > 24 {
+                    subnets.push(Ipv4Net::new(p.network(), 24).expect("24 valid"));
+                } else {
+                    subnets.extend(p.subnets(24).expect("p ≤ 24"));
+                }
+            }
+            subnets.dedup();
+            subnets
+        } else {
+            // 1.0.0.0 through 223.255.255.0 — the unicast space.
+            let all = Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0).expect("default");
+            all.subnets(24)
+                .expect("24 of 0")
+                .filter(|s| {
+                    let first_octet = s.network().octets()[0];
+                    (1..=223).contains(&first_octet)
+                })
+                .collect()
+        }
+    }
+
+    /// Runs a full scan of `domain` against `auth`, advancing `clock`.
+    pub fn scan(
+        &self,
+        domain: DomainName,
+        auth: &dyn NameServer,
+        rib: &Rib,
+        clock: &mut SimClock,
+    ) -> EcsScanReport {
+        let start = clock.now();
+        let subnets = self.candidate_subnets(rib);
+        let mut report = EcsScanReport {
+            domain: domain.clone(),
+            discovered: BTreeSet::new(),
+            by_ingress_as: BTreeMap::new(),
+            per_client_as: BTreeMap::new(),
+            ingress_prefixes: BTreeSet::new(),
+            subnets_served: BTreeMap::new(),
+            queries_sent: 0,
+            skipped_by_scope: 0,
+            skipped_unrouted: 0,
+            rate_limited: 0,
+            duration: SimDuration::ZERO,
+        };
+        // Scopes wider than /24 already answered; membership check skips
+        // queries inside them.
+        let mut known_scopes: PrefixTrie<()> = PrefixTrie::new();
+        let mut query_id: u16 = 1;
+        for subnet in subnets {
+            if self.config.respect_scopes
+                && known_scopes
+                    .longest_match(IpAddr::V4(subnet.network()))
+                    .is_some()
+            {
+                report.skipped_by_scope += 1;
+                continue;
+            }
+            let response =
+                match self.query_subnet(&domain, subnet, auth, clock, &mut query_id, &mut report)
+                {
+                    Some(r) => r,
+                    None => continue, // gave up after retries
+                };
+            if response.rcode != Rcode::NoError {
+                continue;
+            }
+            let answers = response.a_answers();
+            // Scope bookkeeping.
+            if let Some(scope) = response.edns.as_ref().and_then(|o| o.ecs()).map(|e| e.scope_len)
+            {
+                if self.config.respect_scopes && scope < 24 {
+                    let scope_net = Ipv4Net::new(subnet.network(), scope)
+                        .expect("scope ≤ 24 < 32");
+                    known_scopes.insert(scope_net, ());
+                }
+            }
+            if answers.is_empty() {
+                continue;
+            }
+            // Attribute the answering fleet and the client AS.
+            let mut seen_ops: BTreeSet<Asn> = BTreeSet::new();
+            let scope_credit = {
+                let scope = response
+                    .edns
+                    .as_ref()
+                    .and_then(|o| o.ecs())
+                    .map(|e| e.scope_len)
+                    .unwrap_or(24);
+                if self.config.respect_scopes && scope < 24 {
+                    1u64 << (24 - scope.min(24))
+                } else {
+                    1
+                }
+            };
+            for addr in &answers {
+                report.discovered.insert(*addr);
+                *report.subnets_served.entry(*addr).or_insert(0) += scope_credit;
+                if let Some((prefix, asn)) = rib.lookup(IpAddr::V4(*addr)) {
+                    report.by_ingress_as.entry(asn).or_default().insert(*addr);
+                    report.ingress_prefixes.insert(prefix.to_string());
+                    seen_ops.insert(asn);
+                }
+            }
+            if let Some((_, client_asn)) = rib.lookup(IpAddr::V4(subnet.network())) {
+                if !Asn::INGRESS_OPERATORS.contains(&client_asn)
+                    && !Asn::EGRESS_OPERATORS.contains(&client_asn)
+                {
+                    // A scope wider than /24 makes this one answer stand for
+                    // every /24 inside it — credit them all, since the
+                    // scanner will skip them (the paper reports Table 2 at
+                    // full /24 granularity).
+                    let scope = response
+                        .edns
+                        .as_ref()
+                        .and_then(|o| o.ecs())
+                        .map(|e| e.scope_len)
+                        .unwrap_or(24);
+                    let credit = if self.config.respect_scopes && scope < 24 {
+                        1u64 << (24 - scope.min(24))
+                    } else {
+                        1
+                    };
+                    let entry = report.per_client_as.entry(client_asn).or_default();
+                    for op in seen_ops {
+                        match op {
+                            Asn::APPLE => entry.apple_subnets += credit,
+                            Asn::AKAMAI_PR => entry.akamai_subnets += credit,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        report.duration = clock.now() - start;
+        report
+    }
+
+    /// Sends one ECS query (with retries on rate-limit drops).
+    fn query_subnet(
+        &self,
+        domain: &DomainName,
+        subnet: Ipv4Net,
+        auth: &dyn NameServer,
+        clock: &mut SimClock,
+        query_id: &mut u16,
+        report: &mut EcsScanReport,
+    ) -> Option<Message> {
+        let mut attempts = 0;
+        loop {
+            *query_id = query_id.wrapping_add(1);
+            let mut query = Message::query(*query_id, domain.clone(), QType::A);
+            query
+                .edns
+                .as_mut()
+                .expect("query has EDNS")
+                .set_ecs(EcsOption::for_v4_net(subnet));
+            let ctx = QueryContext {
+                src: IpAddr::V4(self.config.source),
+                now: clock.now(),
+            };
+            report.queries_sent += 1;
+            clock.advance(self.config.query_pacing);
+            match auth.handle_query(&encode_message(&query), &ctx) {
+                ServerReply::Response(bytes) => {
+                    return decode_message(&bytes).ok();
+                }
+                ServerReply::Dropped => {
+                    report.rate_limited += 1;
+                    attempts += 1;
+                    if attempts > self.config.max_retries {
+                        return None;
+                    }
+                    clock.advance(self.config.retry_backoff);
+                }
+            }
+        }
+    }
+
+    /// Attempts ECS enumeration over IPv6 (AAAA queries) and reports why
+    /// it cannot work — the paper's §3 negative result: the name server
+    /// answers every AAAA query with ECS scope 0, declaring the response
+    /// valid for the whole address space, so a scope-honouring scanner
+    /// stops after a handful of probes.
+    pub fn probe_v6_feasibility(
+        &self,
+        domain: DomainName,
+        auth: &dyn NameServer,
+        sample_subnets: &[Ipv4Net],
+        clock: &mut SimClock,
+    ) -> V6FeasibilityReport {
+        let mut scopes = BTreeSet::new();
+        let mut answers = BTreeSet::new();
+        let mut queries = 0u64;
+        let mut query_id = 0u16;
+        let mut report_stub = EcsScanReport {
+            domain: domain.clone(),
+            discovered: BTreeSet::new(),
+            by_ingress_as: BTreeMap::new(),
+            per_client_as: BTreeMap::new(),
+            ingress_prefixes: BTreeSet::new(),
+            subnets_served: BTreeMap::new(),
+            queries_sent: 0,
+            skipped_by_scope: 0,
+            skipped_unrouted: 0,
+            rate_limited: 0,
+            duration: SimDuration::ZERO,
+        };
+        for subnet in sample_subnets {
+            query_id = query_id.wrapping_add(1);
+            let mut query = Message::query(query_id, domain.clone(), QType::AAAA);
+            query
+                .edns
+                .as_mut()
+                .expect("query has EDNS")
+                .set_ecs(EcsOption::for_v4_net(*subnet));
+            let ctx = QueryContext {
+                src: IpAddr::V4(self.config.source),
+                now: clock.now(),
+            };
+            queries += 1;
+            clock.advance(self.config.query_pacing);
+            if let ServerReply::Response(bytes) = auth.handle_query(&encode_message(&query), &ctx)
+            {
+                if let Ok(response) = decode_message(&bytes) {
+                    if let Some(ecs) = response.edns.as_ref().and_then(|o| o.ecs()) {
+                        scopes.insert(ecs.scope_len);
+                    }
+                    answers.extend(response.aaaa_answers());
+                }
+            }
+        }
+        let _ = report_stub.queries_sent;
+        report_stub.queries_sent = queries;
+        V6FeasibilityReport {
+            queries,
+            distinct_scopes: scopes.iter().copied().collect(),
+            distinct_addresses: answers.len(),
+            enumeration_feasible: scopes.iter().any(|s| *s > 0),
+        }
+    }
+
+    /// Runs the scan sharded across `workers` source addresses using
+    /// crossbeam scoped threads (the parallel-scan ablation). Each worker
+    /// gets its own source address (`source + k`) and clock; the reported
+    /// duration is the slowest worker's.
+    pub fn scan_parallel(
+        &self,
+        domain: DomainName,
+        auth: &(dyn NameServer + Sync),
+        rib: &Rib,
+        start: SimTime,
+        workers: usize,
+    ) -> EcsScanReport {
+        let workers = workers.max(1);
+        let subnets = self.candidate_subnets(rib);
+        let shards: Vec<Vec<Ipv4Net>> = (0..workers)
+            .map(|w| {
+                subnets
+                    .iter()
+                    .skip(w)
+                    .step_by(workers)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let reports: Vec<EcsScanReport> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(w, shard)| {
+                    let mut config = self.config.clone();
+                    let base = u32::from(config.source);
+                    config.source = Ipv4Addr::from(base + w as u32);
+                    // Scope honouring needs a global view; per-worker scopes
+                    // are still correct, just less effective.
+                    let domain = domain.clone();
+                    scope.spawn(move |_| {
+                        let scanner = EcsScanner::new(config);
+                        let mut clock = SimClock::new(start);
+                        scanner.scan_subnets(domain, shard, auth, rib, &mut clock)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("scope");
+        // Merge.
+        let mut merged = EcsScanReport {
+            domain,
+            discovered: BTreeSet::new(),
+            by_ingress_as: BTreeMap::new(),
+            per_client_as: BTreeMap::new(),
+            ingress_prefixes: BTreeSet::new(),
+            subnets_served: BTreeMap::new(),
+            queries_sent: 0,
+            skipped_by_scope: 0,
+            skipped_unrouted: 0,
+            rate_limited: 0,
+            duration: SimDuration::ZERO,
+        };
+        for r in reports {
+            merged.discovered.extend(r.discovered.iter().copied());
+            for (asn, addrs) in r.by_ingress_as {
+                merged
+                    .by_ingress_as
+                    .entry(asn)
+                    .or_default()
+                    .extend(addrs.iter().copied());
+            }
+            for (asn, serving) in r.per_client_as {
+                let e = merged.per_client_as.entry(asn).or_default();
+                e.apple_subnets += serving.apple_subnets;
+                e.akamai_subnets += serving.akamai_subnets;
+            }
+            merged.ingress_prefixes.extend(r.ingress_prefixes);
+            for (addr, served) in r.subnets_served {
+                *merged.subnets_served.entry(addr).or_insert(0) += served;
+            }
+            merged.queries_sent += r.queries_sent;
+            merged.skipped_by_scope += r.skipped_by_scope;
+            merged.skipped_unrouted += r.skipped_unrouted;
+            merged.rate_limited += r.rate_limited;
+            merged.duration = merged.duration.max(r.duration);
+        }
+        merged
+    }
+
+    /// Scans an explicit subnet list.
+    ///
+    /// Used by the parallel workers, and by benchmarks that need a
+    /// fixed-size scan kernel independent of the deployment scale.
+    pub fn scan_subnets(
+        &self,
+        domain: DomainName,
+        subnets: &[Ipv4Net],
+        auth: &dyn NameServer,
+        rib: &Rib,
+        clock: &mut SimClock,
+    ) -> EcsScanReport {
+        let start = clock.now();
+        let mut report = EcsScanReport {
+            domain: domain.clone(),
+            discovered: BTreeSet::new(),
+            by_ingress_as: BTreeMap::new(),
+            per_client_as: BTreeMap::new(),
+            ingress_prefixes: BTreeSet::new(),
+            subnets_served: BTreeMap::new(),
+            queries_sent: 0,
+            skipped_by_scope: 0,
+            skipped_unrouted: 0,
+            rate_limited: 0,
+            duration: SimDuration::ZERO,
+        };
+        let mut known_scopes: PrefixTrie<()> = PrefixTrie::new();
+        let mut query_id: u16 = 1;
+        for subnet in subnets {
+            if self.config.respect_scopes
+                && known_scopes
+                    .longest_match(IpAddr::V4(subnet.network()))
+                    .is_some()
+            {
+                report.skipped_by_scope += 1;
+                continue;
+            }
+            let Some(response) =
+                self.query_subnet(&domain, *subnet, auth, clock, &mut query_id, &mut report)
+            else {
+                continue;
+            };
+            if response.rcode != Rcode::NoError {
+                continue;
+            }
+            if let Some(scope) = response.edns.as_ref().and_then(|o| o.ecs()).map(|e| e.scope_len)
+            {
+                if self.config.respect_scopes && scope < 24 {
+                    let scope_net =
+                        Ipv4Net::new(subnet.network(), scope).expect("scope ≤ 24");
+                    known_scopes.insert(scope_net, ());
+                }
+            }
+            let answers = response.a_answers();
+            let mut seen_ops: BTreeSet<Asn> = BTreeSet::new();
+            let scope_credit = {
+                let scope = response
+                    .edns
+                    .as_ref()
+                    .and_then(|o| o.ecs())
+                    .map(|e| e.scope_len)
+                    .unwrap_or(24);
+                if self.config.respect_scopes && scope < 24 {
+                    1u64 << (24 - scope.min(24))
+                } else {
+                    1
+                }
+            };
+            for addr in &answers {
+                report.discovered.insert(*addr);
+                *report.subnets_served.entry(*addr).or_insert(0) += scope_credit;
+                if let Some((prefix, asn)) = rib.lookup(IpAddr::V4(*addr)) {
+                    report.by_ingress_as.entry(asn).or_default().insert(*addr);
+                    report.ingress_prefixes.insert(prefix.to_string());
+                    seen_ops.insert(asn);
+                }
+            }
+            if let Some((_, client_asn)) = rib.lookup(IpAddr::V4(subnet.network())) {
+                if !Asn::INGRESS_OPERATORS.contains(&client_asn)
+                    && !Asn::EGRESS_OPERATORS.contains(&client_asn)
+                {
+                    // A scope wider than /24 makes this one answer stand for
+                    // every /24 inside it — credit them all, since the
+                    // scanner will skip them (the paper reports Table 2 at
+                    // full /24 granularity).
+                    let scope = response
+                        .edns
+                        .as_ref()
+                        .and_then(|o| o.ecs())
+                        .map(|e| e.scope_len)
+                        .unwrap_or(24);
+                    let credit = if self.config.respect_scopes && scope < 24 {
+                        1u64 << (24 - scope.min(24))
+                    } else {
+                        1
+                    };
+                    let entry = report.per_client_as.entry(client_asn).or_default();
+                    for op in seen_ops {
+                        match op {
+                            Asn::APPLE => entry.apple_subnets += credit,
+                            Asn::AKAMAI_PR => entry.akamai_subnets += credit,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        report.duration = clock.now() - start;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tectonic_net::Epoch;
+    use tectonic_relay::{Deployment, DeploymentConfig, Domain};
+
+    fn deployment() -> Deployment {
+        Deployment::build(21, DeploymentConfig::scaled(1024))
+    }
+
+    fn run_scan(d: &Deployment, domain: Domain, epoch: Epoch) -> EcsScanReport {
+        let auth = d.auth_server_unlimited();
+        let scanner = EcsScanner::default();
+        let mut clock = SimClock::new(epoch.start());
+        scanner.scan(domain.name(), &auth, &d.rib, &mut clock)
+    }
+
+    #[test]
+    fn scan_discovers_both_operators() {
+        let d = deployment();
+        let report = run_scan(&d, Domain::MaskQuic, Epoch::Apr2022);
+        assert!(report.count_for(Asn::APPLE) > 0, "no Apple ingresses");
+        assert!(report.count_for(Asn::AKAMAI_PR) > 0, "no Akamai ingresses");
+        assert_eq!(
+            report.total(),
+            report.count_for(Asn::APPLE) + report.count_for(Asn::AKAMAI_PR)
+        );
+        // Everything discovered must actually be an ingress address.
+        for addr in &report.discovered {
+            assert!(d.fleets.is_ingress(IpAddr::V4(*addr)), "{addr}");
+        }
+    }
+
+    #[test]
+    fn akamai_dominates_address_count() {
+        let d = deployment();
+        let report = run_scan(&d, Domain::MaskQuic, Epoch::Apr2022);
+        let akamai = report.count_for(Asn::AKAMAI_PR) as f64;
+        let total = report.total() as f64;
+        assert!(
+            akamai / total > 0.6,
+            "AkamaiPR share {:.3} too low",
+            akamai / total
+        );
+    }
+
+    #[test]
+    fn scope_honouring_reduces_queries() {
+        let d = deployment();
+        let auth = d.auth_server_unlimited();
+        let rib = &d.rib;
+        let mut with = EcsScanner::default();
+        with.config.respect_scopes = true;
+        let mut without = EcsScanner::default();
+        without.config.respect_scopes = false;
+        let mut clock_a = SimClock::new(Epoch::Apr2022.start());
+        let ra = with.scan(Domain::MaskQuic.name(), &auth, rib, &mut clock_a);
+        let mut clock_b = SimClock::new(Epoch::Apr2022.start());
+        let rb = without.scan(Domain::MaskQuic.name(), &auth, rib, &mut clock_b);
+        assert!(ra.queries_sent < rb.queries_sent, "{} !< {}", ra.queries_sent, rb.queries_sent);
+        assert!(ra.skipped_by_scope > 0);
+        // The discovered sets still agree on operators (scope skipping is
+        // sound: skipped subnets share answers with their covering scope).
+        assert!(
+            rb.discovered.is_superset(&ra.discovered)
+                || ra.discovered.is_superset(&rb.discovered)
+        );
+    }
+
+    #[test]
+    fn fallback_scan_in_feb_is_all_apple() {
+        let d = deployment();
+        let report = run_scan(&d, Domain::MaskH2, Epoch::Feb2022);
+        assert!(report.count_for(Asn::APPLE) > 0);
+        assert_eq!(report.count_for(Asn::AKAMAI_PR), 0, "AkamaiPR fallback in Feb");
+    }
+
+    #[test]
+    fn growth_between_epochs() {
+        let d = deployment();
+        let jan = run_scan(&d, Domain::MaskQuic, Epoch::Jan2022);
+        let apr = run_scan(&d, Domain::MaskQuic, Epoch::Apr2022);
+        assert!(
+            apr.total() > jan.total(),
+            "no growth: {} -> {}",
+            jan.total(),
+            apr.total()
+        );
+    }
+
+    #[test]
+    fn per_client_as_counts_populate() {
+        let d = deployment();
+        let report = run_scan(&d, Domain::MaskQuic, Epoch::Apr2022);
+        assert!(!report.per_client_as.is_empty());
+        // Every client AS in the report is a world AS.
+        for asn in report.per_client_as.keys() {
+            assert!(d.world.by_asn(*asn).is_some(), "{asn} not in world");
+        }
+    }
+
+    #[test]
+    fn rate_limited_scan_takes_longer() {
+        let d = deployment();
+        let rib = &d.rib;
+        let scanner = EcsScanner::default();
+        let auth_fast = d.auth_server_unlimited();
+        let mut clock_fast = SimClock::new(Epoch::Apr2022.start());
+        let fast = scanner.scan(Domain::MaskQuic.name(), &auth_fast, rib, &mut clock_fast);
+        let auth_slow = d.auth_server();
+        let mut clock_slow = SimClock::new(Epoch::Apr2022.start());
+        let slow = scanner.scan(Domain::MaskQuic.name(), &auth_slow, rib, &mut clock_slow);
+        assert!(slow.rate_limited > 0, "rate limiter never triggered");
+        assert!(slow.duration > fast.duration);
+        // Rate limiting must not lose addresses.
+        assert_eq!(slow.discovered, fast.discovered);
+    }
+
+    #[test]
+    fn unrouted_space_skipped() {
+        let d = deployment();
+        let scanner = EcsScanner::default();
+        let candidates = scanner.candidate_subnets(&d.rib);
+        // All candidates are routed.
+        for subnet in candidates.iter().step_by(97) {
+            assert!(d.rib.is_routed(IpAddr::V4(subnet.network())));
+        }
+        // Far fewer than the full unicast space.
+        assert!(candidates.len() < 14_000_000);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let d = deployment();
+        let auth = d.auth_server_unlimited();
+        let scanner = EcsScanner::default();
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let seq = scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
+        let par = scanner.scan_parallel(
+            Domain::MaskQuic.name(),
+            &auth,
+            &d.rib,
+            Epoch::Apr2022.start(),
+            4,
+        );
+        assert_eq!(par.discovered, seq.discovered);
+        assert_eq!(par.by_ingress_as, seq.by_ingress_as);
+    }
+}
+
+#[cfg(test)]
+mod v6_tests {
+    use super::*;
+    use tectonic_net::Epoch;
+    use tectonic_relay::{Deployment, DeploymentConfig, Domain};
+
+    #[test]
+    fn v6_enumeration_is_infeasible() {
+        let d = Deployment::build(21, DeploymentConfig::scaled(1024));
+        let auth = d.auth_server_unlimited();
+        let scanner = EcsScanner::default();
+        let samples: Vec<Ipv4Net> = scanner
+            .candidate_subnets(&d.rib)
+            .into_iter()
+            .step_by(199)
+            .take(64)
+            .collect();
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let report =
+            scanner.probe_v6_feasibility(Domain::MaskQuic.name(), &auth, &samples, &mut clock);
+        assert_eq!(report.queries, 64);
+        assert_eq!(report.distinct_scopes, vec![0], "AAAA scope must be 0");
+        assert!(!report.enumeration_feasible);
+        // The probe still sees *some* addresses — just cannot attribute
+        // subnets to them, hence the fall-back to RIPE Atlas.
+        assert!(report.distinct_addresses > 0);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use tectonic_dns::server::{NameServer, QueryContext, ServerReply};
+    use tectonic_net::Epoch;
+    use tectonic_relay::{Deployment, DeploymentConfig, Domain};
+
+    /// A server that drops every query — the pathological rate limiter.
+    struct BlackHole;
+
+    impl NameServer for BlackHole {
+        fn handle_query(&self, _wire: &[u8], _ctx: &QueryContext) -> ServerReply {
+            ServerReply::Dropped
+        }
+    }
+
+    #[test]
+    fn scanner_gives_up_instead_of_hanging() {
+        let d = Deployment::build(1, DeploymentConfig::scaled(4096));
+        let scanner = EcsScanner::new(EcsScanConfig {
+            max_retries: 3,
+            ..EcsScanConfig::default()
+        });
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let report = scanner.scan(Domain::MaskQuic.name(), &BlackHole, &d.rib, &mut clock);
+        assert_eq!(report.total(), 0);
+        assert!(report.rate_limited > 0);
+        // Every candidate burned through its retry budget.
+        assert_eq!(
+            report.queries_sent,
+            report.rate_limited + (report.queries_sent - report.rate_limited)
+        );
+        assert!(report.per_client_as.is_empty());
+    }
+
+    /// A server that answers garbage bytes.
+    struct GarbageServer;
+
+    impl NameServer for GarbageServer {
+        fn handle_query(&self, _wire: &[u8], _ctx: &QueryContext) -> ServerReply {
+            ServerReply::Response(vec![0xde, 0xad, 0xbe])
+        }
+    }
+
+    #[test]
+    fn scanner_survives_garbage_responses() {
+        let d = Deployment::build(1, DeploymentConfig::scaled(4096));
+        let scanner = EcsScanner::default();
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let report =
+            scanner.scan(Domain::MaskQuic.name(), &GarbageServer, &d.rib, &mut clock);
+        assert_eq!(report.total(), 0, "garbage must not become addresses");
+        assert!(report.queries_sent > 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Ingress load analysis (§6 future work: "Where and how is traffic routed
+//! to and from the relay nodes? Does the system have bottlenecks?").
+//!
+//! The ECS scan reveals which ingress address serves which client /24s;
+//! aggregating those counts gives the per-address *potential load* a
+//! passive ISP — or Apple — would see once adoption grows. The report
+//! quantifies concentration (Gini coefficient, top-decile share) and the
+//! heaviest relays.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use tectonic_net::Asn;
+
+use crate::ecs_scan::EcsScanReport;
+
+/// Per-operator load summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorLoad {
+    /// Operator AS.
+    pub asn: Asn,
+    /// Addresses with any load.
+    pub addresses: usize,
+    /// Total client /24 subnets served.
+    pub subnets: u64,
+    /// Mean subnets per address.
+    pub mean: f64,
+    /// Maximum subnets on one address.
+    pub max: u64,
+    /// Gini coefficient of the per-address load distribution (0 = even,
+    /// → 1 = concentrated).
+    pub gini: f64,
+    /// Share of subnets on the most-loaded 10 % of addresses.
+    pub top_decile_share: f64,
+}
+
+/// The full load analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// One row per ingress operator.
+    pub operators: Vec<OperatorLoad>,
+    /// The globally most-loaded addresses, descending.
+    pub hotspots: Vec<(Ipv4Addr, u64)>,
+}
+
+/// Gini coefficient of a non-negative distribution.
+fn gini(values: &mut [u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable();
+    let n = values.len() as f64;
+    let total: u64 = values.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: f64 = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * *v as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+impl LoadReport {
+    /// Builds the analysis from a scan report, attributing addresses with
+    /// `asn_of`.
+    pub fn build(
+        scan: &EcsScanReport,
+        asn_of: &dyn Fn(Ipv4Addr) -> Option<Asn>,
+        hotspot_count: usize,
+    ) -> LoadReport {
+        let mut operators = Vec::new();
+        for asn in Asn::INGRESS_OPERATORS {
+            let mut loads: Vec<u64> = scan
+                .subnets_served
+                .iter()
+                .filter(|(addr, _)| asn_of(**addr) == Some(asn))
+                .map(|(_, served)| *served)
+                .collect();
+            if loads.is_empty() {
+                continue;
+            }
+            let subnets: u64 = loads.iter().sum();
+            let max = *loads.iter().max().expect("non-empty");
+            let g = gini(&mut loads);
+            // loads is now sorted ascending.
+            let decile = (loads.len() / 10).max(1);
+            let top: u64 = loads.iter().rev().take(decile).sum();
+            operators.push(OperatorLoad {
+                asn,
+                addresses: loads.len(),
+                subnets,
+                mean: subnets as f64 / loads.len() as f64,
+                max,
+                gini: g,
+                top_decile_share: top as f64 / subnets.max(1) as f64,
+            });
+        }
+        let mut hotspots: Vec<(Ipv4Addr, u64)> = scan
+            .subnets_served
+            .iter()
+            .map(|(a, s)| (*a, *s))
+            .collect();
+        hotspots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hotspots.truncate(hotspot_count);
+        LoadReport {
+            operators,
+            hotspots,
+        }
+    }
+}
+
+/// Renders the load report.
+pub fn render_load(report: &LoadReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Ingress load analysis (§6 future work)");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>6} {:>10} {:>8} {:>8} {:>6} {:>10}",
+        "AS", "addrs", "subnets", "mean", "max", "gini", "top-decile"
+    );
+    for op in &report.operators {
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>6} {:>10} {:>8.1} {:>8} {:>6.3} {:>9.1}%",
+            op.asn.label(),
+            op.addresses,
+            op.subnets,
+            op.mean,
+            op.max,
+            op.gini,
+            op.top_decile_share * 100.0
+        );
+    }
+    if let Some((addr, load)) = report.hotspots.first() {
+        let _ = writeln!(out, "hottest relay: {addr} serving {load} client /24s");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecs_scan::EcsScanner;
+    use tectonic_net::{Epoch, SimClock};
+    use tectonic_relay::{Deployment, DeploymentConfig, Domain};
+
+    fn report() -> (Deployment, LoadReport) {
+        let d = Deployment::build(21, DeploymentConfig::scaled(512));
+        let auth = d.auth_server_unlimited();
+        let scanner = EcsScanner::default();
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let scan = scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
+        let load = LoadReport::build(
+            &scan,
+            &|addr| d.fleets.asn_of(std::net::IpAddr::V4(addr)),
+            5,
+        );
+        (d, load)
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        let (d, load) = report();
+        // Every served subnet is accounted to exactly one operator.
+        let total: u64 = load.operators.iter().map(|o| o.subnets).sum();
+        assert!(total >= d.world.total_slash24(), "total {total}");
+        for op in &load.operators {
+            assert!(op.mean > 0.0);
+            assert!(op.max as f64 >= op.mean);
+            assert!((0.0..1.0).contains(&op.gini), "gini {}", op.gini);
+            assert!(op.top_decile_share >= 0.1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn both_operators_have_load() {
+        let (_, load) = report();
+        assert_eq!(load.operators.len(), 2);
+        let akamai = load.operators.iter().find(|o| o.asn == Asn::AKAMAI_PR).unwrap();
+        let apple = load.operators.iter().find(|o| o.asn == Asn::APPLE).unwrap();
+        // Apple serves ~69 % of subnets with ~22 % of addresses, so its
+        // per-address mean load must exceed Akamai's — the §6 bottleneck
+        // observation in miniature.
+        assert!(
+            apple.mean > akamai.mean,
+            "apple mean {:.1} vs akamai {:.1}",
+            apple.mean,
+            akamai.mean
+        );
+    }
+
+    #[test]
+    fn hotspots_sorted_descending() {
+        let (_, load) = report();
+        assert!(!load.hotspots.is_empty());
+        for pair in load.hotspots.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&mut []), 0.0);
+        assert!(gini(&mut [5, 5, 5, 5]).abs() < 1e-9, "uniform is 0");
+        let concentrated = gini(&mut [0, 0, 0, 100]);
+        assert!(concentrated > 0.7, "concentrated {concentrated}");
+        assert_eq!(gini(&mut [0, 0]), 0.0);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let (_, load) = report();
+        let text = render_load(&load);
+        assert!(text.contains("Apple"));
+        assert!(text.contains("AkamaiPR"));
+        assert!(text.contains("hottest relay"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Through-relay scans (§4.3, Figure 3).
+//!
+//! Drives a simulated macOS device the way the authors drove theirs: a
+//! Safari + curl request pair every round (five minutes for the operator
+//! series, 30 seconds for the fine-grained rotation run), in both the
+//! open-DNS and the fixed-DNS configuration. The observing web server's
+//! log — egress operator and address per request — is the output.
+
+use serde::{Deserialize, Serialize};
+use tectonic_dns::server::NameServer;
+use tectonic_net::{Asn, SimDuration, SimTime};
+use tectonic_relay::client::{ClientRequest, Device};
+
+/// Scan schedule configuration.
+#[derive(Debug, Clone)]
+pub struct RelayScanConfig {
+    /// Interval between request rounds.
+    pub interval: SimDuration,
+    /// Total scan duration.
+    pub duration: SimDuration,
+}
+
+impl RelayScanConfig {
+    /// The Figure 3 schedule: one round every 5 minutes for a day.
+    pub fn operator_series() -> RelayScanConfig {
+        RelayScanConfig {
+            interval: SimDuration::from_mins(5),
+            duration: SimDuration::from_hours(24),
+        }
+    }
+
+    /// The fine-grained rotation schedule: every 30 s for 48 h.
+    pub fn rotation_series() -> RelayScanConfig {
+        RelayScanConfig {
+            interval: SimDuration::from_secs(30),
+            duration: SimDuration::from_hours(48),
+        }
+    }
+
+    /// Number of rounds in the schedule.
+    pub fn rounds(&self) -> u64 {
+        self.duration.as_millis() / self.interval.as_millis().max(1)
+    }
+}
+
+/// One logged round of the scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanRound {
+    /// Seconds since scan start (the Figure 3 x-axis).
+    pub relative_secs: u64,
+    /// The Safari request's observations.
+    pub safari: LoggedRequest,
+    /// The curl request's observations.
+    pub curl: LoggedRequest,
+}
+
+/// What the observer server logged for one request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoggedRequest {
+    /// Egress operator.
+    pub operator: Asn,
+    /// Egress address (as a string for serialisation stability).
+    pub egress_addr: String,
+    /// Egress subnet.
+    pub egress_subnet: String,
+}
+
+impl LoggedRequest {
+    fn from_request(r: &ClientRequest) -> LoggedRequest {
+        LoggedRequest {
+            operator: r.egress.operator,
+            egress_addr: r.egress.addr.to_string(),
+            egress_subnet: r.egress.subnet.to_string(),
+        }
+    }
+}
+
+/// The full scan series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayScanSeries {
+    /// All rounds in order.
+    pub rounds: Vec<ScanRound>,
+    /// Rounds that failed (DNS failure etc.).
+    pub failures: u64,
+}
+
+impl RelayScanSeries {
+    /// Runs the scan with `device` starting at `start`.
+    pub fn run(
+        device: &Device,
+        auth: &dyn NameServer,
+        config: &RelayScanConfig,
+        start: SimTime,
+    ) -> RelayScanSeries {
+        let mut rounds = Vec::with_capacity(config.rounds() as usize);
+        let mut failures = 0;
+        for i in 0..config.rounds() {
+            let now = start + SimDuration::from_millis(config.interval.as_millis() * i);
+            match device.request_pair(auth, now) {
+                Ok((safari, curl)) => rounds.push(ScanRound {
+                    relative_secs: (now - start).as_secs(),
+                    safari: LoggedRequest::from_request(&safari),
+                    curl: LoggedRequest::from_request(&curl),
+                }),
+                Err(_) => failures += 1,
+            }
+        }
+        RelayScanSeries { rounds, failures }
+    }
+
+    /// The Figure 3 series: `(relative_secs, operator)` per round, based on
+    /// the curl request (the paper plots one series per scan).
+    pub fn operator_series(&self) -> Vec<(u64, Asn)> {
+        self.rounds
+            .iter()
+            .map(|r| (r.relative_secs, r.curl.operator))
+            .collect()
+    }
+
+    /// Times at which the egress operator changed (Figure 3's marks).
+    pub fn operator_changes(&self) -> Vec<u64> {
+        self.rounds
+            .windows(2)
+            .filter(|w| w[0].curl.operator != w[1].curl.operator)
+            .map(|w| w[1].relative_secs)
+            .collect()
+    }
+
+    /// Distinct operators observed over the scan.
+    pub fn operators_seen(&self) -> Vec<Asn> {
+        let mut ops: Vec<Asn> = self.rounds.iter().map(|r| r.curl.operator).collect();
+        ops.sort();
+        ops.dedup();
+        ops
+    }
+
+    /// Flattens the curl request log (for the rotation statistics).
+    pub fn curl_requests(&self) -> Vec<&LoggedRequest> {
+        self.rounds.iter().map(|r| &r.curl).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tectonic_geo::country::CountryCode;
+    use tectonic_net::Epoch;
+    use tectonic_relay::{Deployment, DeploymentConfig, DnsMode};
+
+    fn series(mode: DnsMode) -> (Deployment, RelayScanSeries) {
+        let d = Deployment::build(66, DeploymentConfig::scaled(512));
+        let auth = d.auth_server_unlimited();
+        let device = d.device_in_country(CountryCode::DE, mode);
+        let s = RelayScanSeries::run(
+            &device,
+            &auth,
+            &RelayScanConfig::operator_series(),
+            Epoch::May2022.start(),
+        );
+        (d, s)
+    }
+
+    #[test]
+    fn full_day_of_rounds() {
+        let (_, s) = series(DnsMode::Open);
+        assert_eq!(s.rounds.len(), 288);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.rounds[0].relative_secs, 0);
+        assert_eq!(s.rounds[1].relative_secs, 300);
+    }
+
+    #[test]
+    fn operator_changes_are_a_handful() {
+        let (_, s) = series(DnsMode::Open);
+        let changes = s.operator_changes();
+        assert!(
+            changes.len() <= 10,
+            "too many operator changes: {}",
+            changes.len()
+        );
+    }
+
+    #[test]
+    fn fixed_dns_also_runs() {
+        let d = Deployment::build(66, DeploymentConfig::scaled(512));
+        let forced =
+            d.fleets.fleet_v4(Epoch::Apr2022, tectonic_relay::Domain::MaskQuic, Asn::AKAMAI_PR)
+                [0];
+        let auth = d.auth_server_unlimited();
+        let device = d.device_in_country(CountryCode::DE, DnsMode::Fixed(forced));
+        let s = RelayScanSeries::run(
+            &device,
+            &auth,
+            &RelayScanConfig::operator_series(),
+            Epoch::May2022.start(),
+        );
+        assert_eq!(s.rounds.len(), 288);
+        assert_eq!(s.failures, 0);
+    }
+
+    #[test]
+    fn observed_operators_are_egress_operators() {
+        let (_, s) = series(DnsMode::Open);
+        for op in s.operators_seen() {
+            assert!(Asn::EGRESS_OPERATORS.contains(&op), "{op} not an egress AS");
+        }
+    }
+
+    #[test]
+    fn schedules_have_paper_shape() {
+        assert_eq!(RelayScanConfig::operator_series().rounds(), 288);
+        assert_eq!(RelayScanConfig::rotation_series().rounds(), 5760);
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let (_, s) = series(DnsMode::Open);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RelayScanSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,516 @@
+//! Rendering tables and figures as text, plus JSON export.
+//!
+//! Every experiment struct gets a `render_*` function that prints the rows
+//! the paper reports (the benches call these so a `cargo bench` run shows
+//! the regenerated artefacts), and everything is `serde`-serialisable for
+//! the research-archive export.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+use tectonic_net::{Asn, Epoch};
+
+use crate::attribution::{category_label, Table2};
+use crate::blocking::BlockingReport;
+use crate::correlation::CorrelationReport;
+use crate::ecs_scan::EcsScanReport;
+use crate::egress_analysis::{CdfSeries, Table3, Table4};
+use crate::quic_probe::QuicProbeReport;
+use crate::relay_scan::RelayScanSeries;
+use crate::rotation::RotationReport;
+
+/// Renders Table 1 from per-epoch scan reports:
+/// `(epoch, default_report, optional fallback_report)` rows.
+pub fn render_table1(rows: &[(Epoch, EcsScanReport, Option<EcsScanReport>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: ingress relay ASes per scan (Default = mask.icloud.com, Fallback = mask-h2)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<5} | {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8}",
+        "", "Apple", "Akamai", "Dflt Σ", "Apple", "Akamai", "Fallb Σ"
+    );
+    for (epoch, default, fallback) in rows {
+        let da = default.count_for(Asn::APPLE);
+        let dk = default.count_for(Asn::AKAMAI_PR);
+        let (fa, fk, ft) = match fallback {
+            Some(f) => (
+                f.count_for(Asn::APPLE).to_string(),
+                f.count_for(Asn::AKAMAI_PR).to_string(),
+                f.total().to_string(),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<5} | {:>7} {:>7} {:>7} | {:>8} {:>8} {:>8}",
+            epoch.label(),
+            da,
+            dk,
+            default.total(),
+            fa,
+            fk,
+            ft
+        );
+    }
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2(table: &Table2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: client ASes served by each ingress operator");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>12} {:>8} {:>12} {:>12}",
+        "AS", "AS pop", "ASes", "/24 subnets", "Apple share"
+    );
+    for row in &table.rows {
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>12} {:>8} {:>12} {:>11.1}%",
+            category_label(row.category),
+            format_users(row.users),
+            row.ases,
+            row.slash24,
+            row.apple_subnet_share * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Apple serves {:.1}% of all answered subnets",
+        table.apple_subnet_share_overall() * 100.0
+    );
+    out
+}
+
+fn format_users(users: u64) -> String {
+    if users >= 1_000_000 {
+        format!("{:.0}M", users as f64 / 1e6)
+    } else if users >= 1_000 {
+        format!("{:.0}k", users as f64 / 1e3)
+    } else {
+        users.to_string()
+    }
+}
+
+/// Renders Table 3.
+pub fn render_table3(table: &Table3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: egress subnets per operating AS");
+    let _ = writeln!(
+        out,
+        "{:<11} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>5}",
+        "", "v4 Subn", "v4 Pfxs", "v4 Addr", "v6 Subn", "v6 Pfxs", "CCs"
+    );
+    for row in &table.rows {
+        let _ = writeln!(
+            out,
+            "{:<11} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>5}",
+            row.asn.label(),
+            row.v4_subnets,
+            row.v4_bgp_prefixes,
+            row.v4_addresses,
+            row.v6_subnets,
+            row.v6_bgp_prefixes,
+            row.countries
+        );
+    }
+    out
+}
+
+/// Renders Table 4.
+pub fn render_table4(table: &Table4) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: covered cities per egress operator");
+    let _ = writeln!(
+        out,
+        "{:<11} | {:>8} {:>8} {:>8}",
+        "", "Cities", "IPv4", "IPv6"
+    );
+    for row in &table.rows {
+        let _ = writeln!(
+            out,
+            "{:<11} | {:>8} {:>8} {:>8}",
+            row.asn.label(),
+            row.cities,
+            row.cities_v4,
+            row.cities_v6
+        );
+    }
+    out
+}
+
+/// Renders the Figure 3 operator-change series as a sparse text timeline.
+pub fn render_fig3(open: &RelayScanSeries, fixed: &RelayScanSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3: egress operator changes over the scan day");
+    for (label, series) in [("Open Scan", open), ("Fixed DNS Scan", fixed)] {
+        let changes = series.operator_changes();
+        let _ = writeln!(
+            out,
+            "{label:<15}: {} rounds, operators {:?}, {} changes at {:?} s",
+            series.rounds.len(),
+            series
+                .operators_seen()
+                .iter()
+                .map(|a| a.label())
+                .collect::<Vec<_>>(),
+            changes.len(),
+            changes
+        );
+    }
+    out
+}
+
+/// Renders Figure 4 CDF series compactly (every k-th point).
+pub fn render_fig4(series: &[CdfSeries], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 ({title}): cumulative subnet share");
+    for s in series {
+        let n = s.cumulative.len();
+        let sample: Vec<String> = [0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .filter_map(|q| {
+                let idx = ((n as f64 * q) as usize).saturating_sub(1);
+                s.cumulative.get(idx).map(|v| format!("{:.2}", v))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<11}: {} entities, CDF quartiles [{}]",
+            s.asn.label(),
+            n,
+            sample.join(", ")
+        );
+    }
+    out
+}
+
+/// Renders the blocking survey (R3).
+pub fn render_blocking(report: &BlockingReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Service-blocking survey (§4.1)");
+    let _ = writeln!(out, "probes requested      : {}", report.requested);
+    let _ = writeln!(
+        out,
+        "timeouts              : {:.1}%",
+        report.timeout_share * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "failing DNS responses : {:.1}%",
+        report.error_response_share * 100.0
+    );
+    for (rcode, share) in &report.rcode_breakdown {
+        let _ = writeln!(out, "  {rcode:<10}: {:.0}%", share * 100.0);
+    }
+    let _ = writeln!(
+        out,
+        "blocked               : {} probes ({:.1}%), {} hijack(s)",
+        report.blocked,
+        report.blocked_share * 100.0,
+        report.hijacks
+    );
+    out
+}
+
+/// Renders the rotation statistics (R4).
+pub fn render_rotation(report: &RotationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Egress address rotation (§4.3)");
+    let _ = writeln!(out, "rounds                : {}", report.rounds);
+    let _ = writeln!(
+        out,
+        "distinct addresses    : {} (from {} subnets)",
+        report.distinct_addresses, report.distinct_subnets
+    );
+    let _ = writeln!(
+        out,
+        "address change rate   : {:.1}%",
+        report.change_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "parallel divergence   : {:.1}%",
+        report.parallel_divergence * 100.0
+    );
+    out
+}
+
+/// Renders the correlation audit (R5/R6).
+pub fn render_correlation(report: &CorrelationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Correlation audit of AkamaiPR (§6)");
+    let _ = writeln!(
+        out,
+        "announced prefixes    : {} IPv4 + {} IPv6",
+        report.announced_v4, report.announced_v6
+    );
+    let _ = writeln!(
+        out,
+        "with ingress relays   : {}",
+        report.prefixes_with_ingress
+    );
+    let _ = writeln!(
+        out,
+        "with egress relays    : {}",
+        report.prefixes_with_egress
+    );
+    let _ = writeln!(
+        out,
+        "used for Private Relay: {:.1}%",
+        report.used_share * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "ingress/egress share a prefix: {}",
+        report.ingress_egress_share_prefix
+    );
+    let _ = writeln!(
+        out,
+        "last-hop sharing rate : {:.1}%",
+        report.last_hop_sharing_rate * 100.0
+    );
+    if let Some(m) = report.first_seen {
+        let _ = writeln!(out, "BGP first seen        : {m}");
+    }
+    let _ = writeln!(
+        out,
+        "peering degree        : {} (peer: {})",
+        report.akamai_pr_degree,
+        report
+            .single_peer
+            .map(|a| a.label())
+            .unwrap_or_else(|| "-".into())
+    );
+    out
+}
+
+/// Renders the QUIC probing summary (R7).
+pub fn render_quic(report: &QuicProbeReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "QUIC probing of ingress nodes (§3)");
+    let _ = writeln!(
+        out,
+        "standard Initial      : {}/{} timeouts",
+        report.standard_timeouts, report.probed
+    );
+    let _ = writeln!(
+        out,
+        "forced negotiation    : {}/{} answered",
+        report.negotiations, report.probed
+    );
+    for set in &report.version_sets {
+        let versions: Vec<String> = set.iter().map(|v| format!("{v:#010x}")).collect();
+        let _ = writeln!(out, "advertised versions   : [{}]", versions.join(", "));
+    }
+    out
+}
+
+/// Serialises any experiment artefact as pretty JSON for the research
+/// archive.
+pub fn to_archive_json<T: Serialize>(artefact: &T) -> String {
+    serde_json::to_string_pretty(artefact).expect("artefacts serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::Table2Row;
+    use crate::ecs_scan::ServingCategory;
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let table = Table2 {
+            rows: vec![
+                Table2Row {
+                    category: ServingCategory::AkamaiOnly,
+                    users: 994_000_000,
+                    ases: 34_627,
+                    slash24: 1_100_000,
+                    apple_subnet_share: 0.0,
+                },
+                Table2Row {
+                    category: ServingCategory::AppleOnly,
+                    users: 105_000_000,
+                    ases: 20_807,
+                    slash24: 200_000,
+                    apple_subnet_share: 1.0,
+                },
+                Table2Row {
+                    category: ServingCategory::Both,
+                    users: 2_373_000_000,
+                    ases: 17_301,
+                    slash24: 10_600_000,
+                    apple_subnet_share: 0.76,
+                },
+            ],
+        };
+        let text = render_table2(&table);
+        assert!(text.contains("AkamaiPR"));
+        assert!(text.contains("Both"));
+        assert!(text.contains("76.0%"));
+        assert!(text.contains("34627"));
+    }
+
+    #[test]
+    fn format_users_scales() {
+        assert_eq!(format_users(994_000_000), "994M");
+        assert_eq!(format_users(105_000_000), "105M");
+        assert_eq!(format_users(25_000), "25k");
+        assert_eq!(format_users(9), "9");
+    }
+
+    #[test]
+    fn table3_and_4_render_paper_rows() {
+        use crate::egress_analysis::{Table3, Table3Row, Table4, Table4Row};
+        use tectonic_net::Asn;
+        let t3 = Table3 {
+            rows: vec![Table3Row {
+                asn: Asn::AKAMAI_PR,
+                v4_subnets: 9890,
+                v4_bgp_prefixes: 301,
+                v4_addresses: 57_589,
+                v6_subnets: 142_826,
+                v6_bgp_prefixes: 1172,
+                countries: 236,
+            }],
+        };
+        let text = render_table3(&t3);
+        assert!(text.contains("AkamaiPR"));
+        assert!(text.contains("9890"));
+        assert!(text.contains("57589"));
+        assert!(text.contains("1172"));
+        let t4 = Table4 {
+            rows: vec![Table4Row {
+                asn: Asn::FASTLY,
+                cities: 848,
+                cities_v4: 848,
+                cities_v6: 848,
+            }],
+        };
+        let text = render_table4(&t4);
+        assert!(text.contains("Fastly"));
+        assert!(text.contains("848"));
+    }
+
+    #[test]
+    fn fig4_render_samples_quartiles() {
+        use crate::egress_analysis::CdfSeries;
+        use tectonic_net::Asn;
+        let series = vec![CdfSeries {
+            asn: Asn::CLOUDFLARE,
+            cumulative: vec![0.4, 0.7, 0.9, 1.0],
+        }];
+        let text = render_fig4(&series, "test");
+        assert!(text.contains("Cloudflare"));
+        assert!(text.contains("4 entities"));
+        assert!(text.contains("1.00"));
+        // Empty series do not panic.
+        let empty = vec![CdfSeries {
+            asn: Asn::FASTLY,
+            cumulative: vec![],
+        }];
+        let text = render_fig4(&empty, "empty");
+        assert!(text.contains("0 entities"));
+    }
+
+    #[test]
+    fn correlation_and_quic_render() {
+        use crate::correlation::CorrelationReport;
+        use crate::quic_probe::QuicProbeReport;
+        use tectonic_bgp::Month;
+        use tectonic_net::Asn;
+        let c = CorrelationReport {
+            announced_v4: 478,
+            announced_v6: 1335,
+            prefixes_with_ingress: 201,
+            prefixes_with_egress: 1472,
+            used_share: 0.922,
+            ingress_egress_share_prefix: false,
+            last_hop_sharing_rate: 0.05,
+            first_seen: Some(Month::new(2021, 6)),
+            akamai_pr_degree: 1,
+            single_peer: Some(Asn::AKAMAI_EG),
+        };
+        let text = render_correlation(&c);
+        assert!(text.contains("478 IPv4 + 1335 IPv6"));
+        assert!(text.contains("92.2%"));
+        assert!(text.contains("2021-06"));
+        assert!(text.contains("AkamaiEG"));
+        let q = QuicProbeReport {
+            probed: 10,
+            standard_timeouts: 10,
+            negotiations: 10,
+            version_sets: vec![vec![1, 0xff00_001d]],
+        };
+        let text = render_quic(&q);
+        assert!(text.contains("10/10 timeouts"));
+        assert!(text.contains("0x00000001"));
+    }
+
+    #[test]
+    fn blocking_render_includes_breakdown() {
+        use crate::blocking::BlockingReport;
+        use std::collections::BTreeMap;
+        let mut rcode_breakdown = BTreeMap::new();
+        rcode_breakdown.insert("NXDOMAIN".to_string(), 0.72);
+        let report = BlockingReport {
+            requested: 11_700,
+            verdicts: BTreeMap::new(),
+            timeout_share: 0.10,
+            error_response_share: 0.07,
+            rcode_breakdown,
+            blocked: 645,
+            blocked_share: 0.055,
+            hijacks: 1,
+        };
+        let text = render_blocking(&report);
+        assert!(text.contains("11700"));
+        assert!(text.contains("NXDOMAIN  : 72%"));
+        assert!(text.contains("645 probes (5.5%), 1 hijack(s)"));
+    }
+
+    #[test]
+    fn table1_render_marks_missing_fallback() {
+        use crate::ecs_scan::EcsScanReport;
+        use tectonic_net::{Epoch, SimDuration};
+        let empty = EcsScanReport {
+            domain: "mask.icloud.com".parse().unwrap(),
+            discovered: Default::default(),
+            by_ingress_as: Default::default(),
+            per_client_as: Default::default(),
+            ingress_prefixes: Default::default(),
+            subnets_served: Default::default(),
+            queries_sent: 0,
+            skipped_by_scope: 0,
+            skipped_unrouted: 0,
+            rate_limited: 0,
+            duration: SimDuration::ZERO,
+        };
+        let rows = vec![(Epoch::Jan2022, empty.clone(), None)];
+        let text = render_table1(&rows);
+        assert!(text.contains("Jan"));
+        assert!(text.contains('-'), "missing fallback rendered as dash");
+    }
+
+    #[test]
+    fn archive_json_is_valid() {
+        let report = RotationReport {
+            rounds: 10,
+            distinct_addresses: 6,
+            distinct_subnets: 4,
+            change_rate: 0.67,
+            parallel_divergence: 0.5,
+            operators: 2,
+        };
+        let json = to_archive_json(&report);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["distinct_addresses"], 6);
+        let text = render_rotation(&report);
+        assert!(text.contains("67.0%"));
+    }
+}

@@ -1,0 +1,479 @@
+//! DNS messages: header, questions, resource records and rdata.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use serde::{Deserialize, Serialize};
+
+use crate::edns::OptRecord;
+use crate::name::DomainName;
+
+/// Query/record types. Only the types the reproduction needs are modelled;
+/// unknown types survive decoding as [`QType::Other`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum QType {
+    /// IPv4 address record.
+    A,
+    /// IPv6 address record.
+    AAAA,
+    /// Canonical name.
+    CNAME,
+    /// Delegation.
+    NS,
+    /// Start of authority.
+    SOA,
+    /// Free-form text.
+    TXT,
+    /// Reverse pointer.
+    PTR,
+    /// EDNS0 pseudo-record (only valid in the additional section).
+    OPT,
+    /// Any other RR type, kept by number.
+    Other(u16),
+}
+
+impl QType {
+    /// The IANA type number.
+    pub fn number(&self) -> u16 {
+        match self {
+            QType::A => 1,
+            QType::NS => 2,
+            QType::CNAME => 5,
+            QType::SOA => 6,
+            QType::PTR => 12,
+            QType::TXT => 16,
+            QType::AAAA => 28,
+            QType::OPT => 41,
+            QType::Other(n) => *n,
+        }
+    }
+
+    /// From an IANA type number.
+    pub fn from_number(n: u16) -> QType {
+        match n {
+            1 => QType::A,
+            2 => QType::NS,
+            5 => QType::CNAME,
+            6 => QType::SOA,
+            12 => QType::PTR,
+            16 => QType::TXT,
+            28 => QType::AAAA,
+            41 => QType::OPT,
+            other => QType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for QType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QType::Other(n) => write!(f, "TYPE{n}"),
+            t => write!(f, "{t:?}"),
+        }
+    }
+}
+
+/// Record classes; effectively always `IN` here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum QClass {
+    /// Internet.
+    IN,
+    /// Anything else, kept by number (for OPT, the number carries UDP size).
+    Other(u16),
+}
+
+impl QClass {
+    /// The wire number.
+    pub fn number(&self) -> u16 {
+        match self {
+            QClass::IN => 1,
+            QClass::Other(n) => *n,
+        }
+    }
+
+    /// From a wire number.
+    pub fn from_number(n: u16) -> QClass {
+        match n {
+            1 => QClass::IN,
+            other => QClass::Other(other),
+        }
+    }
+}
+
+/// DNS response codes, as analysed by the blocking survey (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Malformed query (FORMERR).
+    FormErr,
+    /// Server failure (SERVFAIL).
+    ServFail,
+    /// Name does not exist (NXDOMAIN).
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Query refused by policy (REFUSED).
+    Refused,
+    /// Any other code, kept by number.
+    Other(u8),
+}
+
+impl Rcode {
+    /// The 4-bit wire value.
+    pub fn number(&self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(n) => *n & 0x0F,
+        }
+    }
+
+    /// From the 4-bit wire value.
+    pub fn from_number(n: u8) -> Rcode {
+        match n & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+
+    /// The conventional upper-case mnemonic ("NXDOMAIN", …).
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Rcode::NoError => "NOERROR".into(),
+            Rcode::FormErr => "FORMERR".into(),
+            Rcode::ServFail => "SERVFAIL".into(),
+            Rcode::NxDomain => "NXDOMAIN".into(),
+            Rcode::NotImp => "NOTIMP".into(),
+            Rcode::Refused => "REFUSED".into(),
+            Rcode::Other(n) => format!("RCODE{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A question-section entry.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Question {
+    /// The queried name.
+    pub name: DomainName,
+    /// The queried type.
+    pub qtype: QType,
+    /// The queried class.
+    pub qclass: QClass,
+}
+
+impl Question {
+    /// An `IN`-class question for `name`/`qtype`.
+    pub fn new(name: DomainName, qtype: QType) -> Self {
+        Question {
+            name,
+            qtype,
+            qclass: QClass::IN,
+        }
+    }
+}
+
+/// Typed record data.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// An IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// A canonical-name alias.
+    Cname(DomainName),
+    /// A delegation target.
+    Ns(DomainName),
+    /// A start-of-authority record (abbreviated to the fields we use).
+    Soa {
+        /// Primary name server.
+        mname: DomainName,
+        /// Responsible mailbox, name-encoded.
+        rname: DomainName,
+        /// Zone serial.
+        serial: u32,
+    },
+    /// Text data (single string).
+    Txt(String),
+    /// A reverse pointer.
+    Ptr(DomainName),
+    /// Uninterpreted rdata for unknown types.
+    Raw(Vec<u8>),
+}
+
+impl RData {
+    /// The record type carrying this data ([`QType::Other`] for raw).
+    pub fn rtype(&self) -> QType {
+        match self {
+            RData::A(_) => QType::A,
+            RData::Aaaa(_) => QType::AAAA,
+            RData::Cname(_) => QType::CNAME,
+            RData::Ns(_) => QType::NS,
+            RData::Soa { .. } => QType::SOA,
+            RData::Txt(_) => QType::TXT,
+            RData::Ptr(_) => QType::PTR,
+            RData::Raw(_) => QType::Other(0),
+        }
+    }
+
+    /// The IPv4 address, if this is an A record.
+    pub fn as_a(&self) -> Option<Ipv4Addr> {
+        match self {
+            RData::A(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The IPv6 address, if this is an AAAA record.
+    pub fn as_aaaa(&self) -> Option<Ipv6Addr> {
+        match self {
+            RData::Aaaa(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Class (always `IN` for real records here).
+    pub class: QClass,
+    /// Typed data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// An `IN`-class record.
+    pub fn new(name: DomainName, ttl: u32, rdata: RData) -> Self {
+        Record {
+            name,
+            ttl,
+            class: QClass::IN,
+            rdata,
+        }
+    }
+}
+
+/// Header flags the reproduction uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Query (false) / response (true).
+    pub qr: bool,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+}
+
+/// A DNS message.
+///
+/// The OPT pseudo-record of the additional section is kept *typed* (as
+/// [`OptRecord`]) rather than in the record list; the wire codec moves it in
+/// and out of the additional section transparently.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Transaction ID.
+    pub id: u16,
+    /// Header flags.
+    pub flags: Flags,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authority: Vec<Record>,
+    /// Additional section, excluding OPT.
+    pub additional: Vec<Record>,
+    /// EDNS0 OPT pseudo-record, if present.
+    pub edns: Option<OptRecord>,
+}
+
+impl Message {
+    /// A recursive query for `name`/`qtype` with a fresh EDNS0 OPT record.
+    pub fn query(id: u16, name: DomainName, qtype: QType) -> Message {
+        Message {
+            id,
+            flags: Flags {
+                qr: false,
+                aa: false,
+                tc: false,
+                rd: true,
+                ra: false,
+            },
+            rcode: Rcode::NoError,
+            questions: vec![Question::new(name, qtype)],
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+            edns: Some(OptRecord::default()),
+        }
+    }
+
+    /// A response skeleton mirroring this query's ID and question.
+    pub fn response_to(&self, rcode: Rcode) -> Message {
+        Message {
+            id: self.id,
+            flags: Flags {
+                qr: true,
+                aa: false,
+                tc: false,
+                rd: self.flags.rd,
+                ra: false,
+            },
+            rcode,
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+            edns: self.edns.as_ref().map(|_| OptRecord::default()),
+        }
+    }
+
+    /// The first question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// All A answers.
+    pub fn a_answers(&self) -> Vec<Ipv4Addr> {
+        self.answers.iter().filter_map(|r| r.rdata.as_a()).collect()
+    }
+
+    /// All AAAA answers.
+    pub fn aaaa_answers(&self) -> Vec<Ipv6Addr> {
+        self.answers.iter().filter_map(|r| r.rdata.as_aaaa()).collect()
+    }
+
+    /// `true` for a NOERROR response whose answer section is empty —
+    /// one of the shapes the blocking survey classifies as intentional
+    /// blocking when the authoritative server is known to answer.
+    pub fn is_noerror_nodata(&self) -> bool {
+        self.flags.qr && self.rcode == Rcode::NoError && self.answers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::mask_domain;
+
+    #[test]
+    fn qtype_numbers_round_trip() {
+        for t in [
+            QType::A,
+            QType::AAAA,
+            QType::CNAME,
+            QType::NS,
+            QType::SOA,
+            QType::TXT,
+            QType::PTR,
+            QType::OPT,
+            QType::Other(99),
+        ] {
+            assert_eq!(QType::from_number(t.number()), t);
+        }
+        assert_eq!(QType::A.number(), 1);
+        assert_eq!(QType::AAAA.number(), 28);
+        assert_eq!(QType::OPT.number(), 41);
+    }
+
+    #[test]
+    fn rcode_numbers_and_mnemonics() {
+        assert_eq!(Rcode::NxDomain.number(), 3);
+        assert_eq!(Rcode::from_number(5), Rcode::Refused);
+        assert_eq!(Rcode::from_number(0x13), Rcode::NxDomain); // masked to 4 bits
+        assert_eq!(Rcode::NxDomain.mnemonic(), "NXDOMAIN");
+        assert_eq!(Rcode::Other(9).mnemonic(), "RCODE9");
+        for n in 0..=15u8 {
+            assert_eq!(Rcode::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn query_builder_sets_rd_and_edns() {
+        let q = Message::query(0x1234, mask_domain(), QType::A);
+        assert!(!q.flags.qr);
+        assert!(q.flags.rd);
+        assert!(q.edns.is_some());
+        assert_eq!(q.question().unwrap().qtype, QType::A);
+        assert_eq!(q.question().unwrap().name, mask_domain());
+    }
+
+    #[test]
+    fn response_mirrors_query() {
+        let q = Message::query(7, mask_domain(), QType::AAAA);
+        let r = q.response_to(Rcode::NxDomain);
+        assert_eq!(r.id, 7);
+        assert!(r.flags.qr);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        assert_eq!(r.questions, q.questions);
+        assert!(r.edns.is_some());
+    }
+
+    #[test]
+    fn answer_extractors() {
+        let mut r = Message::query(1, mask_domain(), QType::A).response_to(Rcode::NoError);
+        r.answers.push(Record::new(
+            mask_domain(),
+            60,
+            RData::A(Ipv4Addr::new(17, 1, 2, 3)),
+        ));
+        r.answers.push(Record::new(
+            mask_domain(),
+            60,
+            RData::Aaaa("2620:149::1".parse().unwrap()),
+        ));
+        assert_eq!(r.a_answers(), vec![Ipv4Addr::new(17, 1, 2, 3)]);
+        assert_eq!(r.aaaa_answers().len(), 1);
+        assert!(!r.is_noerror_nodata());
+    }
+
+    #[test]
+    fn noerror_nodata_shape() {
+        let q = Message::query(1, mask_domain(), QType::A);
+        let r = q.response_to(Rcode::NoError);
+        assert!(r.is_noerror_nodata());
+        assert!(!q.is_noerror_nodata()); // queries never count
+    }
+
+    #[test]
+    fn rdata_type_mapping() {
+        assert_eq!(RData::A(Ipv4Addr::LOCALHOST).rtype(), QType::A);
+        assert_eq!(RData::Txt("x".into()).rtype(), QType::TXT);
+        assert_eq!(
+            RData::Soa {
+                mname: mask_domain(),
+                rname: mask_domain(),
+                serial: 1
+            }
+            .rtype(),
+            QType::SOA
+        );
+        assert!(RData::Cname(mask_domain()).as_a().is_none());
+    }
+}

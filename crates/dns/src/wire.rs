@@ -1,0 +1,734 @@
+//! RFC 1035 wire encoding and decoding, with name compression.
+//!
+//! Both sides of every simulated exchange round-trip through this codec, so
+//! the scanner exercises real message bytes — including the EDNS0 OPT record
+//! in the additional section and compression pointers in responses with many
+//! answer records (the April scans saw up to eight A records per response).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::edns::{EcsOption, EdnsOption, OptRecord};
+use crate::message::{Flags, Message, QClass, QType, Question, RData, Rcode, Record};
+use crate::name::DomainName;
+
+/// Errors from the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsWireError {
+    /// Ran out of bytes while decoding.
+    Truncated,
+    /// A compression pointer loop or overly deep chain.
+    BadPointer,
+    /// A label exceeded 63 octets or a name 255 octets.
+    BadName,
+    /// Rdata length did not match the record type's expectations.
+    BadRdata(QType),
+    /// More than one OPT record, or OPT outside the additional section.
+    BadOpt,
+    /// Trailing garbage after the message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DnsWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsWireError::Truncated => write!(f, "message truncated"),
+            DnsWireError::BadPointer => write!(f, "bad compression pointer"),
+            DnsWireError::BadName => write!(f, "invalid encoded name"),
+            DnsWireError::BadRdata(t) => write!(f, "invalid rdata for {t}"),
+            DnsWireError::BadOpt => write!(f, "invalid OPT record"),
+            DnsWireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DnsWireError {}
+
+// ---------------------------------------------------------------- encoding
+
+struct Encoder {
+    buf: BytesMut,
+    /// Maps lower-cased suffix (dotted) → offset for compression pointers.
+    offsets: HashMap<String, u16>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(512),
+            offsets: HashMap::new(),
+        }
+    }
+
+    fn put_name(&mut self, name: &DomainName) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix: String = labels[i..]
+                .iter()
+                .map(|l| l.to_ascii_lowercase())
+                .collect::<Vec<_>>()
+                .join(".");
+            if let Some(&off) = self.offsets.get(&suffix) {
+                self.buf.put_u16(0xC000 | off);
+                return;
+            }
+            // Pointers can only reference the first 16 KiB − pointer space.
+            if self.buf.len() <= 0x3FFF {
+                self.offsets.insert(suffix, self.buf.len() as u16);
+            }
+            let label = &labels[i];
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label.as_bytes());
+        }
+        self.buf.put_u8(0);
+    }
+
+    fn put_question(&mut self, q: &Question) {
+        self.put_name(&q.name);
+        self.buf.put_u16(q.qtype.number());
+        self.buf.put_u16(q.qclass.number());
+    }
+
+    fn put_record(&mut self, r: &Record) {
+        self.put_name(&r.name);
+        self.buf.put_u16(r.rdata.rtype().number());
+        self.buf.put_u16(r.class.number());
+        self.buf.put_u32(r.ttl);
+        // Reserve rdlength, fill after writing rdata.
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0);
+        let start = self.buf.len();
+        match &r.rdata {
+            RData::A(a) => self.buf.put_slice(&a.octets()),
+            RData::Aaaa(a) => self.buf.put_slice(&a.octets()),
+            RData::Cname(n) | RData::Ns(n) | RData::Ptr(n) => self.put_name(n),
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+            } => {
+                self.put_name(mname);
+                self.put_name(rname);
+                self.buf.put_u32(*serial);
+                // refresh/retry/expire/minimum — fixed plausible values.
+                self.buf.put_u32(7200);
+                self.buf.put_u32(900);
+                self.buf.put_u32(1_209_600);
+                self.buf.put_u32(60);
+            }
+            RData::Txt(s) => {
+                for chunk in s.as_bytes().chunks(255) {
+                    self.buf.put_u8(chunk.len() as u8);
+                    self.buf.put_slice(chunk);
+                }
+                if s.is_empty() {
+                    self.buf.put_u8(0);
+                }
+            }
+            RData::Raw(bytes) => self.buf.put_slice(bytes),
+        }
+        let rdlen = (self.buf.len() - start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+
+    fn put_opt(&mut self, opt: &OptRecord, rcode: Rcode) {
+        self.buf.put_u8(0); // root owner name
+        self.buf.put_u16(QType::OPT.number());
+        self.buf.put_u16(opt.udp_size);
+        // TTL field carries ext-rcode, version, flags.
+        let ext_rcode = (rcode.number() >> 4) | opt.ext_rcode;
+        self.buf.put_u8(ext_rcode);
+        self.buf.put_u8(opt.version);
+        self.buf.put_u16(0);
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0);
+        let start = self.buf.len();
+        for o in &opt.options {
+            let payload = match o {
+                EdnsOption::ClientSubnet(e) => e.encode(),
+                EdnsOption::Other(_, p) => p.clone(),
+            };
+            self.buf.put_u16(o.code());
+            self.buf.put_u16(payload.len() as u16);
+            self.buf.put_slice(&payload);
+        }
+        let rdlen = (self.buf.len() - start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+}
+
+/// Encodes a message to wire bytes.
+pub fn encode_message(m: &Message) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.buf.put_u16(m.id);
+    let mut b1: u8 = 0;
+    if m.flags.qr {
+        b1 |= 0x80;
+    }
+    if m.flags.aa {
+        b1 |= 0x04;
+    }
+    if m.flags.tc {
+        b1 |= 0x02;
+    }
+    if m.flags.rd {
+        b1 |= 0x01;
+    }
+    let mut b2: u8 = m.rcode.number() & 0x0F;
+    if m.flags.ra {
+        b2 |= 0x80;
+    }
+    e.buf.put_u8(b1);
+    e.buf.put_u8(b2);
+    e.buf.put_u16(m.questions.len() as u16);
+    e.buf.put_u16(m.answers.len() as u16);
+    e.buf.put_u16(m.authority.len() as u16);
+    let arcount = m.additional.len() as u16 + u16::from(m.edns.is_some());
+    e.buf.put_u16(arcount);
+    for q in &m.questions {
+        e.put_question(q);
+    }
+    for r in &m.answers {
+        e.put_record(r);
+    }
+    for r in &m.authority {
+        e.put_record(r);
+    }
+    for r in &m.additional {
+        e.put_record(r);
+    }
+    if let Some(opt) = &m.edns {
+        e.put_opt(opt, m.rcode);
+    }
+    e.buf.to_vec()
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, DnsWireError> {
+        if self.remaining() < 1 {
+            return Err(DnsWireError::Truncated);
+        }
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn take_u16(&mut self) -> Result<u16, DnsWireError> {
+        if self.remaining() < 2 {
+            return Err(DnsWireError::Truncated);
+        }
+        let mut s = &self.data[self.pos..];
+        self.pos += 2;
+        Ok(s.get_u16())
+    }
+
+    fn take_u32(&mut self) -> Result<u32, DnsWireError> {
+        if self.remaining() < 4 {
+            return Err(DnsWireError::Truncated);
+        }
+        let mut s = &self.data[self.pos..];
+        self.pos += 4;
+        Ok(s.get_u32())
+    }
+
+    fn take_slice(&mut self, n: usize) -> Result<&'a [u8], DnsWireError> {
+        if self.remaining() < n {
+            return Err(DnsWireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a possibly-compressed name starting at the cursor.
+    fn take_name(&mut self) -> Result<DomainName, DnsWireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut jumps = 0;
+        loop {
+            if pos >= self.data.len() {
+                return Err(DnsWireError::Truncated);
+            }
+            let len = self.data[pos];
+            match len {
+                0 => {
+                    pos += 1;
+                    if !jumped {
+                        self.pos = pos;
+                    }
+                    break;
+                }
+                l if l & 0xC0 == 0xC0 => {
+                    if pos + 1 >= self.data.len() {
+                        return Err(DnsWireError::Truncated);
+                    }
+                    let target =
+                        (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    if !jumped {
+                        self.pos = pos + 2;
+                    }
+                    // Pointers must go strictly backwards; cap chain depth.
+                    if target >= pos {
+                        return Err(DnsWireError::BadPointer);
+                    }
+                    jumps += 1;
+                    if jumps > 16 {
+                        return Err(DnsWireError::BadPointer);
+                    }
+                    pos = target;
+                    jumped = true;
+                }
+                l if l & 0xC0 != 0 => return Err(DnsWireError::BadName),
+                l => {
+                    let l = l as usize;
+                    if pos + 1 + l > self.data.len() {
+                        return Err(DnsWireError::Truncated);
+                    }
+                    let bytes = &self.data[pos + 1..pos + 1 + l];
+                    let label = String::from_utf8_lossy(bytes).into_owned();
+                    labels.push(label);
+                    pos += 1 + l;
+                }
+            }
+        }
+        DomainName::from_labels(labels).map_err(|_| DnsWireError::BadName)
+    }
+
+    fn take_question(&mut self) -> Result<Question, DnsWireError> {
+        let name = self.take_name()?;
+        let qtype = QType::from_number(self.take_u16()?);
+        let qclass = QClass::from_number(self.take_u16()?);
+        Ok(Question {
+            name,
+            qtype,
+            qclass,
+        })
+    }
+
+    /// Decodes one record; OPT records are surfaced separately.
+    fn take_record(&mut self) -> Result<DecodedRecord, DnsWireError> {
+        let name = self.take_name()?;
+        let rtype = QType::from_number(self.take_u16()?);
+        let class_num = self.take_u16()?;
+        let ttl = self.take_u32()?;
+        let rdlen = self.take_u16()? as usize;
+        if rtype == QType::OPT {
+            if !name.is_root() {
+                return Err(DnsWireError::BadOpt);
+            }
+            let rdata_start = self.pos;
+            let rdata = self.take_slice(rdlen)?;
+            let mut options = Vec::new();
+            let mut od = Decoder {
+                data: rdata,
+                pos: 0,
+            };
+            while od.remaining() >= 4 {
+                let code = od.take_u16()?;
+                let len = od.take_u16()? as usize;
+                let payload = od.take_slice(len)?;
+                let opt = if code == 8 {
+                    match EcsOption::decode(payload) {
+                        Some(e) => EdnsOption::ClientSubnet(e),
+                        None => EdnsOption::Other(code, payload.to_vec()),
+                    }
+                } else {
+                    EdnsOption::Other(code, payload.to_vec())
+                };
+                options.push(opt);
+            }
+            if od.remaining() != 0 {
+                return Err(DnsWireError::BadOpt);
+            }
+            let ttl_bytes = ttl.to_be_bytes();
+            let _ = rdata_start;
+            return Ok(DecodedRecord::Opt(OptRecord {
+                udp_size: class_num,
+                ext_rcode: ttl_bytes[0],
+                version: ttl_bytes[1],
+                options,
+            }));
+        }
+        let rdata_bytes_start = self.pos;
+        let rdata_slice = self.take_slice(rdlen)?;
+        let rdata = match rtype {
+            QType::A => {
+                if rdlen != 4 {
+                    return Err(DnsWireError::BadRdata(rtype));
+                }
+                RData::A(Ipv4Addr::new(
+                    rdata_slice[0],
+                    rdata_slice[1],
+                    rdata_slice[2],
+                    rdata_slice[3],
+                ))
+            }
+            QType::AAAA => {
+                if rdlen != 16 {
+                    return Err(DnsWireError::BadRdata(rtype));
+                }
+                let mut o = [0u8; 16];
+                o.copy_from_slice(rdata_slice);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            QType::CNAME | QType::NS | QType::PTR | QType::SOA => {
+                // Names inside rdata may use compression into the whole
+                // message, so re-decode from the message with a sub-cursor.
+                let mut sub = Decoder {
+                    data: self.data,
+                    pos: rdata_bytes_start,
+                };
+                match rtype {
+                    QType::CNAME => RData::Cname(sub.take_name()?),
+                    QType::NS => RData::Ns(sub.take_name()?),
+                    QType::PTR => RData::Ptr(sub.take_name()?),
+                    QType::SOA => {
+                        let mname = sub.take_name()?;
+                        let rname = sub.take_name()?;
+                        let serial = sub.take_u32()?;
+                        RData::Soa {
+                            mname,
+                            rname,
+                            serial,
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            QType::TXT => {
+                let mut s = String::new();
+                let mut td = Decoder {
+                    data: rdata_slice,
+                    pos: 0,
+                };
+                while td.remaining() > 0 {
+                    let l = td.take_u8()? as usize;
+                    let chunk = td.take_slice(l)?;
+                    s.push_str(&String::from_utf8_lossy(chunk));
+                }
+                RData::Txt(s)
+            }
+            _ => RData::Raw(rdata_slice.to_vec()),
+        };
+        Ok(DecodedRecord::Plain(Record {
+            name,
+            ttl,
+            class: QClass::from_number(class_num),
+            rdata,
+        }))
+    }
+}
+
+enum DecodedRecord {
+    Plain(Record),
+    Opt(OptRecord),
+}
+
+/// Decodes a wire message. Rejects trailing bytes and duplicate OPT records.
+pub fn decode_message(data: &[u8]) -> Result<Message, DnsWireError> {
+    let mut d = Decoder { data, pos: 0 };
+    let id = d.take_u16()?;
+    let b1 = d.take_u8()?;
+    let b2 = d.take_u8()?;
+    let flags = Flags {
+        qr: b1 & 0x80 != 0,
+        aa: b1 & 0x04 != 0,
+        tc: b1 & 0x02 != 0,
+        rd: b1 & 0x01 != 0,
+        ra: b2 & 0x80 != 0,
+    };
+    let mut rcode = Rcode::from_number(b2 & 0x0F);
+    let qdcount = d.take_u16()?;
+    let ancount = d.take_u16()?;
+    let nscount = d.take_u16()?;
+    let arcount = d.take_u16()?;
+    let mut questions = Vec::with_capacity(qdcount as usize);
+    for _ in 0..qdcount {
+        questions.push(d.take_question()?);
+    }
+    let mut answers = Vec::with_capacity(ancount as usize);
+    for _ in 0..ancount {
+        match d.take_record()? {
+            DecodedRecord::Plain(r) => answers.push(r),
+            DecodedRecord::Opt(_) => return Err(DnsWireError::BadOpt),
+        }
+    }
+    let mut authority = Vec::with_capacity(nscount as usize);
+    for _ in 0..nscount {
+        match d.take_record()? {
+            DecodedRecord::Plain(r) => authority.push(r),
+            DecodedRecord::Opt(_) => return Err(DnsWireError::BadOpt),
+        }
+    }
+    let mut additional = Vec::new();
+    let mut edns: Option<OptRecord> = None;
+    for _ in 0..arcount {
+        match d.take_record()? {
+            DecodedRecord::Plain(r) => additional.push(r),
+            DecodedRecord::Opt(opt) => {
+                if edns.is_some() {
+                    return Err(DnsWireError::BadOpt);
+                }
+                // Extended rcode: high 8 bits from OPT TTL, low 4 from header.
+                if opt.ext_rcode != 0 {
+                    let full = ((opt.ext_rcode as u16) << 4) | (rcode.number() as u16);
+                    rcode = Rcode::from_number((full & 0x0F) as u8);
+                }
+                edns = Some(opt);
+            }
+        }
+    }
+    if d.remaining() != 0 {
+        return Err(DnsWireError::TrailingBytes(d.remaining()));
+    }
+    Ok(Message {
+        id,
+        flags,
+        rcode,
+        questions,
+        answers,
+        authority,
+        additional,
+        edns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edns::EcsOption;
+    use crate::name::{mask_domain, mask_h2_domain};
+
+    fn round_trip(m: &Message) -> Message {
+        decode_message(&encode_message(m)).expect("round trip")
+    }
+
+    #[test]
+    fn minimal_query_round_trips() {
+        let q = Message::query(0xBEEF, mask_domain(), QType::A);
+        let back = round_trip(&q);
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn ecs_query_round_trips() {
+        let mut q = Message::query(1, mask_domain(), QType::A);
+        q.edns
+            .as_mut()
+            .unwrap()
+            .set_ecs(EcsOption::for_v4_net("100.64.3.0/24".parse().unwrap()));
+        let back = round_trip(&q);
+        assert_eq!(back.edns.as_ref().unwrap().ecs(), q.edns.as_ref().unwrap().ecs());
+    }
+
+    #[test]
+    fn response_with_many_answers_round_trips() {
+        let q = Message::query(2, mask_domain(), QType::A);
+        let mut r = q.response_to(Rcode::NoError);
+        for i in 0..8 {
+            r.answers.push(Record::new(
+                mask_domain(),
+                60,
+                RData::A(Ipv4Addr::new(17, 0, 0, i + 1)),
+            ));
+        }
+        let back = round_trip(&r);
+        assert_eq!(back.a_answers().len(), 8);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(3, mask_domain(), QType::A);
+        let mut r = q.response_to(Rcode::NoError);
+        for i in 0..8 {
+            r.answers.push(Record::new(
+                mask_domain(),
+                60,
+                RData::A(Ipv4Addr::new(17, 0, 0, i + 1)),
+            ));
+        }
+        let bytes = encode_message(&r);
+        // Uncompressed, each of the 8+1 extra names costs 17 bytes; with
+        // pointers each repeated owner name costs 2.
+        assert!(bytes.len() < 200, "message unexpectedly large: {}", bytes.len());
+    }
+
+    #[test]
+    fn cname_chain_round_trips() {
+        let q = Message::query(4, mask_h2_domain(), QType::A);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record::new(
+            mask_h2_domain(),
+            300,
+            RData::Cname("mask-h2.g.aaplimg.com".parse().unwrap()),
+        ));
+        r.answers.push(Record::new(
+            "mask-h2.g.aaplimg.com".parse().unwrap(),
+            60,
+            RData::A(Ipv4Addr::new(17, 5, 6, 7)),
+        ));
+        assert_eq!(round_trip(&r), r);
+    }
+
+    #[test]
+    fn soa_txt_ptr_round_trip() {
+        let q = Message::query(5, "icloud.com".parse().unwrap(), QType::SOA);
+        let mut r = q.response_to(Rcode::NoError);
+        r.authority.push(Record::new(
+            "icloud.com".parse().unwrap(),
+            900,
+            RData::Soa {
+                mname: "ns1.icloud.com".parse().unwrap(),
+                rname: "hostmaster.apple.com".parse().unwrap(),
+                serial: 20_220_401,
+            },
+        ));
+        r.additional.push(Record::new(
+            "whoami.akamai.net".parse().unwrap(),
+            0,
+            RData::Txt("resolver=8.8.8.8".into()),
+        ));
+        r.additional.push(Record::new(
+            "1.0.0.127.in-addr.arpa".parse().unwrap(),
+            0,
+            RData::Ptr("localhost".parse().unwrap()),
+        ));
+        assert_eq!(round_trip(&r), r);
+    }
+
+    #[test]
+    fn aaaa_round_trips() {
+        let q = Message::query(6, mask_domain(), QType::AAAA);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record::new(
+            mask_domain(),
+            60,
+            RData::Aaaa("2620:149:a44:4000::7".parse().unwrap()),
+        ));
+        assert_eq!(round_trip(&r), r);
+    }
+
+    #[test]
+    fn rcode_survives_round_trip() {
+        for rc in [
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::Refused,
+        ] {
+            let q = Message::query(7, mask_domain(), QType::A);
+            let r = q.response_to(rc);
+            assert_eq!(round_trip(&r).rcode, rc, "rcode {rc}");
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let q = Message::query(8, mask_domain(), QType::A);
+        let bytes = encode_message(&q);
+        for cut in 0..bytes.len() {
+            let res = decode_message(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let q = Message::query(9, mask_domain(), QType::A);
+        let mut bytes = encode_message(&q);
+        bytes.push(0);
+        assert!(matches!(
+            decode_message(&bytes),
+            Err(DnsWireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Hand-crafted message whose question name points forward.
+        let mut bytes = vec![
+            0, 1, // id
+            0, 0, // flags
+            0, 1, 0, 0, 0, 0, 0, 0, // counts: 1 question
+            0xC0, 0x20, // pointer to offset 32 (forward)
+        ];
+        bytes.extend_from_slice(&[0, 1, 0, 1]); // qtype/qclass
+        assert!(decode_message(&bytes).is_err());
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Name at offset 12 pointing to itself.
+        let bytes = vec![
+            0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1,
+        ];
+        assert!(decode_message(&bytes).is_err());
+    }
+
+    #[test]
+    fn opt_in_answer_section_rejected() {
+        // Craft: header with ancount=1, then an OPT record as an answer.
+        let q = Message::query(1, mask_domain(), QType::A);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record::new(
+            mask_domain(),
+            60,
+            RData::A(Ipv4Addr::LOCALHOST),
+        ));
+        let mut bytes = encode_message(&r);
+        // Rewrite the answer's TYPE (bytes after the compressed owner name).
+        // Find the answer record: it's after the question. This is fragile by
+        // construction, so instead decode-modify-encode is avoided and we
+        // locate the 2-byte type field: last record before OPT... simpler:
+        // set ancount=2 duplicating OPT placement is overkill — craft directly.
+        bytes.clear();
+        bytes.extend_from_slice(&[
+            0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0, // header: 1 answer
+            0, 0, 41, 0x04, 0xD0, 0, 0, 0, 0, 0, 0, // root OPT record, rdlen 0
+        ]);
+        assert!(matches!(decode_message(&bytes), Err(DnsWireError::BadOpt)));
+    }
+
+    #[test]
+    fn duplicate_opt_rejected() {
+        let q = Message::query(1, mask_domain(), QType::A);
+        let mut bytes = encode_message(&q);
+        // Append a second OPT record and bump arcount.
+        bytes.extend_from_slice(&[0, 0, 41, 0x04, 0xD0, 0, 0, 0, 0, 0, 0]);
+        bytes[11] = 2; // arcount low byte
+        assert!(matches!(decode_message(&bytes), Err(DnsWireError::BadOpt)));
+    }
+
+    #[test]
+    fn case_preserved_through_wire() {
+        let name: DomainName = "MaSk.iCloud.Com".parse().unwrap();
+        let q = Message::query(1, name.clone(), QType::A);
+        let back = round_trip(&q);
+        assert_eq!(back.question().unwrap().name.to_string(), "MaSk.iCloud.Com");
+    }
+
+    #[test]
+    fn unknown_type_rdata_raw() {
+        let mut q = Message::query(1, mask_domain(), QType::Other(999));
+        q.flags.rd = false;
+        let back = round_trip(&q);
+        assert_eq!(back.question().unwrap().qtype, QType::Other(999));
+    }
+}

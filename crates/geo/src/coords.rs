@@ -1,0 +1,74 @@
+//! Great-circle geometry.
+//!
+//! The QoE extension (§6's third future-work question) models RTTs from
+//! fibre distance; this module provides the haversine distance between
+//! coordinates and country centroids.
+
+use crate::country::{country_info, CountryCode};
+
+/// Mean Earth radius, kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Great-circle distance between two `(lat, lon)` points, kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lon2 - lon1).to_radians();
+    let a = (dphi / 2.0).sin().powi(2)
+        + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+}
+
+/// Distance between two country centroids, kilometres. `None` when either
+/// country is unknown.
+pub fn country_distance_km(a: CountryCode, b: CountryCode) -> Option<f64> {
+    let ia = country_info(a)?;
+    let ib = country_info(b)?;
+    Some(haversine_km(ia.lat, ia.lon, ib.lat, ib.lon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert!(haversine_km(48.1, 11.6, 48.1, 11.6) < 1e-9);
+        let d = country_distance_km(CountryCode::DE, CountryCode::DE).unwrap();
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_are_plausible() {
+        // Munich → New York ≈ 6500 km.
+        let d = haversine_km(48.14, 11.58, 40.71, -74.01);
+        assert!((6000.0..7000.0).contains(&d), "Munich-NYC {d:.0} km");
+        // London → Paris ≈ 340 km.
+        let d = haversine_km(51.5, -0.13, 48.86, 2.35);
+        assert!((300.0..400.0).contains(&d), "London-Paris {d:.0} km");
+    }
+
+    #[test]
+    fn symmetry_and_positivity() {
+        let ab = haversine_km(10.0, 20.0, -30.0, 120.0);
+        let ba = haversine_km(-30.0, 120.0, 10.0, 20.0);
+        assert!((ab - ba).abs() < 1e-9);
+        assert!(ab > 0.0);
+        // Never exceeds half the circumference.
+        assert!(ab <= std::f64::consts::PI * 6371.0 + 1.0);
+    }
+
+    #[test]
+    fn country_distance_us_de() {
+        let d = country_distance_km(CountryCode::US, CountryCode::DE).unwrap();
+        assert!((6000.0..9000.0).contains(&d), "US-DE {d:.0} km");
+        assert!(country_distance_km(CountryCode::US, CountryCode::new("ZQ").unwrap()).is_none());
+    }
+
+    #[test]
+    fn antimeridian_distance_is_short() {
+        // Fiji (179°E) to Samoa (-172°W) should be ~1150 km, not ~39000.
+        let d = haversine_km(-17.7, 178.0, -13.8, -172.1);
+        assert!(d < 2000.0, "antimeridian distance {d:.0} km");
+    }
+}

@@ -1,0 +1,803 @@
+//! The Apple egress list: data model, CSV codec, calibrated generator.
+//!
+//! Apple publishes `https://mask-api.icloud.com/egress-ip-ranges.csv`, a
+//! list of egress subnets with the location each subnet *represents*
+//! (country, region, city). The paper's Tables 3–4 and Figures 2/4/5 are
+//! pure functions of that list plus BGP attribution. We cannot fetch the
+//! live list, so [`generate`] synthesises one with the same structure:
+//!
+//! * the May 2022 per-operator subnet counts, mask mix (derived from the
+//!   subnets-vs-addresses columns of Table 3) and BGP prefix counts,
+//! * all-/64 IPv6 subnets,
+//! * the US-dominant country distribution (58 % US, 3.6 % DE, long tail
+//!   with >100 countries under 50 subnets),
+//! * per-operator country/city coverage targets (Table 4),
+//! * 1.6 % of subnets with a blank city (the region-withholding option).
+//!
+//! [`EgressList::parse_csv`] accepts the real file's format, so a user with
+//! network access can swap the synthetic list for the live one.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tectonic_net::{Asn, IpNet, Ipv4Net, Ipv6Net, SimRng};
+
+use crate::city::CityUniverse;
+use crate::country::{all_countries, CountryCode};
+
+/// One row of the egress list.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EgressEntry {
+    /// The egress subnet.
+    pub subnet: IpNet,
+    /// Country the subnet represents.
+    pub cc: CountryCode,
+    /// Region identifier (`US-CA` style).
+    pub region: String,
+    /// City, or `None` when the user withholds the region (1.6 % of rows).
+    pub city: Option<String>,
+}
+
+/// Errors from parsing the CSV format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EgressParseError {
+    /// A row did not have the expected four fields.
+    BadRow(usize),
+    /// A subnet failed to parse.
+    BadSubnet(usize, String),
+    /// A country code failed to parse.
+    BadCountry(usize, String),
+}
+
+impl fmt::Display for EgressParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EgressParseError::BadRow(n) => write!(f, "line {n}: expected 4 fields"),
+            EgressParseError::BadSubnet(n, s) => write!(f, "line {n}: bad subnet {s:?}"),
+            EgressParseError::BadCountry(n, s) => write!(f, "line {n}: bad country {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EgressParseError {}
+
+/// The egress list.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EgressList {
+    entries: Vec<EgressEntry>,
+}
+
+impl EgressList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps existing entries.
+    pub fn from_entries(entries: Vec<EgressEntry>) -> Self {
+        EgressList { entries }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[EgressEntry] {
+        &self.entries
+    }
+
+    /// Number of subnets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// IPv4 rows.
+    pub fn v4_entries(&self) -> impl Iterator<Item = &EgressEntry> {
+        self.entries.iter().filter(|e| e.subnet.is_v4())
+    }
+
+    /// IPv6 rows.
+    pub fn v6_entries(&self) -> impl Iterator<Item = &EgressEntry> {
+        self.entries.iter().filter(|e| e.subnet.is_v6())
+    }
+
+    /// Serialises in Apple's `subnet,CC,region,city` format.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 40);
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                e.subnet,
+                e.cc,
+                e.region,
+                e.city.as_deref().unwrap_or("")
+            ));
+        }
+        out
+    }
+
+    /// Parses the CSV format; blank city fields become `None`.
+    pub fn parse_csv(text: &str) -> Result<EgressList, EgressParseError> {
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 4 {
+                return Err(EgressParseError::BadRow(lineno + 1));
+            }
+            let subnet: IpNet = fields[0]
+                .parse()
+                .map_err(|_| EgressParseError::BadSubnet(lineno + 1, fields[0].into()))?;
+            let cc = CountryCode::new(fields[1])
+                .ok_or_else(|| EgressParseError::BadCountry(lineno + 1, fields[1].into()))?;
+            let city = if fields[3].is_empty() {
+                None
+            } else {
+                Some(fields[3].to_string())
+            };
+            entries.push(EgressEntry {
+                subnet,
+                cc,
+                region: fields[2].to_string(),
+                city,
+            });
+        }
+        Ok(EgressList { entries })
+    }
+}
+
+/// Generation parameters for one egress operator.
+#[derive(Clone, Debug)]
+pub struct OperatorEgressSpec {
+    /// The operator's AS.
+    pub asn: Asn,
+    /// `(prefix_len, count)` — how many IPv4 subnets of each mask length.
+    /// Derived from Table 3's subnets-vs-addresses columns.
+    pub v4_mask_plan: Vec<(u8, usize)>,
+    /// Number of routed IPv4 BGP prefixes carrying the subnets.
+    pub v4_bgp_prefixes: usize,
+    /// Pool the IPv4 BGP prefixes are carved from.
+    pub v4_pool: Ipv4Net,
+    /// Prefix length of each carved IPv4 BGP prefix.
+    pub v4_bgp_len: u8,
+    /// Number of IPv6 subnets (all /64, as in the published list).
+    pub v6_subnets: usize,
+    /// Number of routed IPv6 BGP prefixes.
+    pub v6_bgp_prefixes: usize,
+    /// Pool the IPv6 BGP prefixes are carved from.
+    pub v6_pool: Ipv6Net,
+    /// Prefix length of each carved IPv6 BGP prefix.
+    pub v6_bgp_len: u8,
+    /// Countries covered by IPv4 subnets.
+    pub cc_count_v4: usize,
+    /// Countries covered by IPv6 subnets.
+    pub cc_count_v6: usize,
+    /// Distinct cities targeted by IPv4 subnets (Table 4).
+    pub cities_v4: usize,
+    /// Distinct cities targeted by IPv6 subnets (Table 4).
+    pub cities_v6: usize,
+}
+
+impl OperatorEgressSpec {
+    /// Total IPv4 subnets in the plan.
+    pub fn v4_subnets(&self) -> usize {
+        self.v4_mask_plan.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Total IPv4 addresses in the plan.
+    pub fn v4_addresses(&self) -> u64 {
+        self.v4_mask_plan
+            .iter()
+            .map(|(len, c)| (1u64 << (32 - *len as u32)) * *c as u64)
+            .sum()
+    }
+
+    /// The four operators with the paper's May 2022 numbers (Table 3/4).
+    ///
+    /// Mask plans solve the subnets/addresses system exactly:
+    /// Akamai&#8239;PR 9890 subnets / 57 589 addresses, Akamai&#8239;EG
+    /// 1602 / 5100, Cloudflare 18 218 / 18 218 (all /32), Fastly
+    /// 8530 / 17 060 (all /31).
+    pub fn paper_defaults() -> Vec<OperatorEgressSpec> {
+        vec![
+            OperatorEgressSpec {
+                asn: Asn::AKAMAI_PR,
+                v4_mask_plan: vec![(29, 5699), (30, 2602), (32, 1589)],
+                v4_bgp_prefixes: 301,
+                v4_pool: "172.224.0.0/12".parse().expect("static"),
+                v4_bgp_len: 21,
+                v6_subnets: 142_826,
+                v6_bgp_prefixes: 1172,
+                v6_pool: "2a02:26f7::/32".parse().expect("static"),
+                v6_bgp_len: 44,
+                cc_count_v4: 236,
+                cc_count_v6: 236,
+                cities_v4: 853,
+                cities_v6: 14_085,
+            },
+            OperatorEgressSpec {
+                asn: Asn::AKAMAI_EG,
+                v4_mask_plan: vec![(30, 1000), (31, 498), (32, 104)],
+                v4_bgp_prefixes: 1,
+                v4_pool: "23.32.0.0/12".parse().expect("static"),
+                v4_bgp_len: 12,
+                v6_subnets: 23_495,
+                v6_bgp_prefixes: 1,
+                v6_pool: "2600:1400::/32".parse().expect("static"),
+                v6_bgp_len: 32,
+                cc_count_v4: 18,
+                cc_count_v6: 24,
+                cities_v4: 455,
+                cities_v6: 7507,
+            },
+            OperatorEgressSpec {
+                asn: Asn::CLOUDFLARE,
+                v4_mask_plan: vec![(32, 18_218)],
+                v4_bgp_prefixes: 112,
+                v4_pool: "104.0.0.0/10".parse().expect("static"),
+                v4_bgp_len: 20,
+                v6_subnets: 26_988,
+                v6_bgp_prefixes: 2,
+                v6_pool: "2a09:b800::/29".parse().expect("static"),
+                v6_bgp_len: 32,
+                cc_count_v4: 248,
+                cc_count_v6: 248,
+                cities_v4: 1134,
+                cities_v6: 5228,
+            },
+            OperatorEgressSpec {
+                asn: Asn::FASTLY,
+                v4_mask_plan: vec![(31, 8530)],
+                v4_bgp_prefixes: 81,
+                v4_pool: "146.72.0.0/13".parse().expect("static"),
+                v4_bgp_len: 20,
+                v6_subnets: 8530,
+                v6_bgp_prefixes: 81,
+                v6_pool: "2a04:4e40::/26".parse().expect("static"),
+                v6_bgp_len: 48,
+                cc_count_v4: 236,
+                cc_count_v6: 236,
+                cities_v4: 848,
+                cities_v6: 848,
+            },
+        ]
+    }
+}
+
+/// The routed footprint of one operator, as announced in BGP.
+#[derive(Clone, Debug)]
+pub struct OperatorFootprint {
+    /// The operator's AS.
+    pub asn: Asn,
+    /// Announced IPv4 prefixes carrying egress subnets.
+    pub bgp_v4: Vec<Ipv4Net>,
+    /// Announced IPv6 prefixes carrying egress subnets.
+    pub bgp_v6: Vec<Ipv6Net>,
+}
+
+/// Fraction of rows with a blank city, from §4.2.
+const BLANK_CITY_FRACTION: f64 = 0.016;
+/// US share of all subnets, from §4.2.
+const US_SHARE: f64 = 0.58;
+/// DE share of all subnets, from §4.2.
+const DE_SHARE: f64 = 0.036;
+
+/// Ordered country preference: US, DE, then by descending weight.
+fn country_order() -> Vec<CountryCode> {
+    let mut countries = all_countries();
+    countries.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights finite"));
+    let mut order = vec![CountryCode::US, CountryCode::DE];
+    for c in countries {
+        if c.code != CountryCode::US && c.code != CountryCode::DE {
+            order.push(c.code);
+        }
+    }
+    order
+}
+
+/// Per-CC subnet shares within one operator: US 58 %, DE 3.6 %, the rest
+/// split by country weight.
+fn cc_shares(ccs: &[CountryCode]) -> Vec<f64> {
+    let infos = all_countries();
+    let weight_of = |cc: CountryCode| {
+        infos
+            .iter()
+            .find(|i| i.code == cc)
+            .map(|i| i.weight)
+            .unwrap_or(0.1)
+    };
+    let rest_weight: f64 = ccs
+        .iter()
+        .filter(|c| **c != CountryCode::US && **c != CountryCode::DE)
+        .map(|c| weight_of(*c))
+        .sum();
+    let mut shares: Vec<f64> = ccs
+        .iter()
+        .map(|c| {
+            if *c == CountryCode::US {
+                US_SHARE
+            } else if *c == CountryCode::DE {
+                DE_SHARE
+            } else {
+                (1.0 - US_SHARE - DE_SHARE) * weight_of(*c) / rest_weight.max(1e-9)
+            }
+        })
+        .collect();
+    // The deployment does not follow raw population: Germany is the second
+    // country in the published list (3.6 %) even though larger countries
+    // exist. Cap every tail country below DE's share and redistribute the
+    // excess over the uncapped tail until stable.
+    let cap = DE_SHARE * 0.9;
+    for _ in 0..16 {
+        let mut excess = 0.0;
+        let mut uncapped_weight = 0.0;
+        for (c, share) in ccs.iter().zip(shares.iter_mut()) {
+            if *c == CountryCode::US || *c == CountryCode::DE {
+                continue;
+            }
+            if *share > cap {
+                excess += *share - cap;
+                *share = cap;
+            } else {
+                uncapped_weight += *share;
+            }
+        }
+        if excess < 1e-12 || uncapped_weight < 1e-12 {
+            break;
+        }
+        for (c, share) in ccs.iter().zip(shares.iter_mut()) {
+            if *c == CountryCode::US || *c == CountryCode::DE || *share >= cap {
+                continue;
+            }
+            *share += excess * *share / uncapped_weight;
+        }
+    }
+    shares
+}
+
+/// City pools per CC for one operator/family: roughly `target` cities in
+/// total, split across CCs in proportion to how many cities the universe
+/// *has* there (≥1 each). City coverage does not follow the subnet
+/// distribution — the US holds 58 % of subnets but only its fair share of
+/// the world's cities — which is exactly why Table 4's city counts dwarf
+/// the per-country subnet skew.
+fn city_pools<'a>(
+    universe: &'a CityUniverse,
+    ccs: &[CountryCode],
+    target: usize,
+) -> Vec<Vec<&'a crate::city::City>> {
+    let total_available: usize = ccs
+        .iter()
+        .map(|cc| universe.cities_of(*cc).len())
+        .sum::<usize>()
+        .max(1);
+    let fraction = (target as f64 / total_available as f64).min(1.0);
+    ccs.iter()
+        .map(|cc| {
+            let available = universe.cities_of(*cc);
+            let want = ((available.len() as f64 * fraction).ceil() as usize)
+                .max(1)
+                .min(available.len().max(1));
+            available.iter().take(want).collect()
+        })
+        .collect()
+}
+
+/// Distributes `total` subnets over countries by largest-remainder quotas.
+///
+/// Every country receives at least one subnet when `total` allows it, so an
+/// operator's configured country coverage is exact (Table 3's CC column);
+/// the remainder follows `shares` (58 % US and so on). When `total` is
+/// smaller than the country set, the top-ordered countries are covered one
+/// subnet each. The returned per-subnet country indices are shuffled so
+/// countries interleave across BGP prefixes.
+fn quota_assignments(shares: &[f64], total: usize, rng: &mut SimRng) -> Vec<usize> {
+    let n = shares.len();
+    if n == 0 || total == 0 {
+        return Vec::new();
+    }
+    let mut quotas = vec![0usize; n];
+    // Indices 0 and 1 are US and DE by construction of `country_order`;
+    // their headline shares (58 % / 3.6 %) are reserved exactly first, so
+    // the distribution keeps its shape at any scale. The rest of the
+    // subnets cover the remaining countries with at-least-one semantics.
+    let reserved = n.min(2);
+    let mut used = 0usize;
+    for i in 0..reserved {
+        quotas[i] = ((shares[i] * total as f64).round() as usize)
+            .max(1)
+            .min(total - used - (reserved - i - 1));
+        used += quotas[i];
+    }
+    let remaining = total - used;
+    let tail = n - reserved;
+    if tail > 0 && remaining > 0 {
+        if remaining <= tail {
+            for q in quotas.iter_mut().skip(reserved).take(remaining) {
+                *q = 1;
+            }
+        } else {
+            for q in quotas.iter_mut().skip(reserved) {
+                *q = 1;
+            }
+            let extra = remaining - tail;
+            let share_total: f64 = shares.iter().skip(reserved).sum();
+            let mut fractional: Vec<(usize, f64)> = Vec::with_capacity(tail);
+            let mut assigned = 0usize;
+            for (i, share) in shares.iter().enumerate().skip(reserved) {
+                let exact = share / share_total * extra as f64;
+                let floor = exact.floor() as usize;
+                quotas[i] += floor;
+                assigned += floor;
+                fractional.push((i, exact - floor as f64));
+            }
+            // Largest remainders get the leftover units.
+            fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            for (i, _) in fractional.into_iter().take(extra - assigned) {
+                quotas[i] += 1;
+            }
+        }
+    }
+    let mut assignments = Vec::with_capacity(total);
+    for (i, q) in quotas.iter().enumerate() {
+        assignments.extend(std::iter::repeat_n(i, *q));
+    }
+    rng.shuffle(&mut assignments);
+    assignments
+}
+
+/// Generates the egress list plus per-operator routed footprints.
+///
+/// `scale` scales subnet counts (1.0 = the May snapshot; ≈0.87 reproduces
+/// the January list which the paper reports as 15 % smaller with little
+/// churn — a scaled-down list is a prefix of the full one by construction).
+pub fn generate(
+    rng: &SimRng,
+    universe: &CityUniverse,
+    specs: &[OperatorEgressSpec],
+    scale: f64,
+) -> (EgressList, Vec<OperatorFootprint>) {
+    let order = country_order();
+    let mut entries = Vec::new();
+    let mut footprints = Vec::new();
+    for spec in specs {
+        let mut op_rng = rng.fork(&format!("egress-{}", spec.asn));
+        // --- carve BGP prefixes from the pools
+        let bgp_v4: Vec<Ipv4Net> = spec
+            .v4_pool
+            .subnets(spec.v4_bgp_len)
+            .expect("pool wider than prefix len")
+            .take(spec.v4_bgp_prefixes)
+            .collect();
+        assert_eq!(
+            bgp_v4.len(),
+            spec.v4_bgp_prefixes,
+            "{}: v4 pool too small",
+            spec.asn
+        );
+        let bgp_v6: Vec<Ipv6Net> = (0..spec.v6_bgp_prefixes)
+            .map(|i| {
+                spec.v6_pool
+                    .nth_subnet(spec.v6_bgp_len, i as u128)
+                    .expect("pool wider than prefix len")
+            })
+            .collect();
+
+        // --- IPv4 subnets: bump-allocate inside each BGP prefix,
+        //     large blocks first so alignment is automatic.
+        let mut plan = spec.v4_mask_plan.clone();
+        plan.sort_by_key(|(len, _)| *len);
+        let mut cursors: Vec<u64> = vec![0; bgp_v4.len()];
+        let mut v4_subnets: Vec<Ipv4Net> = Vec::new();
+        for (len, full_count) in &plan {
+            // Cursors always advance for the *full* plan so a scaled-down
+            // list is an exact subset of the full one (the paper's
+            // "little churn" observation between snapshots).
+            let emit_count = ((*full_count as f64) * scale).round() as usize;
+            let block = 1u64 << (32 - *len as u32);
+            for i in 0..*full_count {
+                let pfx_idx = i % bgp_v4.len();
+                let base = bgp_v4[pfx_idx];
+                let offset = cursors[pfx_idx];
+                assert!(
+                    offset + block <= base.addr_count(),
+                    "{}: BGP prefix {} exhausted",
+                    spec.asn,
+                    base
+                );
+                let addr = base.nth_addr(offset);
+                cursors[pfx_idx] = offset + block;
+                if i < emit_count {
+                    v4_subnets.push(Ipv4Net::new(addr, *len).expect("len valid"));
+                }
+            }
+        }
+
+        // --- IPv6 subnets: all /64, sequential within each BGP prefix.
+        let v6_count = ((spec.v6_subnets as f64) * scale).round() as usize;
+        let mut v6_subnets: Vec<Ipv6Net> = Vec::with_capacity(v6_count);
+        for i in 0..v6_count {
+            let pfx_idx = i % bgp_v6.len().max(1);
+            let base = bgp_v6[pfx_idx];
+            let slot = (i / bgp_v6.len().max(1)) as u128;
+            v6_subnets.push(base.nth_subnet(64, slot).expect("64 within prefix"));
+        }
+
+        // --- geography
+        let ccs_v4: Vec<CountryCode> =
+            order.iter().take(spec.cc_count_v4).copied().collect();
+        let ccs_v6: Vec<CountryCode> =
+            order.iter().take(spec.cc_count_v6).copied().collect();
+        let shares_v4 = cc_shares(&ccs_v4);
+        let shares_v6 = cc_shares(&ccs_v6);
+        let pools_v4 = city_pools(universe, &ccs_v4, spec.cities_v4);
+        let pools_v6 = city_pools(universe, &ccs_v6, spec.cities_v6);
+
+        let assign = |subnet: IpNet,
+                          cc_idx: usize,
+                          ccs: &[CountryCode],
+                          pools: &[Vec<&crate::city::City>],
+                          rng: &mut SimRng|
+         -> EgressEntry {
+            let cc = ccs[cc_idx];
+            let pool = &pools[cc_idx];
+            let blank = rng.chance(BLANK_CITY_FRACTION);
+            if blank || pool.is_empty() {
+                EgressEntry {
+                    subnet,
+                    cc,
+                    region: format!("{cc}-R00"),
+                    city: None,
+                }
+            } else {
+                let city = pool[rng.index(pool.len())];
+                EgressEntry {
+                    subnet,
+                    cc,
+                    region: city.region.clone(),
+                    city: Some(city.name.clone()),
+                }
+            }
+        };
+
+        let assignments_v4 = quota_assignments(&shares_v4, v4_subnets.len(), &mut op_rng);
+        for (subnet, cc_idx) in v4_subnets.into_iter().zip(assignments_v4) {
+            entries.push(assign(IpNet::V4(subnet), cc_idx, &ccs_v4, &pools_v4, &mut op_rng));
+        }
+        let assignments_v6 = quota_assignments(&shares_v6, v6_subnets.len(), &mut op_rng);
+        for (subnet, cc_idx) in v6_subnets.into_iter().zip(assignments_v6) {
+            entries.push(assign(IpNet::V6(subnet), cc_idx, &ccs_v6, &pools_v6, &mut op_rng));
+        }
+        footprints.push(OperatorFootprint {
+            asn: spec.asn,
+            bgp_v4,
+            bgp_v6,
+        });
+    }
+    (EgressList { entries }, footprints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_universe() -> CityUniverse {
+        CityUniverse::generate(&mut SimRng::new(1), 25_000)
+    }
+
+    fn small_specs() -> Vec<OperatorEgressSpec> {
+        // Scaled-down variants so tests stay fast.
+        let mut specs = OperatorEgressSpec::paper_defaults();
+        for s in &mut specs {
+            for (_, c) in &mut s.v4_mask_plan {
+                *c /= 20;
+            }
+            s.v6_subnets /= 20;
+            s.cities_v4 /= 10;
+            s.cities_v6 /= 10;
+        }
+        specs
+    }
+
+    #[test]
+    fn paper_defaults_match_table3_arithmetic() {
+        let specs = OperatorEgressSpec::paper_defaults();
+        let by_asn = |a: Asn| specs.iter().find(|s| s.asn == a).unwrap();
+        let akpr = by_asn(Asn::AKAMAI_PR);
+        assert_eq!(akpr.v4_subnets(), 9890);
+        assert_eq!(akpr.v4_addresses(), 57_589);
+        let akeg = by_asn(Asn::AKAMAI_EG);
+        assert_eq!(akeg.v4_subnets(), 1602);
+        assert_eq!(akeg.v4_addresses(), 5100);
+        let cf = by_asn(Asn::CLOUDFLARE);
+        assert_eq!(cf.v4_subnets(), 18_218);
+        assert_eq!(cf.v4_addresses(), 18_218);
+        let fastly = by_asn(Asn::FASTLY);
+        assert_eq!(fastly.v4_subnets(), 8530);
+        assert_eq!(fastly.v4_addresses(), 17_060);
+    }
+
+    #[test]
+    fn generated_counts_match_specs() {
+        let rng = SimRng::new(7);
+        let universe = small_universe();
+        let specs = small_specs();
+        let (list, footprints) = generate(&rng, &universe, &specs, 1.0);
+        let want_v4: usize = specs.iter().map(|s| s.v4_subnets()).sum();
+        let want_v6: usize = specs.iter().map(|s| s.v6_subnets).sum();
+        assert_eq!(list.v4_entries().count(), want_v4);
+        assert_eq!(list.v6_entries().count(), want_v6);
+        assert_eq!(footprints.len(), specs.len());
+        for (f, s) in footprints.iter().zip(&specs) {
+            assert_eq!(f.bgp_v4.len(), s.v4_bgp_prefixes);
+            assert_eq!(f.bgp_v6.len(), s.v6_bgp_prefixes);
+        }
+    }
+
+    #[test]
+    fn subnets_fall_inside_their_operator_footprint() {
+        let rng = SimRng::new(7);
+        let universe = small_universe();
+        let specs = small_specs();
+        let (list, footprints) = generate(&rng, &universe, &specs, 1.0);
+        // Every subnet must be inside exactly one operator's announced space.
+        for e in list.entries() {
+            let holders: Vec<Asn> = footprints
+                .iter()
+                .filter(|f| {
+                    f.bgp_v4.iter().any(|p| IpNet::V4(*p).contains_net(&e.subnet))
+                        || f.bgp_v6.iter().any(|p| IpNet::V6(*p).contains_net(&e.subnet))
+                })
+                .map(|f| f.asn)
+                .collect();
+            assert_eq!(holders.len(), 1, "subnet {} held by {holders:?}", e.subnet);
+        }
+    }
+
+    #[test]
+    fn subnets_are_unique_and_disjoint_within_operator() {
+        let rng = SimRng::new(7);
+        let universe = small_universe();
+        let specs = small_specs();
+        let (list, _) = generate(&rng, &universe, &specs, 1.0);
+        let subnets: HashSet<String> =
+            list.entries().iter().map(|e| e.subnet.to_string()).collect();
+        assert_eq!(subnets.len(), list.len(), "duplicate subnets generated");
+        // v4 subnets must not nest (bump allocation guarantees it).
+        let v4: Vec<&EgressEntry> = list.v4_entries().collect();
+        for w in v4.windows(2) {
+            assert!(!w[0].subnet.contains_net(&w[1].subnet) || w[0].subnet == w[1].subnet);
+        }
+    }
+
+    #[test]
+    fn ipv6_subnets_are_all_64() {
+        let rng = SimRng::new(7);
+        let (list, _) = generate(&rng, &small_universe(), &small_specs(), 1.0);
+        for e in list.v6_entries() {
+            assert_eq!(e.subnet.len(), 64, "subnet {}", e.subnet);
+        }
+    }
+
+    #[test]
+    fn us_dominates_the_distribution() {
+        let rng = SimRng::new(7);
+        let (list, _) = generate(&rng, &small_universe(), &small_specs(), 1.0);
+        let us = list
+            .entries()
+            .iter()
+            .filter(|e| e.cc == CountryCode::US)
+            .count();
+        let share = us as f64 / list.len() as f64;
+        assert!(
+            (0.5..0.66).contains(&share),
+            "US share {share:.3} not near 0.58"
+        );
+    }
+
+    #[test]
+    fn some_rows_have_blank_city() {
+        let rng = SimRng::new(7);
+        let (list, _) = generate(&rng, &small_universe(), &small_specs(), 1.0);
+        let blank = list.entries().iter().filter(|e| e.city.is_none()).count();
+        let share = blank as f64 / list.len() as f64;
+        assert!(
+            (0.005..0.05).contains(&share),
+            "blank-city share {share:.4} not near 0.016"
+        );
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let rng = SimRng::new(7);
+        let (list, _) = generate(&rng, &small_universe(), &small_specs(), 1.0);
+        let csv = list.to_csv();
+        let back = EgressList::parse_csv(&csv).unwrap();
+        assert_eq!(back.len(), list.len());
+        assert_eq!(back.entries()[0], list.entries()[0]);
+        assert_eq!(back.entries()[list.len() - 1], list.entries()[list.len() - 1]);
+    }
+
+    #[test]
+    fn csv_parser_rejects_malformed() {
+        assert!(matches!(
+            EgressList::parse_csv("1.2.3.0/24,US,US-CA"),
+            Err(EgressParseError::BadRow(1))
+        ));
+        assert!(matches!(
+            EgressList::parse_csv("junk,US,US-CA,LA"),
+            Err(EgressParseError::BadSubnet(1, _))
+        ));
+        assert!(matches!(
+            EgressList::parse_csv("1.2.3.0/24,USA,US-CA,LA"),
+            Err(EgressParseError::BadCountry(1, _))
+        ));
+        // Blank lines are fine; blank city is fine.
+        let ok = EgressList::parse_csv("\n172.224.0.0/27,US,US-CA,\n\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok.entries()[0].city, None);
+    }
+
+    #[test]
+    fn scale_produces_prefix_subset() {
+        let rng = SimRng::new(7);
+        let universe = small_universe();
+        let specs = small_specs();
+        let (full, _) = generate(&rng, &universe, &specs, 1.0);
+        let (small, _) = generate(&rng, &universe, &specs, 0.87);
+        assert!(small.len() < full.len());
+        let full_subnets: HashSet<String> =
+            full.entries().iter().map(|e| e.subnet.to_string()).collect();
+        let missing = small
+            .entries()
+            .iter()
+            .filter(|e| !full_subnets.contains(&e.subnet.to_string()))
+            .count();
+        // "Little churn": the smaller list is (almost) contained in the
+        // bigger one. Bump allocation makes it exact.
+        assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let universe = small_universe();
+        let specs = small_specs();
+        let (a, _) = generate(&SimRng::new(3), &universe, &specs, 1.0);
+        let (b, _) = generate(&SimRng::new(3), &universe, &specs, 1.0);
+        assert_eq!(a.entries()[0], b.entries()[0]);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.entries()[a.len() / 2], b.entries()[b.len() / 2]);
+    }
+
+    #[test]
+    fn cc_count_respected() {
+        let rng = SimRng::new(7);
+        let universe = small_universe();
+        let specs = small_specs();
+        let (list, footprints) = generate(&rng, &universe, &specs, 1.0);
+        // Attribute entries to operators via the footprints.
+        for (f, s) in footprints.iter().zip(&specs) {
+            let ccs: HashSet<CountryCode> = list
+                .entries()
+                .iter()
+                .filter(|e| {
+                    f.bgp_v4.iter().any(|p| IpNet::V4(*p).contains_net(&e.subnet))
+                        || f.bgp_v6.iter().any(|p| IpNet::V6(*p).contains_net(&e.subnet))
+                })
+                .map(|e| e.cc)
+                .collect();
+            assert!(
+                ccs.len() <= s.cc_count_v6.max(s.cc_count_v4),
+                "{}: {} CCs exceeds spec",
+                s.asn,
+                ccs.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Geohash encoding and decoding.
+//!
+//! iCloud Private Relay communicates the client's approximate location to
+//! the egress layer as a geohash derived from IP geolocation (§2, §6). The
+//! correlation analysis reasons about what an egress operator learns from
+//! that geohash, so the standard base-32 geohash is implemented here.
+
+/// The geohash base-32 alphabet (no a, i, l, o).
+const ALPHABET: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Encodes `(lat, lon)` to a geohash of `precision` characters.
+///
+/// `lat` is clamped to ±90, `lon` to ±180; `precision` to 1..=12.
+///
+/// ```
+/// // Munich, the authors' vantage point.
+/// let hash = tectonic_geo::geohash::encode(48.137, 11.575, 6);
+/// assert!(hash.starts_with("u28"));
+/// ```
+pub fn encode(lat: f64, lon: f64, precision: usize) -> String {
+    let lat = lat.clamp(-90.0, 90.0);
+    let lon = lon.clamp(-180.0, 180.0);
+    let precision = precision.clamp(1, 12);
+    let (mut lat_lo, mut lat_hi) = (-90.0f64, 90.0f64);
+    let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
+    let mut hash = String::with_capacity(precision);
+    let mut bits = 0u8;
+    let mut bit_count = 0;
+    let mut even = true; // even bit = longitude
+    while hash.len() < precision {
+        if even {
+            let mid = (lon_lo + lon_hi) / 2.0;
+            if lon >= mid {
+                bits = (bits << 1) | 1;
+                lon_lo = mid;
+            } else {
+                bits <<= 1;
+                lon_hi = mid;
+            }
+        } else {
+            let mid = (lat_lo + lat_hi) / 2.0;
+            if lat >= mid {
+                bits = (bits << 1) | 1;
+                lat_lo = mid;
+            } else {
+                bits <<= 1;
+                lat_hi = mid;
+            }
+        }
+        even = !even;
+        bit_count += 1;
+        if bit_count == 5 {
+            hash.push(ALPHABET[bits as usize] as char);
+            bits = 0;
+            bit_count = 0;
+        }
+    }
+    hash
+}
+
+/// A decoded geohash cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeohashCell {
+    /// Cell-centre latitude.
+    pub lat: f64,
+    /// Cell-centre longitude.
+    pub lon: f64,
+    /// Half-height of the cell in degrees latitude.
+    pub lat_err: f64,
+    /// Half-width of the cell in degrees longitude.
+    pub lon_err: f64,
+}
+
+/// Decodes a geohash into its cell. Returns `None` on invalid characters or
+/// an empty string.
+pub fn decode(hash: &str) -> Option<GeohashCell> {
+    if hash.is_empty() {
+        return None;
+    }
+    let (mut lat_lo, mut lat_hi) = (-90.0f64, 90.0f64);
+    let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
+    let mut even = true;
+    for ch in hash.bytes() {
+        let ch = ch.to_ascii_lowercase();
+        let value = ALPHABET.iter().position(|c| *c == ch)? as u8;
+        for shift in (0..5).rev() {
+            let bit = (value >> shift) & 1;
+            if even {
+                let mid = (lon_lo + lon_hi) / 2.0;
+                if bit == 1 {
+                    lon_lo = mid;
+                } else {
+                    lon_hi = mid;
+                }
+            } else {
+                let mid = (lat_lo + lat_hi) / 2.0;
+                if bit == 1 {
+                    lat_lo = mid;
+                } else {
+                    lat_hi = mid;
+                }
+            }
+            even = !even;
+        }
+    }
+    Some(GeohashCell {
+        lat: (lat_lo + lat_hi) / 2.0,
+        lon: (lon_lo + lon_hi) / 2.0,
+        lat_err: (lat_hi - lat_lo) / 2.0,
+        lon_err: (lon_hi - lon_lo) / 2.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Classic reference point: 57.64911, 10.40744 → "u4pruydqqvj".
+        assert_eq!(encode(57.64911, 10.40744, 11), "u4pruydqqvj");
+        // Null island.
+        assert_eq!(encode(0.0, 0.0, 5), "s0000");
+        // Munich (the authors' vantage point) starts with "u28".
+        assert!(encode(48.137, 11.575, 6).starts_with("u28"));
+    }
+
+    #[test]
+    fn decode_recovers_point_within_cell() {
+        let h = encode(37.7749, -122.4194, 8);
+        let cell = decode(&h).unwrap();
+        assert!((cell.lat - 37.7749).abs() <= cell.lat_err);
+        assert!((cell.lon + 122.4194).abs() <= cell.lon_err);
+        assert!(cell.lat_err < 0.0005);
+    }
+
+    #[test]
+    fn precision_grows_monotonically() {
+        let mut prev_err = f64::MAX;
+        for p in 1..=12 {
+            let cell = decode(&encode(48.1, 11.5, p)).unwrap();
+            assert!(cell.lat_err < prev_err);
+            prev_err = cell.lat_err;
+        }
+    }
+
+    #[test]
+    fn prefix_property() {
+        // A longer hash of the same point starts with the shorter hash.
+        let short = encode(-33.86, 151.21, 4);
+        let long = encode(-33.86, 151.21, 9);
+        assert!(long.starts_with(&short));
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        assert!(decode("").is_none());
+        assert!(decode("abc!").is_none());
+        assert!(decode("aaa").is_none()); // 'a' not in the alphabet
+    }
+
+    #[test]
+    fn clamps_out_of_range_inputs() {
+        let a = encode(95.0, 0.0, 6);
+        let b = encode(90.0, 0.0, 6);
+        assert_eq!(a, b);
+        let c = encode(0.0, 200.0, 6);
+        let d = encode(0.0, 180.0, 6);
+        assert_eq!(c, d);
+        // Precision clamps instead of panicking.
+        assert_eq!(encode(1.0, 1.0, 0).len(), 1);
+        assert_eq!(encode(1.0, 1.0, 99).len(), 12);
+    }
+
+    #[test]
+    fn case_insensitive_decode() {
+        let cell_l = decode("u4pruy").unwrap();
+        let cell_u = decode("U4PRUY").unwrap();
+        assert_eq!(cell_l, cell_u);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the geo substrate: geohash laws, egress CSV
+//! round-trips, and quota-assignment invariants.
+
+use proptest::prelude::*;
+use tectonic_net::SimRng;
+
+use tectonic_geo::city::CityUniverse;
+use tectonic_geo::country::CountryCode;
+use tectonic_geo::egress::{EgressEntry, EgressList};
+use tectonic_geo::geohash;
+
+fn arb_lat() -> impl Strategy<Value = f64> {
+    -90.0f64..90.0
+}
+
+fn arb_lon() -> impl Strategy<Value = f64> {
+    -180.0f64..180.0
+}
+
+fn arb_cc() -> impl Strategy<Value = CountryCode> {
+    proptest::string::string_regex("[A-Z]{2}")
+        .unwrap()
+        .prop_map(|s| CountryCode::new(&s).unwrap())
+}
+
+fn arb_entry() -> impl Strategy<Value = EgressEntry> {
+    (
+        any::<u32>(),
+        8u8..=32,
+        arb_cc(),
+        proptest::string::string_regex("[A-Z]{2}-R[0-9]{2}").unwrap(),
+        proptest::option::of(proptest::string::string_regex("[A-Za-z0-9-]{1,24}").unwrap()),
+    )
+        .prop_map(|(bits, len, cc, region, city)| EgressEntry {
+            subnet: tectonic_net::IpNet::V4(
+                tectonic_net::Ipv4Net::new(std::net::Ipv4Addr::from(bits), len).unwrap(),
+            ),
+            cc,
+            region,
+            city,
+        })
+}
+
+proptest! {
+    #[test]
+    fn geohash_decode_contains_encoded_point(
+        lat in arb_lat(),
+        lon in arb_lon(),
+        precision in 1usize..=12,
+    ) {
+        let hash = geohash::encode(lat, lon, precision);
+        prop_assert_eq!(hash.len(), precision);
+        let cell = geohash::decode(&hash).expect("own hash decodes");
+        prop_assert!((cell.lat - lat).abs() <= cell.lat_err + 1e-9);
+        prop_assert!((cell.lon - lon).abs() <= cell.lon_err + 1e-9);
+    }
+
+    #[test]
+    fn geohash_prefix_property(
+        lat in arb_lat(),
+        lon in arb_lon(),
+        short in 1usize..=6,
+        extra in 1usize..=6,
+    ) {
+        let short_hash = geohash::encode(lat, lon, short);
+        let long_hash = geohash::encode(lat, lon, short + extra);
+        prop_assert!(long_hash.starts_with(&short_hash));
+    }
+
+    #[test]
+    fn geohash_cell_shrinks_with_precision(lat in arb_lat(), lon in arb_lon()) {
+        let coarse = geohash::decode(&geohash::encode(lat, lon, 3)).unwrap();
+        let fine = geohash::decode(&geohash::encode(lat, lon, 8)).unwrap();
+        prop_assert!(fine.lat_err < coarse.lat_err);
+        prop_assert!(fine.lon_err < coarse.lon_err);
+    }
+
+    #[test]
+    fn egress_csv_round_trips(entries in prop::collection::vec(arb_entry(), 0..40)) {
+        let list = EgressList::from_entries(entries);
+        let csv = list.to_csv();
+        let back = EgressList::parse_csv(&csv).expect("own CSV parses");
+        prop_assert_eq!(back.len(), list.len());
+        for (a, b) in back.entries().iter().zip(list.entries()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn city_universe_scales_with_target(target in 500usize..8000, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let universe = CityUniverse::generate(&mut rng, target);
+        // Within a factor of two of the target (min-2-per-country floor
+        // can push small targets up).
+        prop_assert!(universe.len() >= target / 2);
+        prop_assert!(universe.len() <= target * 2 + 600);
+        // Coordinates valid everywhere.
+        for city in universe.cities().iter().step_by(97) {
+            prop_assert!((-90.0..=90.0).contains(&city.lat));
+            prop_assert!((-180.0..=180.0).contains(&city.lon));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Autonomous-system numbers.
+//!
+//! The paper's story is told in terms of a handful of ASes: ingress relays
+//! sit in Apple's AS714 and in AS36183 (a previously dark AS the paper names
+//! *Akamai&#8239;PR*), while egress relays sit in AS36183, AS20940
+//! (*Akamai&#8239;EG*), AS13335 (Cloudflare) and AS54113 (Fastly). Those
+//! well-known numbers are exposed as constants so the analyses and the
+//! simulation agree on them by construction.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+
+/// An autonomous-system number.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Apple Inc. — operates the first-party share of the ingress layer.
+    pub const APPLE: Asn = Asn(714);
+    /// AS36183 — the Akamai AS dedicated to iCloud Private Relay
+    /// ("Akamai&#8239;PR" in the paper). Hosts *both* ingress and egress
+    /// relays, which is the root of the paper's correlation finding.
+    pub const AKAMAI_PR: Asn = Asn(36183);
+    /// AS20940 — Akamai's main CDN AS ("Akamai&#8239;EG"), egress only.
+    pub const AKAMAI_EG: Asn = Asn(20940);
+    /// Cloudflare's AS13335, egress only.
+    pub const CLOUDFLARE: Asn = Asn(13335);
+    /// Fastly's AS54113, egress only.
+    pub const FASTLY: Asn = Asn(54113);
+
+    /// The four egress operator ASes of Table 3, in the paper's row order.
+    pub const EGRESS_OPERATORS: [Asn; 4] = [
+        Asn::AKAMAI_PR,
+        Asn::AKAMAI_EG,
+        Asn::CLOUDFLARE,
+        Asn::FASTLY,
+    ];
+
+    /// The two ingress operator ASes of Table 1.
+    pub const INGRESS_OPERATORS: [Asn; 2] = [Asn::APPLE, Asn::AKAMAI_PR];
+
+    /// The raw AS number.
+    pub fn value(&self) -> u32 {
+        self.0
+    }
+
+    /// A short human label for the well-known ASes, or `AS<n>` otherwise.
+    pub fn label(&self) -> String {
+        match *self {
+            Asn::APPLE => "Apple".to_string(),
+            Asn::AKAMAI_PR => "AkamaiPR".to_string(),
+            Asn::AKAMAI_EG => "AkamaiEG".to_string(),
+            Asn::CLOUDFLARE => "Cloudflare".to_string(),
+            Asn::FASTLY => "Fastly".to_string(),
+            Asn(n) => format!("AS{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(n: u32) -> Self {
+        Asn(n)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetError;
+
+    /// Parses `"36183"` or `"AS36183"` (case-insensitive prefix).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetError::InvalidAsn(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_constants_match_paper() {
+        assert_eq!(Asn::APPLE.value(), 714);
+        assert_eq!(Asn::AKAMAI_PR.value(), 36183);
+        assert_eq!(Asn::AKAMAI_EG.value(), 20940);
+        assert_eq!(Asn::CLOUDFLARE.value(), 13335);
+        assert_eq!(Asn::FASTLY.value(), 54113);
+    }
+
+    #[test]
+    fn parse_with_and_without_prefix() {
+        assert_eq!("AS36183".parse::<Asn>().unwrap(), Asn::AKAMAI_PR);
+        assert_eq!("as714".parse::<Asn>().unwrap(), Asn::APPLE);
+        assert_eq!("13335".parse::<Asn>().unwrap(), Asn::CLOUDFLARE);
+        assert!("ASxyz".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display_and_label() {
+        assert_eq!(Asn(64512).to_string(), "AS64512");
+        assert_eq!(Asn::AKAMAI_PR.label(), "AkamaiPR");
+        assert_eq!(Asn(64512).label(), "AS64512");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let j = serde_json::to_string(&Asn::FASTLY).unwrap();
+        assert_eq!(j, "54113");
+        assert_eq!(serde_json::from_str::<Asn>("54113").unwrap(), Asn::FASTLY);
+    }
+
+    #[test]
+    fn operator_sets_are_consistent() {
+        assert!(Asn::EGRESS_OPERATORS.contains(&Asn::AKAMAI_PR));
+        assert!(Asn::INGRESS_OPERATORS.contains(&Asn::AKAMAI_PR));
+        // The overlap between the two sets is exactly the paper's finding.
+        let overlap: Vec<_> = Asn::INGRESS_OPERATORS
+            .iter()
+            .filter(|a| Asn::EGRESS_OPERATORS.contains(a))
+            .collect();
+        assert_eq!(overlap, vec![&Asn::AKAMAI_PR]);
+    }
+}

@@ -1,0 +1,363 @@
+//! Simulated time.
+//!
+//! Every measurement in the reproduction happens on a simulated wall clock so
+//! that runs are deterministic and "48-hour" campaigns finish in
+//! milliseconds. [`SimTime`] is a millisecond count since the Unix epoch;
+//! [`Epoch`] names the four monthly scan campaigns of the paper
+//! (January–April 2022) plus the May relay-scan window.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// From whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// From whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// From whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000)
+    }
+
+    /// Milliseconds in this duration.
+    pub const fn as_millis(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds (truncating).
+    pub const fn as_secs(&self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn times(&self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+/// A point in simulated time: milliseconds since the Unix epoch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// Days in each month of a (possibly leap) year.
+const DAYS_IN_MONTH: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: u64) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+impl SimTime {
+    /// The Unix epoch itself.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Builds a time from a UTC calendar date (naive, midnight).
+    ///
+    /// `month` and `day` are 1-based. Dates before 1970 are not supported
+    /// and saturate to the epoch.
+    pub fn from_ymd(year: u64, month: u64, day: u64) -> SimTime {
+        if year < 1970 {
+            return SimTime::EPOCH;
+        }
+        let mut days: u64 = 0;
+        for y in 1970..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+        for m in 1..month.clamp(1, 12) {
+            days += DAYS_IN_MONTH[(m - 1) as usize];
+            if m == 2 && is_leap(year) {
+                days += 1;
+            }
+        }
+        days += day.saturating_sub(1);
+        SimTime(days * 86_400_000)
+    }
+
+    /// Milliseconds since the Unix epoch.
+    pub const fn as_millis(&self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `(year, month, day)` of this instant in UTC.
+    pub fn ymd(&self) -> (u64, u64, u64) {
+        let mut days = self.0 / 86_400_000;
+        let mut year = 1970;
+        loop {
+            let in_year = if is_leap(year) { 366 } else { 365 };
+            if days < in_year {
+                break;
+            }
+            days -= in_year;
+            year += 1;
+        }
+        let mut month = 1;
+        for (i, base) in DAYS_IN_MONTH.iter().enumerate() {
+            let mut len = *base;
+            if i == 1 && is_leap(year) {
+                len += 1;
+            }
+            if days < len {
+                break;
+            }
+            days -= len;
+            month += 1;
+        }
+        (year, month, days + 1)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        let rem = self.0 % 86_400_000;
+        let (h, min, s) = (rem / 3_600_000, rem / 60_000 % 60, rem / 1000 % 60);
+        write!(f, "{y:04}-{m:02}-{d:02}T{h:02}:{min:02}:{s:02}Z")
+    }
+}
+
+/// A mutable simulated clock.
+///
+/// Components that need the current time borrow the clock; the experiment
+/// driver advances it. There is deliberately no global clock.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Starts the clock at `start`.
+    pub fn new(start: SimTime) -> Self {
+        Self { now: start }
+    }
+
+    /// Starts the clock at the beginning of a measurement epoch.
+    pub fn at_epoch(epoch: Epoch) -> Self {
+        Self::new(epoch.start())
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Advances the clock to `t` if it lies in the future; never goes back.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// The measurement campaigns of the paper.
+///
+/// Four monthly ECS/Atlas scan epochs (Table 1) and the May window in which
+/// the authors ran the through-relay scans (Figure 3, §4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Epoch {
+    /// January 2022 scan (no fallback-domain scan yet).
+    Jan2022,
+    /// February 2022 scan.
+    Feb2022,
+    /// March 2022 scan.
+    Mar2022,
+    /// April 2022 scan — the paper's headline numbers.
+    Apr2022,
+    /// May 2022 — through-relay scan window and egress-list snapshot.
+    May2022,
+}
+
+impl Epoch {
+    /// All scan epochs in chronological order.
+    pub const ALL: [Epoch; 5] = [
+        Epoch::Jan2022,
+        Epoch::Feb2022,
+        Epoch::Mar2022,
+        Epoch::Apr2022,
+        Epoch::May2022,
+    ];
+
+    /// The four monthly ingress-scan epochs of Table 1.
+    pub const SCANS: [Epoch; 4] = [
+        Epoch::Jan2022,
+        Epoch::Feb2022,
+        Epoch::Mar2022,
+        Epoch::Apr2022,
+    ];
+
+    /// First instant of the epoch (month start, UTC).
+    pub fn start(&self) -> SimTime {
+        match self {
+            Epoch::Jan2022 => SimTime::from_ymd(2022, 1, 1),
+            Epoch::Feb2022 => SimTime::from_ymd(2022, 2, 1),
+            Epoch::Mar2022 => SimTime::from_ymd(2022, 3, 1),
+            Epoch::Apr2022 => SimTime::from_ymd(2022, 4, 1),
+            Epoch::May2022 => SimTime::from_ymd(2022, 5, 1),
+        }
+    }
+
+    /// Short label used in table rows ("Jan", "Feb", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Epoch::Jan2022 => "Jan",
+            Epoch::Feb2022 => "Feb",
+            Epoch::Mar2022 => "Mar",
+            Epoch::Apr2022 => "Apr",
+            Epoch::May2022 => "May",
+        }
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} 2022", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ymd_round_trips_known_dates() {
+        for (y, m, d) in [
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2021, 6, 8),
+            (2022, 1, 1),
+            (2022, 4, 30),
+            (2022, 12, 31),
+            (2024, 2, 29),
+        ] {
+            let t = SimTime::from_ymd(y, m, d);
+            assert_eq!(t.ymd(), (y, m, d), "date {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn known_epoch_millis() {
+        // 2022-01-01 is 18993 days after the epoch.
+        assert_eq!(
+            SimTime::from_ymd(2022, 1, 1).as_millis(),
+            18_993 * 86_400_000
+        );
+        assert_eq!(SimTime::from_ymd(1970, 1, 1), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn pre_epoch_saturates() {
+        assert_eq!(SimTime::from_ymd(1960, 5, 5), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn arithmetic_and_since() {
+        let t = SimTime::from_ymd(2022, 3, 1);
+        let later = t + SimDuration::from_hours(48);
+        assert_eq!(later.since(t), SimDuration::from_days(2));
+        assert_eq!(t.since(later), SimDuration::ZERO);
+        assert_eq!(later - t, SimDuration::from_hours(48));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::at_epoch(Epoch::Apr2022);
+        let start = c.now();
+        c.advance(SimDuration::from_secs(30));
+        assert_eq!(c.now() - start, SimDuration::from_secs(30));
+        c.advance_to(start); // in the past: no-op
+        assert_eq!(c.now() - start, SimDuration::from_secs(30));
+        c.advance_to(start + SimDuration::from_mins(5));
+        assert_eq!(c.now() - start, SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn epochs_are_ordered() {
+        let starts: Vec<_> = Epoch::ALL.iter().map(|e| e.start()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        assert_eq!(starts, sorted);
+        assert!(Epoch::Jan2022 < Epoch::Apr2022);
+    }
+
+    #[test]
+    fn display_formats_iso_like() {
+        let t = SimTime::from_ymd(2022, 5, 11) + SimDuration::from_secs(3_723);
+        assert_eq!(t.to_string(), "2022-05-11T01:02:03Z");
+        assert_eq!(Epoch::Apr2022.to_string(), "Apr 2022");
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_secs(30).times(2), SimDuration::from_mins(1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types shared across the foundation layer.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating network primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A CIDR string could not be parsed.
+    InvalidCidr(String),
+    /// A prefix length exceeded the width of the address family.
+    PrefixLenOutOfRange {
+        /// The offending prefix length.
+        len: u8,
+        /// The maximum allowed for the family (32 or 128).
+        max: u8,
+    },
+    /// An IP address string could not be parsed.
+    InvalidAddress(String),
+    /// An operation would produce a prefix longer than the family allows
+    /// (e.g. splitting a /32).
+    CannotSplit(String),
+    /// An ASN string could not be parsed.
+    InvalidAsn(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidCidr(s) => write!(f, "invalid CIDR notation: {s:?}"),
+            NetError::PrefixLenOutOfRange { len, max } => {
+                write!(f, "prefix length {len} out of range (max {max})")
+            }
+            NetError::InvalidAddress(s) => write!(f, "invalid IP address: {s:?}"),
+            NetError::CannotSplit(s) => write!(f, "cannot split prefix: {s}"),
+            NetError::InvalidAsn(s) => write!(f, "invalid ASN: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = NetError::PrefixLenOutOfRange { len: 33, max: 32 };
+        assert_eq!(e.to_string(), "prefix length 33 out of range (max 32)");
+        let e = NetError::InvalidCidr("1.2.3.4/xx".into());
+        assert!(e.to_string().contains("1.2.3.4/xx"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(NetError::InvalidAsn("AS-1".into()));
+        assert!(e.to_string().contains("AS-1"));
+    }
+}

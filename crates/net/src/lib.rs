@@ -1,0 +1,38 @@
+//! # tectonic-net
+//!
+//! Foundation types shared by every crate in the `tectonic` workspace — the
+//! reproduction of *"Towards a Tectonic Traffic Shift? Investigating Apple's
+//! New Relay Network"* (IMC 2022).
+//!
+//! The crate provides:
+//!
+//! * [`prefix`] — IPv4/IPv6 CIDR prefixes ([`Ipv4Net`], [`Ipv6Net`], [`IpNet`])
+//!   with parsing, containment, splitting and iteration,
+//! * [`trie`] — a binary prefix trie with longest-prefix-match lookup, the
+//!   backbone of the BGP RIB and every subnet-indexed dataset,
+//! * [`asn`] — autonomous-system numbers and the well-known ASes from the
+//!   paper (Apple, Akamai&#8239;PR, Akamai&#8239;EG, Cloudflare, Fastly),
+//! * [`rng`] — a deterministic, splittable simulation RNG so every experiment
+//!   is reproducible from a single `u64` seed,
+//! * [`clock`] — simulated wall-clock time and the measurement epochs used
+//!   throughout the paper (January through April 2022).
+//!
+//! Nothing in this crate performs I/O; all higher layers build deterministic
+//! simulations on top of these primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod clock;
+pub mod error;
+pub mod prefix;
+pub mod rng;
+pub mod trie;
+
+pub use asn::Asn;
+pub use clock::{Epoch, SimClock, SimDuration, SimTime};
+pub use error::NetError;
+pub use prefix::{IpNet, Ipv4Net, Ipv6Net};
+pub use rng::SimRng;
+pub use trie::PrefixTrie;

@@ -1,0 +1,183 @@
+//! Property tests for CIDR prefixes and the prefix trie.
+//!
+//! The trie is the backbone of the BGP RIB and every subnet-indexed dataset
+//! in the reproduction; these tests pin its laws against a brute-force
+//! reference implementation.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use proptest::prelude::*;
+use tectonic_net::{IpNet, Ipv4Net, Ipv6Net, PrefixTrie};
+
+fn arb_v4net() -> impl Strategy<Value = Ipv4Net> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap())
+}
+
+fn arb_v6net() -> impl Strategy<Value = Ipv6Net> {
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(bits, len)| Ipv6Net::new(Ipv6Addr::from(bits), len).unwrap())
+}
+
+fn arb_ipnet() -> impl Strategy<Value = IpNet> {
+    prop_oneof![
+        arb_v4net().prop_map(IpNet::V4),
+        arb_v6net().prop_map(IpNet::V6),
+    ]
+}
+
+fn arb_addr() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![
+        any::<u32>().prop_map(|b| IpAddr::V4(Ipv4Addr::from(b))),
+        any::<u128>().prop_map(|b| IpAddr::V6(Ipv6Addr::from(b))),
+    ]
+}
+
+/// Brute-force longest-prefix match over a plain vector.
+fn linear_lpm(nets: &[(IpNet, usize)], addr: IpAddr) -> Option<(IpNet, &usize)> {
+    nets.iter()
+        .filter(|(n, _)| n.contains(addr))
+        .max_by_key(|(n, _)| n.len())
+        .map(|(n, v)| (*n, v))
+}
+
+proptest! {
+    #[test]
+    fn parse_display_round_trip(net in arb_ipnet()) {
+        let s = net.to_string();
+        let back: IpNet = s.parse().unwrap();
+        prop_assert_eq!(back, net);
+    }
+
+    #[test]
+    fn canonical_network_is_contained(net in arb_v4net()) {
+        prop_assert!(net.contains(net.network()));
+        prop_assert!(net.contains(net.broadcast()));
+    }
+
+    #[test]
+    fn supernet_contains_subnet(net in arb_v4net()) {
+        if let Some(sup) = net.supernet() {
+            prop_assert!(sup.contains_net(&net));
+            prop_assert_eq!(sup.len() + 1, net.len());
+        }
+    }
+
+    #[test]
+    fn split_partitions_prefix(net in arb_v4net()) {
+        if let Ok((l, r)) = net.split() {
+            prop_assert!(net.contains_net(&l));
+            prop_assert!(net.contains_net(&r));
+            prop_assert!(!l.contains_net(&r));
+            prop_assert!(!r.contains_net(&l));
+            prop_assert_eq!(l.addr_count() + r.addr_count(), net.addr_count());
+        }
+    }
+
+    #[test]
+    fn nth_addr_always_inside(net in arb_v4net(), n in any::<u64>()) {
+        prop_assert!(net.contains(net.nth_addr(n)));
+    }
+
+    #[test]
+    fn v6_nth_addr_always_inside(net in arb_v6net(), n in any::<u128>()) {
+        prop_assert!(net.contains(net.nth_addr(n)));
+    }
+
+    #[test]
+    fn trie_lpm_agrees_with_linear_scan(
+        nets in prop::collection::vec(arb_ipnet(), 1..60),
+        addrs in prop::collection::vec(arb_addr(), 1..40),
+    ) {
+        // Last insert wins for duplicate prefixes; dedup keeps semantics equal.
+        let mut dedup: Vec<(IpNet, usize)> = Vec::new();
+        for (i, n) in nets.iter().enumerate() {
+            if let Some(slot) = dedup.iter_mut().find(|(m, _)| m == n) {
+                slot.1 = i;
+            } else {
+                dedup.push((*n, i));
+            }
+        }
+        let mut trie = PrefixTrie::new();
+        for (n, i) in &dedup {
+            trie.insert(*n, *i);
+        }
+        prop_assert_eq!(trie.len(), dedup.len());
+        for addr in addrs {
+            let got = trie.longest_match(addr).map(|(n, v)| (n, *v));
+            let want = linear_lpm(&dedup, addr).map(|(n, v)| (n, *v));
+            // Multiple distinct prefixes may share the max length only if they
+            // are the same prefix, so the match is unique when it exists.
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn trie_exact_after_insert(nets in prop::collection::vec(arb_ipnet(), 1..50)) {
+        let mut trie = PrefixTrie::new();
+        for (i, n) in nets.iter().enumerate() {
+            trie.insert(*n, i);
+        }
+        for n in &nets {
+            prop_assert!(trie.contains(n));
+        }
+    }
+
+    #[test]
+    fn trie_remove_round_trip(nets in prop::collection::vec(arb_ipnet(), 1..40)) {
+        let mut dedup = nets.clone();
+        dedup.sort();
+        dedup.dedup();
+        let mut trie = PrefixTrie::new();
+        for (i, n) in dedup.iter().enumerate() {
+            trie.insert(*n, i);
+        }
+        for (i, n) in dedup.iter().enumerate() {
+            prop_assert_eq!(trie.remove(n), Some(i));
+        }
+        prop_assert!(trie.is_empty());
+        for n in &dedup {
+            prop_assert!(trie.longest_match(n.network()).is_none());
+        }
+    }
+
+    #[test]
+    fn covering_is_sorted_and_contains_addr(
+        nets in prop::collection::vec(arb_ipnet(), 1..50),
+        addr in arb_addr(),
+    ) {
+        let trie: PrefixTrie<usize> =
+            nets.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let cov = trie.covering(addr);
+        let mut last_len = 0u8;
+        let mut first = true;
+        for (n, _) in &cov {
+            prop_assert!(n.contains(addr));
+            if !first {
+                prop_assert!(n.len() > last_len);
+            }
+            last_len = n.len();
+            first = false;
+        }
+        // Every stored prefix containing addr must appear.
+        let expect = nets.iter().filter(|n| n.contains(addr)).count();
+        let mut uniq: Vec<IpNet> = nets.iter().filter(|n| n.contains(addr)).cloned().collect();
+        uniq.sort();
+        uniq.dedup();
+        let _ = expect;
+        prop_assert_eq!(cov.len(), uniq.len());
+    }
+
+    #[test]
+    fn subnets_cover_parent_exactly(len in 0u8..=24, bits in any::<u32>()) {
+        let parent = Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap();
+        let child_len = (len + 4).min(32);
+        let subs: Vec<Ipv4Net> = parent.subnets(child_len).unwrap().collect();
+        prop_assert_eq!(subs.len() as u64, 1u64 << (child_len - len));
+        let total: u64 = subs.iter().map(|s| s.addr_count()).sum();
+        prop_assert_eq!(total, parent.addr_count());
+        for pair in subs.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+            prop_assert!(!pair[0].contains_net(&pair[1]));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! QUIC probing of ingress relays.
+//!
+//! Models §3's observation from both sides:
+//!
+//! * [`IngressQuicBehavior`] — how a Private Relay ingress node reacts to
+//!   unsolicited QUIC packets: Initials with a supported version are
+//!   *silently dropped* (the raw-public-key handshake rejects unintended
+//!   clients before any response), while an unknown version triggers a
+//!   Version Negotiation listing v1 + drafts 29–27.
+//! * [`QuicProber`] — the scanner side (the ZMap-module analogue): sends a
+//!   forced-negotiation Initial and classifies the outcome.
+
+use crate::packet::{decode_packet, encode_initial, encode_version_negotiation, QuicPacket};
+use crate::{INGRESS_SUPPORTED_VERSIONS, VERSION_FORCE_NEGOTIATION};
+
+/// The ingress node's QUIC reaction model.
+#[derive(Debug, Clone)]
+pub struct IngressQuicBehavior {
+    /// Versions the node advertises in Version Negotiation.
+    pub supported_versions: Vec<u32>,
+}
+
+impl Default for IngressQuicBehavior {
+    fn default() -> Self {
+        IngressQuicBehavior {
+            supported_versions: INGRESS_SUPPORTED_VERSIONS.to_vec(),
+        }
+    }
+}
+
+impl IngressQuicBehavior {
+    /// Processes one inbound datagram; returns the node's reply, if any.
+    ///
+    /// * Malformed / non-long-header packets: no reaction.
+    /// * Initial with a *supported* version: dropped — the paper's
+    ///   "connection attempt times out" observation.
+    /// * Long-header packet with an *unsupported* version: Version
+    ///   Negotiation.
+    pub fn handle_datagram(&self, datagram: &[u8]) -> Option<Vec<u8>> {
+        let packet = decode_packet(datagram).ok()?;
+        match packet {
+            QuicPacket::Initial { header, .. } => {
+                if self.supported_versions.contains(&header.version) {
+                    None // pinned-key handshake: silently ignore strangers
+                } else {
+                    Some(encode_version_negotiation(
+                        &header.dcid,
+                        &header.scid,
+                        &self.supported_versions,
+                    ))
+                }
+            }
+            QuicPacket::Other(header) => {
+                if self.supported_versions.contains(&header.version) {
+                    None
+                } else {
+                    Some(encode_version_negotiation(
+                        &header.dcid,
+                        &header.scid,
+                        &self.supported_versions,
+                    ))
+                }
+            }
+            // A server never reacts to Version Negotiation itself.
+            QuicPacket::VersionNegotiation(_) => None,
+        }
+    }
+}
+
+/// What a probe attempt learned about a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// No response at all (standard handshake attempt).
+    Timeout,
+    /// Version negotiation received, listing the advertised versions.
+    VersionNegotiation(Vec<u32>),
+    /// A response arrived but did not parse as QUIC.
+    Garbage,
+}
+
+/// The scanner side of the experiment.
+#[derive(Debug, Clone, Default)]
+pub struct QuicProber;
+
+impl QuicProber {
+    /// Builds the standard-handshake probe (QUIC v1 Initial, 1200 bytes) —
+    /// the QScanner/curl behaviour that gets no answer from ingress nodes.
+    pub fn standard_initial(&self, dcid: &[u8], scid: &[u8]) -> Vec<u8> {
+        encode_initial(crate::VERSION_V1, dcid, scid, 1200).expect("static CIDs fit")
+    }
+
+    /// Builds the forced-negotiation probe (reserved version) — the ZMap
+    /// module behaviour that elicits Version Negotiation.
+    pub fn negotiation_trigger(&self, dcid: &[u8], scid: &[u8]) -> Vec<u8> {
+        encode_initial(VERSION_FORCE_NEGOTIATION, dcid, scid, 1200).expect("static CIDs fit")
+    }
+
+    /// Classifies a (possibly absent) reply to a probe.
+    pub fn classify_reply(&self, reply: Option<&[u8]>) -> ProbeOutcome {
+        match reply {
+            None => ProbeOutcome::Timeout,
+            Some(bytes) => match decode_packet(bytes) {
+                Ok(QuicPacket::VersionNegotiation(vn)) => {
+                    ProbeOutcome::VersionNegotiation(vn.supported_versions)
+                }
+                Ok(_) => ProbeOutcome::Garbage,
+                Err(_) => ProbeOutcome::Garbage,
+            },
+        }
+    }
+
+    /// Runs both probes against an ingress behaviour model, returning
+    /// `(standard_outcome, negotiation_outcome)` — the paper's two rows.
+    pub fn probe_ingress(
+        &self,
+        ingress: &IngressQuicBehavior,
+    ) -> (ProbeOutcome, ProbeOutcome) {
+        let standard = self.standard_initial(b"probe-dcid", b"probe-scid");
+        let standard_reply = ingress.handle_datagram(&standard);
+        let trigger = self.negotiation_trigger(b"probe-dcid", b"probe-scid");
+        let trigger_reply = ingress.handle_datagram(&trigger);
+        (
+            self.classify_reply(standard_reply.as_deref()),
+            self.classify_reply(trigger_reply.as_deref()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VERSION_DRAFT_27, VERSION_DRAFT_29, VERSION_V1};
+
+    #[test]
+    fn standard_initial_is_ignored() {
+        let ingress = IngressQuicBehavior::default();
+        let prober = QuicProber;
+        let probe = prober.standard_initial(b"d", b"s");
+        assert_eq!(ingress.handle_datagram(&probe), None);
+    }
+
+    #[test]
+    fn unknown_version_triggers_negotiation() {
+        let ingress = IngressQuicBehavior::default();
+        let prober = QuicProber;
+        let probe = prober.negotiation_trigger(b"d", b"s");
+        let reply = ingress.handle_datagram(&probe).expect("VN expected");
+        match decode_packet(&reply).unwrap() {
+            QuicPacket::VersionNegotiation(vn) => {
+                assert!(vn.supported_versions.contains(&VERSION_V1));
+                assert!(vn.supported_versions.contains(&VERSION_DRAFT_29));
+                assert!(vn.supported_versions.contains(&VERSION_DRAFT_27));
+                // CIDs echoed crosswise so the client can match the reply.
+                assert_eq!(vn.dcid, b"s");
+                assert_eq!(vn.scid, b"d");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_ingress_reproduces_paper_observation() {
+        let (standard, negotiated) = QuicProber.probe_ingress(&IngressQuicBehavior::default());
+        assert_eq!(standard, ProbeOutcome::Timeout);
+        assert_eq!(
+            negotiated,
+            ProbeOutcome::VersionNegotiation(INGRESS_SUPPORTED_VERSIONS.to_vec())
+        );
+    }
+
+    #[test]
+    fn garbage_and_vn_inputs_ignored_by_ingress() {
+        let ingress = IngressQuicBehavior::default();
+        assert_eq!(ingress.handle_datagram(&[0x00, 0x01]), None);
+        assert_eq!(ingress.handle_datagram(&[]), None);
+        let vn = encode_version_negotiation(b"a", b"b", &[VERSION_V1]);
+        assert_eq!(ingress.handle_datagram(&vn), None);
+    }
+
+    #[test]
+    fn classify_handles_garbage_replies() {
+        let prober = QuicProber;
+        assert_eq!(prober.classify_reply(None), ProbeOutcome::Timeout);
+        assert_eq!(
+            prober.classify_reply(Some(&[1, 2, 3])),
+            ProbeOutcome::Garbage
+        );
+        let initial = prober.standard_initial(b"d", b"s");
+        assert_eq!(
+            prober.classify_reply(Some(&initial)),
+            ProbeOutcome::Garbage,
+            "an Initial is not a valid probe reply"
+        );
+    }
+
+    #[test]
+    fn custom_version_set_is_advertised() {
+        let ingress = IngressQuicBehavior {
+            supported_versions: vec![VERSION_V1],
+        };
+        let (_, negotiated) = QuicProber.probe_ingress(&ingress);
+        assert_eq!(negotiated, ProbeOutcome::VersionNegotiation(vec![VERSION_V1]));
+    }
+}

@@ -1,0 +1,351 @@
+//! Egress operator and address selection.
+//!
+//! §4.3's findings, implemented from the service side:
+//!
+//! * the egress *operator* for a client location is sticky — over a scan
+//!   day only a handful of changes appear (Figure 3),
+//! * the egress *address* rotates per connection, drawn from a small pool
+//!   of subnets representing the client's city/country (the authors saw
+//!   six addresses from four subnets over 48 h, >66 % change rate),
+//! * parallel connections (curl + Safari) get independent draws,
+//! * operators without presence at the client's location (Fastly at the
+//!   authors' vantage point) are never selected.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use tectonic_net::{Asn, IpNet, PrefixTrie, SimDuration, SimTime};
+
+use tectonic_geo::country::CountryCode;
+use tectonic_geo::egress::{EgressList, OperatorFootprint};
+
+/// The outcome of one egress selection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EgressSelection {
+    /// The operator whose relay egresses the connection.
+    pub operator: Asn,
+    /// The egress subnet the address was drawn from.
+    pub subnet: IpNet,
+    /// The concrete egress address the target server observes.
+    pub addr: IpAddr,
+}
+
+/// Per-client-location egress pools with rotation.
+#[derive(Debug, Clone)]
+pub struct EgressSelector {
+    /// `(operator, cc)` → candidate subnets for that location.
+    pools: HashMap<(Asn, CountryCode), Vec<IpNet>>,
+    /// Operator → all subnets, the fallback pool when an operator has no
+    /// presence at the client's country in a (scaled-down) list.
+    global_pools: HashMap<Asn, Vec<IpNet>>,
+    operators: Vec<Asn>,
+    /// How many subnets a single client location draws from.
+    subnets_per_location: usize,
+    /// Addresses drawn per subnet before wrapping.
+    addrs_per_subnet: u64,
+    /// Mean time between operator switches.
+    operator_stickiness: SimDuration,
+    seed: u64,
+}
+
+impl EgressSelector {
+    /// Builds per-location pools from the egress list and footprints.
+    pub fn build(
+        list: &EgressList,
+        footprints: &[OperatorFootprint],
+        seed: u64,
+    ) -> EgressSelector {
+        let mut pools: HashMap<(Asn, CountryCode), Vec<IpNet>> = HashMap::new();
+        let mut global_pools: HashMap<Asn, Vec<IpNet>> = HashMap::new();
+        // Index the footprints once; per-entry attribution is then a
+        // longest-prefix match instead of a linear scan (the full list has
+        // ~240 k subnets against ~1.5 k prefixes).
+        let mut index: PrefixTrie<Asn> = PrefixTrie::new();
+        for f in footprints {
+            for p in &f.bgp_v4 {
+                index.insert(*p, f.asn);
+            }
+            for p in &f.bgp_v6 {
+                index.insert(*p, f.asn);
+            }
+        }
+        for entry in list.entries() {
+            let Some((_, op)) = index.longest_match_net(&entry.subnet) else {
+                continue;
+            };
+            let op = *op;
+            pools.entry((op, entry.cc)).or_default().push(entry.subnet);
+            global_pools.entry(op).or_default().push(entry.subnet);
+        }
+        let mut operators: Vec<Asn> = footprints.iter().map(|f| f.asn).collect();
+        operators.sort();
+        EgressSelector {
+            pools,
+            global_pools,
+            operators,
+            subnets_per_location: 4,
+            addrs_per_subnet: 2,
+            operator_stickiness: SimDuration::from_hours(3),
+            seed,
+        }
+    }
+
+    /// Operators with any presence for clients in `cc` (IPv4).
+    pub fn operators_at(&self, cc: CountryCode) -> Vec<Asn> {
+        self.operators
+            .iter()
+            .copied()
+            .filter(|op| {
+                self.pools
+                    .get(&(*op, cc))
+                    .is_some_and(|subnets| subnets.iter().any(|s| s.is_v4()))
+            })
+            .collect()
+    }
+
+    /// Restricts which operators can be chosen (models the paper's vantage
+    /// point where Fastly had no presence).
+    pub fn with_operators(mut self, operators: Vec<Asn>) -> EgressSelector {
+        self.operators = operators;
+        self
+    }
+
+    fn mix(&self, key: u64) -> u64 {
+        let mut h = self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
+    /// The sticky operator for `(client, now)`: changes only when the
+    /// stickiness window rolls over, and only among operators present at
+    /// the client's country.
+    pub fn operator_for(&self, client_key: u64, cc: CountryCode, now: SimTime) -> Option<Asn> {
+        let mut present: Vec<Asn> = self
+            .operators
+            .iter()
+            .copied()
+            .filter(|op| self.pools.contains_key(&(*op, cc)))
+            .collect();
+        if present.is_empty() {
+            // No operator represents this country (possible in scaled-down
+            // lists): any operator with subnets at all can still serve,
+            // preserving only the country/time zone (§4.2's no-region mode).
+            present = self
+                .operators
+                .iter()
+                .copied()
+                .filter(|op| self.global_pools.contains_key(op))
+                .collect();
+        }
+        if present.is_empty() {
+            return None;
+        }
+        let window = now.as_millis() / self.operator_stickiness.as_millis().max(1);
+        let h = self.mix(client_key ^ window.wrapping_mul(0x1000_0000_01b3));
+        Some(present[(h as usize) % present.len()])
+    }
+
+    /// Selects an egress address for one fresh connection.
+    ///
+    /// `connection_id` must differ per connection (the per-connection
+    /// rotation); `v6` picks the address family the egress uses toward the
+    /// target.
+    pub fn select(
+        &self,
+        client_key: u64,
+        cc: CountryCode,
+        now: SimTime,
+        connection_id: u64,
+        v6: bool,
+    ) -> Option<EgressSelection> {
+        let operator = self.operator_for(client_key, cc, now)?;
+        let local = self.pools.get(&(operator, cc));
+        let mut family: Vec<&IpNet> = local
+            .into_iter()
+            .flatten()
+            .filter(|s| s.is_v6() == v6)
+            .collect();
+        if family.is_empty() {
+            // Fall back to the operator's whole footprint for the family.
+            family = self
+                .global_pools
+                .get(&operator)
+                .into_iter()
+                .flatten()
+                .filter(|s| s.is_v6() == v6)
+                .collect();
+        }
+        if family.is_empty() {
+            return None;
+        }
+        // The client location maps to a stable, small pool of subnets…
+        let pool_base = self.mix(client_key ^ 0xE6E6) as usize;
+        let pool_size = self.subnets_per_location.min(family.len());
+        // …and each connection draws a fresh (subnet, address) pair.
+        let draw = self.mix(client_key ^ connection_id.rotate_left(17));
+        let subnet = family[(pool_base + (draw as usize % pool_size)) % family.len()];
+        let addr_index = (draw >> 32) % self.addrs_per_subnet.max(1);
+        let addr = match subnet {
+            IpNet::V4(n) => {
+                // Skip the network address when the subnet has room.
+                let host = if n.addr_count() > 2 { 1 + addr_index } else { addr_index };
+                IpAddr::V4(n.nth_addr(host))
+            }
+            IpNet::V6(n) => IpAddr::V6(n.nth_addr(1 + addr_index as u128)),
+        };
+        Some(EgressSelection {
+            operator,
+            subnet: *subnet,
+            addr,
+        })
+    }
+
+    /// The expected number of distinct addresses a single client location
+    /// can observe per operator (pool size × addresses per subnet).
+    pub fn location_pool_size(&self) -> u64 {
+        self.subnets_per_location as u64 * self.addrs_per_subnet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tectonic_geo::city::CityUniverse;
+    use tectonic_geo::egress::{generate, OperatorEgressSpec};
+    use tectonic_net::SimRng;
+
+    fn selector() -> EgressSelector {
+        let mut specs = OperatorEgressSpec::paper_defaults();
+        for s in &mut specs {
+            for (_, c) in &mut s.v4_mask_plan {
+                *c /= 40;
+            }
+            s.v6_subnets /= 40;
+            s.cities_v4 /= 20;
+            s.cities_v6 /= 20;
+        }
+        let universe = CityUniverse::generate(&mut SimRng::new(1), 8_000);
+        let (list, footprints) = generate(&SimRng::new(2), &universe, &specs, 1.0);
+        EgressSelector::build(&list, &footprints, 77)
+    }
+
+    #[test]
+    fn selection_returns_address_inside_subnet() {
+        let s = selector();
+        let now = SimTime::from_ymd(2022, 5, 10);
+        for conn in 0..50 {
+            let sel = s
+                .select(42, CountryCode::US, now, conn, false)
+                .expect("US always has presence");
+            assert!(sel.subnet.contains(sel.addr), "{} ∉ {}", sel.addr, sel.subnet);
+            assert!(sel.subnet.is_v4());
+        }
+    }
+
+    #[test]
+    fn rotation_changes_addresses_per_connection() {
+        let s = selector();
+        let now = SimTime::from_ymd(2022, 5, 10);
+        let addrs: Vec<IpAddr> = (0..200)
+            .map(|conn| s.select(42, CountryCode::US, now, conn, false).unwrap().addr)
+            .collect();
+        let distinct: HashSet<_> = addrs.iter().collect();
+        // Small pool (≤ subnets_per_location × addrs_per_subnet)…
+        assert!(distinct.len() > 2, "pool too small: {}", distinct.len());
+        assert!(
+            distinct.len() as u64 <= s.location_pool_size(),
+            "{} > pool {}",
+            distinct.len(),
+            s.location_pool_size()
+        );
+        // …with a high change rate between consecutive requests (>66 %).
+        let changes = addrs.windows(2).filter(|w| w[0] != w[1]).count();
+        let rate = changes as f64 / (addrs.len() - 1) as f64;
+        assert!(rate > 0.66, "change rate {rate:.3}");
+    }
+
+    #[test]
+    fn same_connection_id_is_deterministic() {
+        let s = selector();
+        let now = SimTime::from_ymd(2022, 5, 10);
+        let a = s.select(42, CountryCode::US, now, 7, false);
+        let b = s.select(42, CountryCode::US, now, 7, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_clients_get_independent_draws() {
+        let s = selector();
+        let now = SimTime::from_ymd(2022, 5, 10);
+        // Two agents at the same location with different connection IDs —
+        // usually different addresses.
+        let diff = (0..100)
+            .filter(|i| {
+                let a = s.select(42, CountryCode::US, now, *i * 2, false).unwrap();
+                let b = s.select(42, CountryCode::US, now, *i * 2 + 1, false).unwrap();
+                a.addr != b.addr
+            })
+            .count();
+        assert!(diff > 50, "parallel draws too correlated: {diff}/100");
+    }
+
+    #[test]
+    fn operator_is_sticky_within_window() {
+        let s = selector();
+        let start = SimTime::from_ymd(2022, 5, 10);
+        let op0 = s.operator_for(42, CountryCode::US, start).unwrap();
+        // Five minutes later: same operator (window is hours long).
+        let later = start + SimDuration::from_mins(5);
+        assert_eq!(s.operator_for(42, CountryCode::US, later).unwrap(), op0);
+        // Over a full day, changes are rare.
+        let mut changes = 0;
+        let mut prev = op0;
+        for round in 0..288 {
+            let t = start + SimDuration::from_mins(5).times(round);
+            let op = s.operator_for(42, CountryCode::US, t).unwrap();
+            if op != prev {
+                changes += 1;
+            }
+            prev = op;
+        }
+        assert!(changes <= 8, "too many operator changes: {changes}");
+    }
+
+    #[test]
+    fn restricted_operators_exclude_fastly() {
+        let s = selector().with_operators(vec![Asn::CLOUDFLARE, Asn::AKAMAI_PR]);
+        let now = SimTime::from_ymd(2022, 5, 10);
+        for conn in 0..100 {
+            let sel = s.select(9, CountryCode::DE, now, conn, false).unwrap();
+            assert_ne!(sel.operator, Asn::FASTLY);
+            assert_ne!(sel.operator, Asn::AKAMAI_EG);
+        }
+    }
+
+    #[test]
+    fn v6_selection_draws_v6_subnets() {
+        let s = selector();
+        let now = SimTime::from_ymd(2022, 5, 10);
+        let sel = s.select(42, CountryCode::US, now, 0, true).unwrap();
+        assert!(sel.subnet.is_v6());
+        assert!(sel.subnet.contains(sel.addr));
+    }
+
+    #[test]
+    fn unknown_location_yields_none() {
+        let s = selector().with_operators(vec![]);
+        assert!(s
+            .select(1, CountryCode::US, SimTime::EPOCH, 0, false)
+            .is_none());
+    }
+
+    #[test]
+    fn operators_at_reports_presence() {
+        let s = selector();
+        let at_us = s.operators_at(CountryCode::US);
+        assert!(at_us.contains(&Asn::CLOUDFLARE));
+        assert!(at_us.contains(&Asn::AKAMAI_PR));
+    }
+}

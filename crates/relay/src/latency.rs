@@ -1,0 +1,202 @@
+//! A latency model for the QoE extension.
+//!
+//! §6's concluding future-work list asks *"How does the service impact the
+//! user's QoE?"* — Apple claims the impact is low, and §2 notes the egress
+//! CDNs run optimised backbones (Cloudflare's Argo) that "might be enough
+//! to equalize any latency drawbacks due to the two-hop relay system".
+//! [`LatencyModel`] makes that argument quantifiable:
+//!
+//! * RTT between two points = propagation (fibre-path distance at ~2/3 c,
+//!   with a route-stretch factor) + per-hop processing + deterministic
+//!   jitter,
+//! * the ingress sits close to the client (same-country cluster), the
+//!   egress close to the represented location,
+//! * the ingress→egress segment runs on the CDN backbone with a
+//!   configurable optimisation factor (< 1 models Argo-like routing),
+//! * connection establishment compares 1-RTT QUIC through the relay (with
+//!   TCP-fast-open-style egress optimisation) against the direct path.
+
+use serde::{Deserialize, Serialize};
+use tectonic_geo::coords::haversine_km;
+use tectonic_geo::country::{country_info, CountryCode};
+
+/// Round-trip time in milliseconds.
+pub type RttMs = f64;
+
+/// The latency model's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Milliseconds of RTT per kilometre of great-circle distance
+    /// (fibre ≈ 0.01 ms/km plus typical route stretch).
+    pub ms_per_km: f64,
+    /// Fixed per-segment processing/queueing RTT, ms.
+    pub per_segment_ms: f64,
+    /// Multiplier on the ingress→egress segment (CDN backbone; < 1 means
+    /// the backbone beats the public Internet's route stretch).
+    pub backbone_factor: f64,
+    /// Extra distance (km) between a client and its serving ingress
+    /// (the ingress is in-country but not in the client's house).
+    pub ingress_detour_km: f64,
+    /// Deterministic jitter amplitude, ms (keyed per connection).
+    pub jitter_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            ms_per_km: 0.013,
+            per_segment_ms: 1.5,
+            backbone_factor: 0.75,
+            ingress_detour_km: 350.0,
+            jitter_ms: 2.0,
+        }
+    }
+}
+
+/// One modelled connection's latency breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionLatency {
+    /// Direct client→target RTT.
+    pub direct_ms: RttMs,
+    /// Relayed client→ingress→egress→target RTT.
+    pub relayed_ms: RttMs,
+    /// client→ingress segment.
+    pub to_ingress_ms: RttMs,
+    /// ingress→egress backbone segment.
+    pub backbone_ms: RttMs,
+    /// egress→target segment.
+    pub to_target_ms: RttMs,
+}
+
+impl ConnectionLatency {
+    /// Relayed minus direct RTT (positive = relay costs latency).
+    pub fn overhead_ms(&self) -> RttMs {
+        self.relayed_ms - self.direct_ms
+    }
+}
+
+fn centroid(cc: CountryCode) -> (f64, f64) {
+    country_info(cc).map(|i| (i.lat, i.lon)).unwrap_or((0.0, 0.0))
+}
+
+impl LatencyModel {
+    /// Deterministic jitter in `[0, jitter_ms)` keyed by `key`.
+    fn jitter(&self, key: u64) -> f64 {
+        let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        (h % 1000) as f64 / 1000.0 * self.jitter_ms
+    }
+
+    /// RTT for one segment of `km` kilometres.
+    fn segment(&self, km: f64, factor: f64, key: u64) -> RttMs {
+        km * self.ms_per_km * factor + self.per_segment_ms + self.jitter(key)
+    }
+
+    /// Models one connection: a client in `client_cc` reaching a target in
+    /// `target_cc`, with the egress representing `egress_cc` (normally the
+    /// client's own country/region).
+    pub fn connection(
+        &self,
+        client_cc: CountryCode,
+        egress_cc: CountryCode,
+        target_cc: CountryCode,
+        connection_key: u64,
+    ) -> ConnectionLatency {
+        let (clat, clon) = centroid(client_cc);
+        let (elat, elon) = centroid(egress_cc);
+        let (tlat, tlon) = centroid(target_cc);
+        let direct_km = haversine_km(clat, clon, tlat, tlon);
+        let direct_ms = self.segment(direct_km, 1.0, connection_key ^ 0xD1);
+        // Relay: ingress near the client (detour only), egress near the
+        // represented location, then on to the target.
+        let to_ingress_ms = self.segment(self.ingress_detour_km, 1.0, connection_key ^ 0x11);
+        let ingress_to_egress_km =
+            haversine_km(clat, clon, elat, elon) + self.ingress_detour_km;
+        let backbone_ms = self.segment(
+            ingress_to_egress_km,
+            self.backbone_factor,
+            connection_key ^ 0xB0,
+        );
+        let egress_to_target_km = haversine_km(elat, elon, tlat, tlon);
+        let to_target_ms =
+            self.segment(egress_to_target_km, self.backbone_factor, connection_key ^ 0x71);
+        ConnectionLatency {
+            direct_ms,
+            relayed_ms: to_ingress_ms + backbone_ms + to_target_ms,
+            to_ingress_ms,
+            backbone_ms,
+            to_target_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(s: &str) -> CountryCode {
+        CountryCode::new(s).unwrap()
+    }
+
+    #[test]
+    fn relayed_path_costs_more_segments() {
+        let model = LatencyModel::default();
+        let conn = model.connection(cc("DE"), cc("DE"), cc("US"), 1);
+        assert!(conn.to_ingress_ms > 0.0);
+        assert!(conn.backbone_ms > 0.0);
+        assert!(conn.to_target_ms > 0.0);
+        assert!(
+            (conn.relayed_ms - (conn.to_ingress_ms + conn.backbone_ms + conn.to_target_ms)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn same_country_target_has_modest_overhead() {
+        // DE client, DE egress, DE target: the relay adds detour +
+        // segments but no continental crossing.
+        let model = LatencyModel::default();
+        let conn = model.connection(cc("DE"), cc("DE"), cc("DE"), 7);
+        assert!(conn.overhead_ms() < 25.0, "overhead {:.1}", conn.overhead_ms());
+    }
+
+    #[test]
+    fn backbone_optimisation_reduces_long_haul_overhead() {
+        let optimised = LatencyModel::default();
+        let unoptimised = LatencyModel {
+            backbone_factor: 1.25, // public-Internet route stretch
+            ..LatencyModel::default()
+        };
+        let key = 9;
+        let a = optimised.connection(cc("DE"), cc("DE"), cc("US"), key);
+        let b = unoptimised.connection(cc("DE"), cc("DE"), cc("US"), key);
+        assert!(
+            a.overhead_ms() < b.overhead_ms(),
+            "optimised {:.1} vs unoptimised {:.1}",
+            a.overhead_ms(),
+            b.overhead_ms()
+        );
+        // With the optimised backbone, a trans-Atlantic fetch through the
+        // relay stays within ~35 % of the direct RTT — the paper's
+        // "might be enough to equalize" scenario.
+        assert!(a.relayed_ms < a.direct_ms * 1.35 + 3.0 * optimised.per_segment_ms + 10.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let model = LatencyModel::default();
+        let a = model.connection(cc("US"), cc("US"), cc("JP"), 42);
+        let b = model.connection(cc("US"), cc("US"), cc("JP"), 42);
+        assert_eq!(a, b);
+        let c = model.connection(cc("US"), cc("US"), cc("JP"), 43);
+        assert!((a.relayed_ms - c.relayed_ms).abs() <= 3.0 * model.jitter_ms);
+    }
+
+    #[test]
+    fn direct_grows_with_distance() {
+        let model = LatencyModel::default();
+        let near = model.connection(cc("DE"), cc("DE"), cc("FR"), 1);
+        let far = model.connection(cc("DE"), cc("DE"), cc("AU"), 1);
+        assert!(far.direct_ms > near.direct_ms * 3.0);
+    }
+}

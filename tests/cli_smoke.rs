@@ -1,0 +1,65 @@
+//! Smoke tests for the `tectonic` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let output = Command::new(env!("CARGO_BIN_EXE_tectonic"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn scan_subcommand_prints_fleet() {
+    let (stdout, _, ok) = run(&["scan", "--scale", "2048"]);
+    assert!(ok);
+    assert!(stdout.contains("Apr 2022 Default scan"));
+    assert!(stdout.contains("Apple"));
+    assert!(stdout.contains("AkamaiPR"));
+    assert!(stdout.contains("Table 2"));
+}
+
+#[test]
+fn egress_subcommand_prints_tables() {
+    let (stdout, _, ok) = run(&["egress", "--scale", "512"]);
+    assert!(ok);
+    assert!(stdout.contains("Table 3"));
+    assert!(stdout.contains("Table 4"));
+    assert!(stdout.contains("top countries: US"));
+}
+
+#[test]
+fn audit_subcommand_prints_census() {
+    let (stdout, _, ok) = run(&["audit", "--scale", "2048"]);
+    assert!(ok);
+    assert!(stdout.contains("Correlation audit"));
+    assert!(stdout.contains("2021-06"));
+    assert!(stdout.contains("QUIC probing"));
+}
+
+#[test]
+fn qoe_subcommand_prints_comparison() {
+    let (stdout, _, ok) = run(&["qoe", "--scale", "2048", "--samples", "300"]);
+    assert!(ok);
+    assert!(stdout.contains("QoE impact"));
+    assert!(stdout.contains("median overhead"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_subcommand_fails() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
