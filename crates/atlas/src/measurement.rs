@@ -183,8 +183,7 @@ mod tests {
     }
 
     fn auth() -> AuthoritativeServer {
-        let zone =
-            Zone::new("icloud.com".parse().unwrap()).with_dynamic(Arc::new(FixedAddr));
+        let zone = Zone::new("icloud.com".parse().unwrap()).with_dynamic(Arc::new(FixedAddr));
         AuthoritativeServer::new().with_zone(zone)
     }
 

@@ -92,8 +92,7 @@ fn is_na_eu(cc: CountryCode) -> bool {
         return false;
     };
     let europe = info.lat > 34.0 && info.lat < 72.0 && info.lon > -26.0 && info.lon < 46.0;
-    let north_america =
-        info.lat > 14.0 && info.lat < 73.0 && info.lon > -170.0 && info.lon < -50.0;
+    let north_america = info.lat > 14.0 && info.lat < 73.0 && info.lon > -170.0 && info.lon < -50.0;
     europe || north_america
 }
 
@@ -114,7 +113,13 @@ pub fn generate(
     let mut rng = rng.fork("atlas-population");
     let site_weights: Vec<f64> = sites
         .iter()
-        .map(|s| if is_na_eu(s.cc) { config.na_eu_bias } else { 1.0 })
+        .map(|s| {
+            if is_na_eu(s.cc) {
+                config.na_eu_bias
+            } else {
+                1.0
+            }
+        })
         .collect();
     let kind_weights: Vec<f64> = config.resolver_mix.iter().map(|(_, w)| *w).collect();
 
@@ -127,9 +132,8 @@ pub fn generate(
     (0..config.probes)
         .map(|i| {
             let site = &sites[rng.pick_weighted(&site_weights).expect("weights positive")];
-            let kind = config.resolver_mix
-                [rng.pick_weighted(&kind_weights).expect("mix positive")]
-            .0;
+            let kind =
+                config.resolver_mix[rng.pick_weighted(&kind_weights).expect("mix positive")].0;
             let resolver_addr: IpAddr = match kind {
                 ResolverKind::Isp => IpAddr::V4(site.isp_resolver_addr),
                 ResolverKind::Local => IpAddr::V4(site.probe_addr),
@@ -183,7 +187,10 @@ pub fn stats(probes: &[Probe]) -> PopulationStats {
     use std::collections::HashSet;
     let ases: HashSet<Asn> = probes.iter().map(|p| p.asn).collect();
     let countries: HashSet<CountryCode> = probes.iter().map(|p| p.cc).collect();
-    let public = probes.iter().filter(|p| p.resolver_kind.is_public()).count();
+    let public = probes
+        .iter()
+        .filter(|p| p.resolver_kind.is_public())
+        .count();
     let blocking = probes.iter().filter(|p| p.is_blocking()).count();
     PopulationStats {
         probes: probes.len(),
@@ -214,7 +221,10 @@ mod tests {
     }
 
     fn anycast(kind: ResolverKind, cc: CountryCode) -> Ipv4Addr {
-        let k = ResolverKind::PUBLIC.iter().position(|x| *x == kind).unwrap() as u32;
+        let k = ResolverKind::PUBLIC
+            .iter()
+            .position(|x| *x == kind)
+            .unwrap() as u32;
         let c = all_countries().iter().position(|x| x.code == cc).unwrap() as u32;
         Ipv4Addr::from(0xAC44_0000u32 + k * 65_536 + c * 4 + 1)
     }
@@ -270,7 +280,10 @@ mod tests {
         for p in probes.iter().filter(|p| p.resolver_kind.is_public()) {
             assert_eq!(p.resolver_addr, IpAddr::V4(anycast(p.resolver_kind, p.cc)));
         }
-        for p in probes.iter().filter(|p| p.resolver_kind == ResolverKind::Isp) {
+        for p in probes
+            .iter()
+            .filter(|p| p.resolver_kind == ResolverKind::Isp)
+        {
             // ISP resolver is inside the probe's /24 (same site).
             let IpAddr::V4(r) = p.resolver_addr else {
                 panic!("v4 expected")
@@ -294,12 +307,7 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let none = generate(
-            &SimRng::new(1),
-            &[],
-            &PopulationConfig::paper(),
-            &anycast,
-        );
+        let none = generate(&SimRng::new(1), &[], &PopulationConfig::paper(), &anycast);
         assert!(none.is_empty());
         let zero = generate(
             &SimRng::new(1),

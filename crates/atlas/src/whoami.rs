@@ -43,8 +43,7 @@ impl EcsAnswerer for WhoamiZone {
 
 /// Builds an authoritative server hosting only the whoami zone.
 pub fn whoami_server() -> AuthoritativeServer {
-    let zone = Zone::new("akamai.net".parse().expect("static"))
-        .with_dynamic(Arc::new(WhoamiZone));
+    let zone = Zone::new("akamai.net".parse().expect("static")).with_dynamic(Arc::new(WhoamiZone));
     AuthoritativeServer::new().with_zone(zone)
 }
 

@@ -37,12 +37,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("trie_1k_lookups", |b| {
         b.iter_batched(
             || addrs.clone(),
-            |addrs| {
-                addrs
-                    .iter()
-                    .filter(|a| d.rib.lookup(**a).is_some())
-                    .count()
-            },
+            |addrs| addrs.iter().filter(|a| d.rib.lookup(**a).is_some()).count(),
             BatchSize::SmallInput,
         )
     });

@@ -1,4 +1,4 @@
-//! Ablation — parallel scan workers (crossbeam) against the sequential
+//! Ablation — parallel scan workers against the sequential
 //! single-source scanner.
 //!
 //! The paper scans from a single vantage point and is rate-limit bound.

@@ -10,10 +10,22 @@ fn bench(c: &mut Criterion) {
     let d = paper_deployment();
     let analysis = EgressAnalysis::new(&d.egress_list, &d.rib);
     banner("Figure 4: subnet-location CDFs per operator");
-    print!("{}", render_fig4(&analysis.cdf(true, true), "a: IPv4 cities"));
-    print!("{}", render_fig4(&analysis.cdf(true, false), "b: IPv6 cities"));
-    print!("{}", render_fig4(&analysis.cdf(false, true), "c: IPv4 countries"));
-    print!("{}", render_fig4(&analysis.cdf(false, false), "d: IPv6 countries"));
+    print!(
+        "{}",
+        render_fig4(&analysis.cdf(true, true), "a: IPv4 cities")
+    );
+    print!(
+        "{}",
+        render_fig4(&analysis.cdf(true, false), "b: IPv6 cities")
+    );
+    print!(
+        "{}",
+        render_fig4(&analysis.cdf(false, true), "c: IPv4 countries")
+    );
+    print!(
+        "{}",
+        render_fig4(&analysis.cdf(false, false), "d: IPv6 countries")
+    );
     println!("(paper: heavily skewed — few cities/countries hold most subnets)");
 
     let mut group = c.benchmark_group("fig4");

@@ -38,10 +38,7 @@ fn bench(c: &mut Criterion) {
         in_ecs,
         atlas_ingress.len() - in_ecs
     );
-    println!(
-        "ECS-only addresses   : {}",
-        ecs.total() - in_ecs
-    );
+    println!("ECS-only addresses   : {}", ecs.total() - in_ecs);
     println!("(paper: Atlas 1382 vs ECS 1586; all but one Atlas address also in ECS)");
 
     let mut group = c.benchmark_group("r1");

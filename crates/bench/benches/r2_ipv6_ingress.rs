@@ -39,8 +39,7 @@ fn bench(c: &mut Criterion) {
     banner("R2: IPv6 ingress enumeration via Atlas AAAA campaign (April)");
     show_v6_scope_zero(d);
     let atlas = AtlasSetup::build(d, &PopulationConfig::paper().with_probes(3_000), 9);
-    let results =
-        atlas.run_mask_campaign(d, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 9);
+    let results = atlas.run_mask_campaign(d, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 9);
     let report = AtlasCampaignReport::aggregate(d, &results);
     println!(
         "distinct IPv6 ingress addresses: {} — Apple {}, AkamaiPR {}",

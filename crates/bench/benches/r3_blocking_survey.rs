@@ -25,8 +25,7 @@ fn control_server() -> AuthoritativeServer {
 fn bench(c: &mut Criterion) {
     let d = bench_deployment();
     let atlas = AtlasSetup::build(d, &PopulationConfig::paper().with_probes(11_700), 3);
-    let mask_results =
-        atlas.run_mask_campaign(d, Domain::MaskQuic, QType::A, Epoch::Apr2022, 3);
+    let mask_results = atlas.run_mask_campaign(d, Domain::MaskQuic, QType::A, Epoch::Apr2022, 3);
     let control = control_server();
     let control_results = atlas.run_control_campaign(&control, Epoch::Apr2022, 4);
     let is_ingress = |addr: std::net::IpAddr| d.fleets.is_ingress(addr);

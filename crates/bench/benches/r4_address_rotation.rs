@@ -30,8 +30,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("rotation_scan_48h", |b| {
         b.iter(|| {
-            let series =
-                RelayScanSeries::run(&device, &auth, &config, Epoch::May2022.start());
+            let series = RelayScanSeries::run(&device, &auth, &config, Epoch::May2022.start());
             RotationReport::from_series(&series)
         })
     });

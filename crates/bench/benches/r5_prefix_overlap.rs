@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let report = CorrelationReport::audit(d, Epoch::Apr2022);
     banner("R5: AkamaiPR prefix census (paper scale)");
     print!("{}", render_correlation(&report));
-    println!(
-        "(paper: 478 IPv4 + 1335 IPv6 announced; ingress in 201, egress in 1472; 92.2% used)"
-    );
+    println!("(paper: 478 IPv4 + 1335 IPv6 announced; ingress in 201, egress in 1472; 92.2% used)");
 
     let mut group = c.benchmark_group("r5");
     group.sample_size(10);

@@ -16,8 +16,9 @@ fn bench(c: &mut Criterion) {
 
     // Pick one ingress and search egress subnets sharing its last hop.
     let client_asn = d.world.ases()[0].asn;
-    let ingress =
-        d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
+    let ingress = d
+        .fleets
+        .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
     let ingress_trace =
         d.routers
             .traceroute(client_asn, Asn::AKAMAI_PR, std::net::IpAddr::V4(ingress));
@@ -44,9 +45,9 @@ fn bench(c: &mut Criterion) {
         });
     match shared {
         Some(e) => {
-            let trace =
-                d.routers
-                    .traceroute(client_asn, Asn::AKAMAI_PR, e.subnet.network());
+            let trace = d
+                .routers
+                .traceroute(client_asn, Asn::AKAMAI_PR, e.subnet.network());
             println!("egress subnet {} shares the last hop:", e.subnet);
             for (ttl, hop) in trace.iter().enumerate() {
                 println!("  {:>2}  {}  [{}]", ttl + 1, hop.addr, hop.asn);

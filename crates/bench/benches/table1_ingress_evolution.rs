@@ -19,8 +19,7 @@ fn regenerate_and_print() {
         .iter()
         .map(|epoch| {
             let mut clock = SimClock::new(epoch.start());
-            let default =
-                scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
+            let default = scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
             let fallback = if *epoch == Epoch::Jan2022 {
                 None // the paper's January scan lacked the fallback domain
             } else {
@@ -47,7 +46,11 @@ fn bench(c: &mut Criterion) {
     let scanner = EcsScanner::default();
     // Timing kernel: a fixed 32k-subnet slice so the measured work is
     // independent of the deployment scale (the full scan ran above).
-    let slice: Vec<_> = scanner.candidate_subnets(&d.rib).into_iter().take(32_768).collect();
+    let slice: Vec<_> = scanner
+        .candidate_subnets(&d.rib)
+        .into_iter()
+        .take(32_768)
+        .collect();
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     group.bench_function("ecs_scan_32k_subnets", |b| {

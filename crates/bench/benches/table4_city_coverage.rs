@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table4");
     group.sample_size(10);
-    group.bench_function("egress_table4_full_list", |b| {
-        b.iter(|| analysis.table4())
-    });
+    group.bench_function("egress_table4_full_list", |b| b.iter(|| analysis.table4()));
     group.finish();
 }
 

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use tectonic_net::Asn;
 
 /// A calendar month.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Month {
     /// Year (e.g. 2021).
     pub year: u16,

@@ -22,8 +22,12 @@ pub struct RouteEntry {
 pub struct Rib {
     routes: PrefixTrie<RouteEntry>,
     /// Per-AS announced prefix lists, kept alongside the trie for the
-    /// prefix-census analyses (Table 3, §6).
+    /// prefix-census analyses (Table 3, §6). Entries are removed when their
+    /// last prefix is withdrawn, so every present key has prefixes.
     by_origin: HashMap<Asn, Vec<IpNet>>,
+    /// Sorted cache of `by_origin`'s keys, maintained incrementally so
+    /// [`origins`](Rib::origins) is a free borrow instead of a collect+sort.
+    origins: Vec<Asn>,
 }
 
 impl Rib {
@@ -39,13 +43,11 @@ impl Rib {
         let prev = self.routes.insert(prefix, RouteEntry { origin });
         if let Some(prev) = &prev {
             if prev.origin != origin {
-                if let Some(list) = self.by_origin.get_mut(&prev.origin) {
-                    list.retain(|p| p != &prefix);
-                }
-                self.by_origin.entry(origin).or_default().push(prefix);
+                self.unindex_prefix(prev.origin, &prefix);
+                self.index_prefix(origin, prefix);
             }
         } else {
-            self.by_origin.entry(origin).or_default().push(prefix);
+            self.index_prefix(origin, prefix);
         }
         prev.map(|e| e.origin)
     }
@@ -54,11 +56,31 @@ impl Rib {
     pub fn withdraw(&mut self, prefix: &IpNet) -> Option<Asn> {
         let prev = self.routes.remove(prefix);
         if let Some(entry) = &prev {
-            if let Some(list) = self.by_origin.get_mut(&entry.origin) {
-                list.retain(|p| p != prefix);
-            }
+            self.unindex_prefix(entry.origin, prefix);
         }
         prev.map(|e| e.origin)
+    }
+
+    fn index_prefix(&mut self, origin: Asn, prefix: IpNet) {
+        let list = self.by_origin.entry(origin).or_default();
+        if list.is_empty() {
+            if let Err(at) = self.origins.binary_search(&origin) {
+                self.origins.insert(at, origin);
+            }
+        }
+        list.push(prefix);
+    }
+
+    fn unindex_prefix(&mut self, origin: Asn, prefix: &IpNet) {
+        if let Some(list) = self.by_origin.get_mut(&origin) {
+            list.retain(|p| p != prefix);
+            if list.is_empty() {
+                self.by_origin.remove(&origin);
+                if let Ok(at) = self.origins.binary_search(&origin) {
+                    self.origins.remove(at);
+                }
+            }
+        }
     }
 
     /// Number of announced prefixes (both families).
@@ -111,16 +133,54 @@ impl Rib {
         self.routes.iter().map(|(net, entry)| (net, entry.origin))
     }
 
-    /// The set of origin ASes with at least one announcement.
-    pub fn origins(&self) -> Vec<Asn> {
-        let mut asns: Vec<Asn> = self
-            .by_origin
-            .iter()
-            .filter(|(_, v)| !v.is_empty())
-            .map(|(a, _)| *a)
-            .collect();
-        asns.sort();
-        asns
+    /// The set of origin ASes with at least one announcement, ascending.
+    ///
+    /// Maintained incrementally on announce/withdraw, so this is O(1).
+    pub fn origins(&self) -> &[Asn] {
+        &self.origins
+    }
+
+    /// Longest-prefix match that remembers the previous answer.
+    ///
+    /// The ECS scanner looks up millions of addresses in ascending order, so
+    /// consecutive queries overwhelmingly land in the same announced prefix.
+    /// When the previous match was a *leaf* (no more-specific prefix below
+    /// it — see [`PrefixTrie::longest_match_leaf`]) and still contains
+    /// `addr`, the memoised answer is provably identical to a full walk and
+    /// is returned without touching the trie.
+    ///
+    /// The memo must not be reused across RIB mutations; the scanner holds
+    /// `&Rib` for the whole scan, which enforces this borrow-wise.
+    pub fn lookup_memoized(&self, addr: IpAddr, memo: &mut LookupMemo) -> Option<(IpNet, Asn)> {
+        if let Some((net, asn, true)) = memo.last {
+            if net.contains(addr) {
+                return Some((net, asn));
+            }
+        }
+        match self.routes.longest_match_leaf(addr) {
+            Some((net, entry, leaf)) => {
+                memo.last = Some((net, entry.origin, leaf));
+                Some((net, entry.origin))
+            }
+            None => {
+                memo.last = None;
+                None
+            }
+        }
+    }
+}
+
+/// Scratch state for [`Rib::lookup_memoized`]: the last match and whether it
+/// was a leaf (safe to reuse for any address it contains).
+#[derive(Debug, Default, Clone)]
+pub struct LookupMemo {
+    last: Option<(IpNet, Asn, bool)>,
+}
+
+impl LookupMemo {
+    /// A fresh memo (first lookup takes the slow path).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -160,7 +220,10 @@ mod tests {
     fn reannounce_moves_origin() {
         let mut rib = Rib::new();
         rib.announce(net("203.0.113.0/24"), Asn(64512));
-        assert_eq!(rib.announce(net("203.0.113.0/24"), Asn(64513)), Some(Asn(64512)));
+        assert_eq!(
+            rib.announce(net("203.0.113.0/24"), Asn(64513)),
+            Some(Asn(64512))
+        );
         assert_eq!(rib.origin_of(&net("203.0.113.0/24")), Some(Asn(64513)));
         assert!(rib.prefixes_of(Asn(64512)).is_empty());
         assert_eq!(rib.prefixes_of(Asn(64513)), &[net("203.0.113.0/24")]);
@@ -214,5 +277,55 @@ mod tests {
         assert_eq!(rib.origins(), vec![Asn::APPLE, Asn::AKAMAI_EG]);
         assert_eq!(rib.iter().count(), 3);
         assert_eq!(rib.prefixes_of(Asn::APPLE).len(), 2);
+    }
+
+    #[test]
+    fn origins_cache_tracks_withdraw_and_reannounce() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("2620:149::/32"), Asn::APPLE);
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        // Withdrawing one of two Apple prefixes keeps Apple listed.
+        rib.withdraw(&net("2620:149::/32"));
+        assert_eq!(rib.origins(), vec![Asn::APPLE, Asn::AKAMAI_EG]);
+        // Withdrawing the last one drops Apple entirely.
+        rib.withdraw(&net("17.0.0.0/8"));
+        assert_eq!(rib.origins(), vec![Asn::AKAMAI_EG]);
+        // Re-announcing under a different origin moves the prefix between
+        // origin sets and drops the now-empty old origin.
+        rib.announce(net("23.32.0.0/11"), Asn::APPLE);
+        assert_eq!(rib.origins(), vec![Asn::APPLE]);
+        rib.withdraw(&net("23.32.0.0/11"));
+        assert!(rib.origins().is_empty());
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn memoized_lookup_matches_plain_lookup() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        let mut memo = LookupMemo::new();
+        // Sweep addresses the way the scanner does: ascending, with long
+        // same-prefix runs, crossing prefix boundaries and unrouted gaps.
+        for addr in [
+            "17.5.0.1",
+            "17.5.0.2",
+            "17.5.200.9",
+            "17.6.0.1",
+            "17.6.0.2",
+            "8.8.8.8",
+            "23.33.0.1",
+            "23.33.0.2",
+            "17.5.0.1",
+        ] {
+            let addr: IpAddr = addr.parse().unwrap();
+            assert_eq!(
+                rib.lookup_memoized(addr, &mut memo),
+                rib.lookup(addr),
+                "{addr}"
+            );
+        }
     }
 }

@@ -82,7 +82,7 @@ proptest! {
             .sum();
         prop_assert_eq!(total, rib.len());
         // Every prefix listed for an origin really has that origin.
-        for asn in rib.origins() {
+        for &asn in rib.origins() {
             for p in rib.prefixes_of(asn) {
                 prop_assert_eq!(rib.origin_of(p), Some(asn));
             }

@@ -72,7 +72,12 @@ impl AtlasSetup {
             "control.atlas-measurements.net".parse().expect("static"),
             QType::A,
         );
-        campaign.run(&self.probes, control_auth, epoch.start(), &SimRng::new(seed))
+        campaign.run(
+            &self.probes,
+            control_auth,
+            epoch.start(),
+            &SimRng::new(seed),
+        )
     }
 
     /// Distribution of resolver kinds across probes (the `whoami` result).
@@ -99,9 +104,7 @@ impl AtlasSetup {
     pub fn resolver_as_count(&self) -> usize {
         self.probes
             .iter()
-            .filter(|p| {
-                matches!(p.resolver_kind, ResolverKind::Isp | ResolverKind::Local)
-            })
+            .filter(|p| matches!(p.resolver_kind, ResolverKind::Isp | ResolverKind::Local))
             .map(|p| p.asn)
             .collect::<BTreeSet<Asn>>()
             .len()
@@ -184,8 +187,7 @@ mod tests {
     #[test]
     fn a_campaign_sees_subset_of_full_fleet() {
         let (d, atlas) = setup();
-        let results =
-            atlas.run_mask_campaign(&d, Domain::MaskQuic, QType::A, Epoch::Apr2022, 1);
+        let results = atlas.run_mask_campaign(&d, Domain::MaskQuic, QType::A, Epoch::Apr2022, 1);
         let report = AtlasCampaignReport::aggregate(&d, &results);
         assert!(!report.v4_addresses.is_empty());
         // Every observed address is a current ingress address (⊆ ECS
@@ -194,7 +196,10 @@ mod tests {
             .fleets
             .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE)
             .iter()
-            .chain(d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR))
+            .chain(
+                d.fleets
+                    .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR),
+            )
             .copied()
             .collect();
         // All *ingress* answers are in the fleet; the one hijacked probe
@@ -220,8 +225,7 @@ mod tests {
     #[test]
     fn aaaa_campaign_enumerates_v6() {
         let (d, atlas) = setup();
-        let results =
-            atlas.run_mask_campaign(&d, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 2);
+        let results = atlas.run_mask_campaign(&d, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 2);
         let report = AtlasCampaignReport::aggregate(&d, &results);
         assert!(!report.v6_addresses.is_empty());
         assert!(report.v6_count_for(Asn::AKAMAI_PR) > report.v6_count_for(Asn::APPLE));

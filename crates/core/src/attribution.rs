@@ -177,7 +177,12 @@ mod tests {
         assert!(both.slash24 > apple.slash24);
         assert!(both.users > akamai.users);
         // Akamai-only has more ASes than Apple-only (34.6k vs 20.8k).
-        assert!(akamai.ases > apple.ases, "{} !> {}", akamai.ases, apple.ases);
+        assert!(
+            akamai.ases > apple.ases,
+            "{} !> {}",
+            akamai.ases,
+            apple.ases
+        );
         // Apple's subnet share inside both-ASes ≈ 76 %.
         assert!(
             (0.70..0.82).contains(&both.apple_subnet_share),

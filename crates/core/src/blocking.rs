@@ -190,8 +190,8 @@ pub fn survey(
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;
-    use tectonic_net::Asn;
     use tectonic_geo::country::CountryCode;
+    use tectonic_net::Asn;
 
     fn ok(addr: Ipv4Addr) -> MeasurementOutcome {
         MeasurementOutcome::Response {

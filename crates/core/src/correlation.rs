@@ -49,10 +49,7 @@ pub struct CorrelationReport {
 impl CorrelationReport {
     /// Runs the audit against a deployment at `epoch`.
     pub fn audit(deployment: &Deployment, epoch: Epoch) -> CorrelationReport {
-        let announced: Vec<IpNet> = deployment
-            .rib
-            .prefixes_of(Asn::AKAMAI_PR)
-            .to_vec();
+        let announced: Vec<IpNet> = deployment.rib.prefixes_of(Asn::AKAMAI_PR).to_vec();
         let announced_v4 = announced.iter().filter(|p| p.is_v4()).count();
         let announced_v6 = announced.iter().filter(|p| p.is_v6()).count();
 
@@ -97,8 +94,7 @@ impl CorrelationReport {
 
         let used: BTreeSet<&String> = with_ingress.union(&with_egress).collect();
         let used_share = used.len() as f64 / announced.len().max(1) as f64;
-        let ingress_egress_share_prefix =
-            with_ingress.intersection(&with_egress).next().is_some();
+        let ingress_egress_share_prefix = with_ingress.intersection(&with_egress).next().is_some();
 
         // Last-hop sharing: sample ingress × egress v4 pairs.
         let ingress_v4: Vec<IpAddr> = ingress_addrs
@@ -125,7 +121,10 @@ impl CorrelationReport {
         for (i, ing) in ingress_v4.iter().step_by(7).enumerate() {
             for eg in egress_v4.iter().skip(i % 3).step_by(11).take(24) {
                 pairs += 1;
-                if deployment.routers.shares_last_hop(Asn::AKAMAI_PR, *ing, *eg) {
+                if deployment
+                    .routers
+                    .shares_last_hop(Asn::AKAMAI_PR, *ing, *eg)
+                {
                     shared += 1;
                 }
             }

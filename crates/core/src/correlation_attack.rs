@@ -110,9 +110,7 @@ fn train_distance(a: &[HopEvent], b: &[HopEvent]) -> f64 {
     }
     // Estimate the constant relay delay as the median pairwise offset and
     // measure residual spread.
-    let mut offsets: Vec<i64> = (0..n)
-        .map(|i| b[i].at as i64 - a[i].at as i64)
-        .collect();
+    let mut offsets: Vec<i64> = (0..n).map(|i| b[i].at as i64 - a[i].at as i64).collect();
     offsets.sort_unstable();
     let median = offsets[n / 2];
     offsets

@@ -93,8 +93,7 @@ impl Archive {
     /// Loads an archive written by [`Archive::write_to_dir`].
     pub fn load_from_dir(dir: &Path) -> io::Result<Archive> {
         let json = fs::read_to_string(dir.join("archive.json"))?;
-        serde_json::from_str(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
     /// Loads the egress CSV next to an archive, if present.
@@ -118,8 +117,8 @@ mod tests {
     use tectonic_relay::{Deployment, DeploymentConfig, Domain};
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("tectonic-archive-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tectonic-archive-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -158,7 +157,9 @@ mod tests {
             archive.scans.get("Apr").unwrap().discovered
         );
         assert_eq!(loaded.table2, archive.table2);
-        let egress = Archive::load_egress(&dir).expect("load csv").expect("csv present");
+        let egress = Archive::load_egress(&dir)
+            .expect("load csv")
+            .expect("csv present");
         assert_eq!(egress.len(), d.egress_list.len());
         let _ = fs::remove_dir_all(&dir);
     }

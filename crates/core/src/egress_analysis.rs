@@ -310,14 +310,9 @@ impl<'a> EgressAnalysis<'a> {
     /// `asn` that are absent from the operator's physical PoP footprint —
     /// the Saint-Kitts-and-Nevis finding. A non-empty result proves the
     /// published location describes the client, not the relay.
-    pub fn phantom_locations(
-        &self,
-        asn: Asn,
-        pop_countries: &[CountryCode],
-    ) -> Vec<CountryCode> {
+    pub fn phantom_locations(&self, asn: Asn, pop_countries: &[CountryCode]) -> Vec<CountryCode> {
         let pops: BTreeSet<&CountryCode> = pop_countries.iter().collect();
-        let covered: BTreeSet<CountryCode> =
-            self.entries_of(asn).map(|e| e.cc).collect();
+        let covered: BTreeSet<CountryCode> = self.entries_of(asn).map(|e| e.cc).collect();
         covered
             .into_iter()
             .filter(|cc| !pops.contains(cc))

@@ -97,11 +97,8 @@ impl LoadReport {
                 top_decile_share: top as f64 / subnets.max(1) as f64,
             });
         }
-        let mut hotspots: Vec<(Ipv4Addr, u64)> = scan
-            .subnets_served
-            .iter()
-            .map(|(a, s)| (*a, *s))
-            .collect();
+        let mut hotspots: Vec<(Ipv4Addr, u64)> =
+            scan.subnets_served.iter().map(|(a, s)| (*a, *s)).collect();
         hotspots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         hotspots.truncate(hotspot_count);
         LoadReport {
@@ -179,7 +176,11 @@ mod tests {
     fn both_operators_have_load() {
         let (_, load) = report();
         assert_eq!(load.operators.len(), 2);
-        let akamai = load.operators.iter().find(|o| o.asn == Asn::AKAMAI_PR).unwrap();
+        let akamai = load
+            .operators
+            .iter()
+            .find(|o| o.asn == Asn::AKAMAI_PR)
+            .unwrap();
         let apple = load.operators.iter().find(|o| o.asn == Asn::APPLE).unwrap();
         // Apple serves ~69 % of subnets with ~22 % of addresses, so its
         // per-address mean load must exceed Akamai's — the §6 bottleneck

@@ -34,10 +34,16 @@ pub struct ScanDiff {
 impl ScanDiff {
     /// Diffs `new` against `old`.
     pub fn between(old: &EcsScanReport, new: &EcsScanReport) -> ScanDiff {
-        let added: BTreeSet<Ipv4Addr> =
-            new.discovered.difference(&old.discovered).copied().collect();
-        let removed: BTreeSet<Ipv4Addr> =
-            old.discovered.difference(&new.discovered).copied().collect();
+        let added: BTreeSet<Ipv4Addr> = new
+            .discovered
+            .difference(&old.discovered)
+            .copied()
+            .collect();
+        let removed: BTreeSet<Ipv4Addr> = old
+            .discovered
+            .difference(&new.discovered)
+            .copied()
+            .collect();
         let stable = old.discovered.intersection(&new.discovered).count();
         let old_total = old.total().max(1) as f64;
         let mut asns: BTreeSet<Asn> = old.by_ingress_as.keys().copied().collect();
@@ -104,7 +110,12 @@ pub fn render_evolution(points: &[EvolutionPoint]) -> String {
         "epoch", "total", "Apple", "Akamai", "added", "removed", "churn"
     );
     for p in points {
-        let apple = p.by_as.iter().find(|(a, _)| *a == Asn::APPLE).map(|(_, c)| *c).unwrap_or(0);
+        let apple = p
+            .by_as
+            .iter()
+            .find(|(a, _)| *a == Asn::APPLE)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         let akamai = p
             .by_as
             .iter()
@@ -194,7 +205,11 @@ mod tests {
         assert_eq!(old_sum, scans[0].1.total());
         assert_eq!(new_sum, scans[3].1.total());
         // Akamai grows; Apple roughly steady (Table 1's pattern).
-        let akamai = diff.by_as.iter().find(|(a, _, _)| *a == Asn::AKAMAI_PR).unwrap();
+        let akamai = diff
+            .by_as
+            .iter()
+            .find(|(a, _, _)| *a == Asn::AKAMAI_PR)
+            .unwrap();
         assert!(akamai.2 > akamai.1);
     }
 

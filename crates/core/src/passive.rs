@@ -158,7 +158,10 @@ pub fn ids_fragmentation(
 
 /// Per-ingress traffic concentration an ISP would have to provision for
 /// (§6: "ISPs need to evaluate their paths towards the ingress addresses").
-pub fn ingress_traffic_shares(flows: &[FlowRecord], monitor: &PassiveMonitor) -> Vec<(IpAddr, f64)> {
+pub fn ingress_traffic_shares(
+    flows: &[FlowRecord],
+    monitor: &PassiveMonitor,
+) -> Vec<(IpAddr, f64)> {
     let mut per_ingress: BTreeMap<IpAddr, u64> = BTreeMap::new();
     let mut relay_total = 0u64;
     for flow in flows {

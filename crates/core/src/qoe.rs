@@ -99,11 +99,7 @@ pub fn render_qoe(optimised: &QoeReport, unoptimised: &QoeReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "QoE impact of the two-hop relay (§6 future work)");
-    let _ = writeln!(
-        out,
-        "{:<22} | {:>10} {:>10}",
-        "", "optimised", "plain path"
-    );
+    let _ = writeln!(out, "{:<22} | {:>10} {:>10}", "", "optimised", "plain path");
     type RowExtractor = fn(&QoeReport) -> f64;
     let rows: [(&str, RowExtractor); 6] = [
         ("median direct (ms)", |r| r.median_direct_ms),

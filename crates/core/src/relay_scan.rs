@@ -183,9 +183,11 @@ mod tests {
     #[test]
     fn fixed_dns_also_runs() {
         let d = Deployment::build(66, DeploymentConfig::scaled(512));
-        let forced =
-            d.fleets.fleet_v4(Epoch::Apr2022, tectonic_relay::Domain::MaskQuic, Asn::AKAMAI_PR)
-                [0];
+        let forced = d.fleets.fleet_v4(
+            Epoch::Apr2022,
+            tectonic_relay::Domain::MaskQuic,
+            Asn::AKAMAI_PR,
+        )[0];
         let auth = d.auth_server_unlimited();
         let device = d.device_in_country(CountryCode::DE, DnsMode::Fixed(forced));
         let s = RelayScanSeries::run(

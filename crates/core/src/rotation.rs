@@ -33,10 +33,8 @@ impl RotationReport {
     /// Computes the statistics from a scan series.
     pub fn from_series(series: &RelayScanSeries) -> RotationReport {
         let curl = series.curl_requests();
-        let addresses: BTreeSet<&str> =
-            curl.iter().map(|r| r.egress_addr.as_str()).collect();
-        let subnets: BTreeSet<&str> =
-            curl.iter().map(|r| r.egress_subnet.as_str()).collect();
+        let addresses: BTreeSet<&str> = curl.iter().map(|r| r.egress_addr.as_str()).collect();
+        let subnets: BTreeSet<&str> = curl.iter().map(|r| r.egress_subnet.as_str()).collect();
         let changes = curl
             .windows(2)
             .filter(|w| w[0].egress_addr != w[1].egress_addr)

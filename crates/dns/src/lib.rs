@@ -32,13 +32,15 @@ pub mod message;
 pub mod name;
 pub mod resolver;
 pub mod server;
+pub mod template;
 pub mod wire;
 pub mod zone;
 
 pub use edns::{EcsOption, EdnsOption, OptRecord};
-pub use message::{Message, QClass, QType, Question, RData, Record, Rcode};
+pub use message::{Message, QClass, QType, Question, RData, Rcode, Record};
 pub use name::DomainName;
-pub use resolver::{Resolver, ResolverKind, ResolverPolicy, ResolutionOutcome};
-pub use server::{AuthoritativeServer, NameServer, QueryContext, ServerReply};
-pub use wire::{decode_message, encode_message, DnsWireError};
+pub use resolver::{ResolutionOutcome, Resolver, ResolverKind, ResolverPolicy};
+pub use server::{AuthoritativeServer, NameServer, QueryContext, ReplyOutcome, ServerReply};
+pub use template::{PatchedQuery, QueryTemplate};
+pub use wire::{decode_message, encode_message, encode_message_into, DnsWireError, MessageEncoder};
 pub use zone::{EcsAnswer, EcsAnswerer, Zone};

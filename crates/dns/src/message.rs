@@ -366,7 +366,10 @@ impl Message {
 
     /// All AAAA answers.
     pub fn aaaa_answers(&self) -> Vec<Ipv6Addr> {
-        self.answers.iter().filter_map(|r| r.rdata.as_aaaa()).collect()
+        self.answers
+            .iter()
+            .filter_map(|r| r.rdata.as_aaaa())
+            .collect()
     }
 
     /// `true` for a NOERROR response whose answer section is empty —

@@ -288,11 +288,17 @@ mod tests {
     #[test]
     fn is_within_zone() {
         let zone = DomainName::parse("icloud.com").unwrap();
-        assert!(DomainName::parse("mask.icloud.com").unwrap().is_within(&zone));
+        assert!(DomainName::parse("mask.icloud.com")
+            .unwrap()
+            .is_within(&zone));
         assert!(DomainName::parse("ICLOUD.COM").unwrap().is_within(&zone));
-        assert!(!DomainName::parse("icloud.com.evil.org").unwrap().is_within(&zone));
+        assert!(!DomainName::parse("icloud.com.evil.org")
+            .unwrap()
+            .is_within(&zone));
         assert!(!DomainName::parse("com").unwrap().is_within(&zone));
-        assert!(DomainName::parse("a.b.icloud.com").unwrap().is_within(&zone));
+        assert!(DomainName::parse("a.b.icloud.com")
+            .unwrap()
+            .is_within(&zone));
         // Everything is within the root.
         assert!(zone.is_within(&DomainName::root()));
     }
@@ -309,7 +315,10 @@ mod tests {
     #[test]
     fn encoded_len_matches_rfc() {
         // "mask.icloud.com" = 1+4 + 1+6 + 1+3 + 1 = 17
-        assert_eq!(DomainName::parse("mask.icloud.com").unwrap().encoded_len(), 17);
+        assert_eq!(
+            DomainName::parse("mask.icloud.com").unwrap().encoded_len(),
+            17
+        );
         assert_eq!(DomainName::root().encoded_len(), 1);
     }
 

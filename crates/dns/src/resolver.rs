@@ -217,9 +217,9 @@ impl Resolver {
         if self.kind.sends_ecs() {
             let ecs = match client_addr {
                 IpAddr::V4(a) => EcsOption::for_v4_net(Ipv4Net::slash24_of(a)),
-                IpAddr::V6(a) => EcsOption::for_v6_net(
-                    tectonic_net::Ipv6Net::new(a, 56).expect("56 <= 128"),
-                ),
+                IpAddr::V6(a) => {
+                    EcsOption::for_v6_net(tectonic_net::Ipv6Net::new(a, 56).expect("56 <= 128"))
+                }
             };
             query.edns.as_mut().expect("query has EDNS").set_ecs(ecs);
         }
@@ -253,19 +253,11 @@ impl Resolver {
         };
         match self.policy {
             ResolverPolicy::Normal => unreachable!("blocks() checked"),
-            ResolverPolicy::BlockNxDomain => {
-                ResolutionOutcome::Answered(make(Rcode::NxDomain))
-            }
+            ResolverPolicy::BlockNxDomain => ResolutionOutcome::Answered(make(Rcode::NxDomain)),
             ResolverPolicy::BlockNoData => ResolutionOutcome::Answered(make(Rcode::NoError)),
-            ResolverPolicy::BlockRefused => {
-                ResolutionOutcome::Answered(make(Rcode::Refused))
-            }
-            ResolverPolicy::BlockServFail => {
-                ResolutionOutcome::Answered(make(Rcode::ServFail))
-            }
-            ResolverPolicy::BlockFormErr => {
-                ResolutionOutcome::Answered(make(Rcode::FormErr))
-            }
+            ResolverPolicy::BlockRefused => ResolutionOutcome::Answered(make(Rcode::Refused)),
+            ResolverPolicy::BlockServFail => ResolutionOutcome::Answered(make(Rcode::ServFail)),
+            ResolverPolicy::BlockFormErr => ResolutionOutcome::Answered(make(Rcode::FormErr)),
             ResolverPolicy::Hijack(addr) => {
                 let mut r = make(Rcode::NoError);
                 if qtype == QType::A {
@@ -355,8 +347,10 @@ mod tests {
 
     #[test]
     fn nodata_block_is_noerror_nodata_shape() {
-        let r = Resolver::new(ResolverKind::Isp, "192.0.2.53".parse().unwrap())
-            .with_policy(ResolverPolicy::BlockNoData, vec!["icloud.com".parse().unwrap()]);
+        let r = Resolver::new(ResolverKind::Isp, "192.0.2.53".parse().unwrap()).with_policy(
+            ResolverPolicy::BlockNoData,
+            vec!["icloud.com".parse().unwrap()],
+        );
         let out = r.resolve(client(), &mask_domain(), QType::A, &auth(), SimTime(0));
         assert!(out.message().unwrap().is_noerror_nodata());
     }
@@ -383,11 +377,10 @@ mod tests {
     #[test]
     fn hijack_answers_with_other_address() {
         let hijack_addr = Ipv4Addr::new(185, 228, 168, 10);
-        let r = Resolver::new(ResolverKind::Local, "192.0.2.53".parse().unwrap())
-            .with_policy(
-                ResolverPolicy::Hijack(hijack_addr),
-                vec!["icloud.com".parse().unwrap()],
-            );
+        let r = Resolver::new(ResolverKind::Local, "192.0.2.53".parse().unwrap()).with_policy(
+            ResolverPolicy::Hijack(hijack_addr),
+            vec!["icloud.com".parse().unwrap()],
+        );
         let out = r.resolve(client(), &mask_domain(), QType::A, &auth(), SimTime(0));
         let m = out.message().unwrap();
         assert_eq!(m.rcode, Rcode::NoError);
@@ -399,11 +392,10 @@ mod tests {
 
     #[test]
     fn blocks_applies_to_subdomains_only() {
-        let r = Resolver::new(ResolverKind::Isp, "192.0.2.53".parse().unwrap())
-            .with_policy(
-                ResolverPolicy::BlockNxDomain,
-                vec!["icloud.com".parse().unwrap()],
-            );
+        let r = Resolver::new(ResolverKind::Isp, "192.0.2.53".parse().unwrap()).with_policy(
+            ResolverPolicy::BlockNxDomain,
+            vec!["icloud.com".parse().unwrap()],
+        );
         assert!(r.blocks(&mask_domain()));
         assert!(r.blocks(&mask_h2_domain()));
         assert!(!r.blocks(&"example.org".parse().unwrap()));

@@ -10,11 +10,12 @@
 use std::collections::HashMap;
 use std::net::IpAddr;
 
+use bytes::BytesMut;
 use parking_lot::Mutex;
 use tectonic_net::{SimDuration, SimTime};
 
 use crate::message::{Message, QClass, Rcode};
-use crate::wire::{decode_message, encode_message};
+use crate::wire::{decode_message, encode_message, MessageEncoder};
 use crate::zone::{QueryInfo, Zone, ZoneAnswer};
 
 /// Per-query context a server sees.
@@ -35,10 +36,43 @@ pub enum ServerReply {
     Dropped,
 }
 
+/// Outcome of [`NameServer::handle_query_into`] — like [`ServerReply`] but
+/// with the response bytes living in the caller's buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyOutcome {
+    /// A response was written into the caller's buffer.
+    Written,
+    /// The query was dropped (rate limit); the client sees a timeout.
+    Dropped,
+}
+
 /// Anything that answers DNS queries at the wire level.
 pub trait NameServer: Send + Sync {
     /// Handles one wire-format query from `ctx.src` at `ctx.now`.
     fn handle_query(&self, wire: &[u8], ctx: &QueryContext) -> ServerReply;
+
+    /// Like [`handle_query`], but writes the response into `out` (cleared
+    /// first) so a caller polling in a loop can reuse one buffer. The
+    /// default implementation falls back to [`handle_query`]; servers on a
+    /// hot path (see [`AuthoritativeServer`]) override it to encode
+    /// directly into `out`.
+    ///
+    /// [`handle_query`]: NameServer::handle_query
+    fn handle_query_into(
+        &self,
+        wire: &[u8],
+        ctx: &QueryContext,
+        out: &mut BytesMut,
+    ) -> ReplyOutcome {
+        match self.handle_query(wire, ctx) {
+            ServerReply::Response(bytes) => {
+                out.clear();
+                out.extend_from_slice(&bytes);
+                ReplyOutcome::Written
+            }
+            ServerReply::Dropped => ReplyOutcome::Dropped,
+        }
+    }
 }
 
 /// Token-bucket rate limit configuration.
@@ -116,6 +150,10 @@ impl RateLimiter {
 pub struct AuthoritativeServer {
     zones: Vec<Zone>,
     rate_limiter: Option<RateLimiter>,
+    /// Shared reusable encoder for the scratch-buffer reply path. Under
+    /// contention (parallel scan workers) callers fall back to a fresh
+    /// encoder rather than serialise on the lock.
+    encoder: Mutex<MessageEncoder>,
 }
 
 impl std::fmt::Debug for AuthoritativeServer {
@@ -133,6 +171,7 @@ impl AuthoritativeServer {
         AuthoritativeServer {
             zones: Vec::new(),
             rate_limiter: None,
+            encoder: Mutex::new(MessageEncoder::new()),
         }
     }
 
@@ -205,25 +244,51 @@ impl Default for AuthoritativeServer {
     }
 }
 
-impl NameServer for AuthoritativeServer {
-    fn handle_query(&self, wire: &[u8], ctx: &QueryContext) -> ServerReply {
+impl AuthoritativeServer {
+    /// The typed reply for one wire query, or `None` on a rate-limit drop.
+    fn reply_message(&self, wire: &[u8], ctx: &QueryContext) -> Option<Message> {
         if let Some(limiter) = &self.rate_limiter {
             if !limiter.allow(ctx.src, ctx.now) {
-                return ServerReply::Dropped;
+                return None;
             }
         }
         let query = match decode_message(wire) {
             Ok(q) => q,
             Err(_) => {
                 // Cannot mirror an ID we failed to parse; best effort.
-                let mut resp = Message::query(0, crate::name::DomainName::root(), crate::message::QType::A)
-                    .response_to(Rcode::FormErr);
+                let mut resp =
+                    Message::query(0, crate::name::DomainName::root(), crate::message::QType::A)
+                        .response_to(Rcode::FormErr);
                 resp.questions.clear();
-                return ServerReply::Response(encode_message(&resp));
+                return Some(resp);
             }
         };
-        let response = self.handle_message(&query, ctx);
-        ServerReply::Response(encode_message(&response))
+        Some(self.handle_message(&query, ctx))
+    }
+}
+
+impl NameServer for AuthoritativeServer {
+    fn handle_query(&self, wire: &[u8], ctx: &QueryContext) -> ServerReply {
+        match self.reply_message(wire, ctx) {
+            Some(response) => ServerReply::Response(encode_message(&response)),
+            None => ServerReply::Dropped,
+        }
+    }
+
+    fn handle_query_into(
+        &self,
+        wire: &[u8],
+        ctx: &QueryContext,
+        out: &mut BytesMut,
+    ) -> ReplyOutcome {
+        let Some(response) = self.reply_message(wire, ctx) else {
+            return ReplyOutcome::Dropped;
+        };
+        match self.encoder.try_lock() {
+            Some(mut encoder) => encoder.encode_into(&response, out),
+            None => MessageEncoder::new().encode_into(&response, out),
+        }
+        ReplyOutcome::Written
     }
 }
 
@@ -323,9 +388,14 @@ mod tests {
             60,
             RData::A(Ipv4Addr::new(2, 2, 2, 2)),
         ));
-        let s = AuthoritativeServer::new().with_zone(parent).with_zone(child);
+        let s = AuthoritativeServer::new()
+            .with_zone(parent)
+            .with_zone(child);
         let q = Message::query(1, mask_domain(), QType::A);
-        assert_eq!(ask(&s, &q, &ctx(0)).a_answers(), vec![Ipv4Addr::new(2, 2, 2, 2)]);
+        assert_eq!(
+            ask(&s, &q, &ctx(0)).a_answers(),
+            vec![Ipv4Addr::new(2, 2, 2, 2)]
+        );
     }
 
     #[test]
@@ -361,7 +431,10 @@ mod tests {
         let q = Message::query(1, mask_domain(), QType::A);
         let wire = encode_message(&q);
         let c = ctx(0);
-        assert!(matches!(s.handle_query(&wire, &c), ServerReply::Response(_)));
+        assert!(matches!(
+            s.handle_query(&wire, &c),
+            ServerReply::Response(_)
+        ));
         assert_eq!(s.handle_query(&wire, &c), ServerReply::Dropped);
     }
 

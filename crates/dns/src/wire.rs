@@ -5,7 +5,6 @@
 //! in the additional section and compression pointers in responses with many
 //! answer records (the April scans saw up to eight A records per response).
 
-use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -49,35 +48,112 @@ impl std::error::Error for DnsWireError {}
 
 // ---------------------------------------------------------------- encoding
 
-struct Encoder {
-    buf: BytesMut,
-    /// Maps lower-cased suffix (dotted) → offset for compression pointers.
-    offsets: HashMap<String, u16>,
+/// A reusable message encoder.
+///
+/// Compression state is a list of label start offsets into the output
+/// buffer; candidate suffixes are matched by walking the already-written
+/// bytes (following pointers), so no per-label strings are allocated.
+/// Reusing one `MessageEncoder` across many [`encode_into`] calls also
+/// reuses the offset list's capacity, making steady-state encoding
+/// allocation-free when the caller reuses its output buffer too.
+///
+/// [`encode_into`]: MessageEncoder::encode_into
+#[derive(Debug, Default)]
+pub struct MessageEncoder {
+    /// Buffer offsets where a label sequence was written literally —
+    /// the candidate targets for compression pointers.
+    label_offsets: Vec<u16>,
 }
 
-impl Encoder {
-    fn new() -> Self {
-        Encoder {
-            buf: BytesMut::with_capacity(512),
-            offsets: HashMap::new(),
+impl MessageEncoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `m` into `out`, clearing it first. Output is byte-identical
+    /// to [`encode_message`].
+    pub fn encode_into(&mut self, m: &Message, out: &mut BytesMut) {
+        out.clear();
+        self.label_offsets.clear();
+        let mut sink = Sink {
+            buf: out,
+            label_offsets: &mut self.label_offsets,
+        };
+        sink.put_message(m);
+    }
+}
+
+/// Compares the name suffix `labels` against the (possibly compressed) name
+/// encoded in `buf` at `off`, case-insensitively.
+fn suffix_matches_at(buf: &[u8], mut off: usize, labels: &[String]) -> bool {
+    let mut idx = 0;
+    let mut jumps = 0;
+    loop {
+        // Offsets recorded for the name currently being written can run past
+        // the end of the buffer (its terminator is not written yet); such an
+        // incomplete name never matches, mirroring the string-keyed map that
+        // only ever held distinct full suffixes.
+        if off >= buf.len() {
+            return false;
         }
+        let len = buf[off] as usize;
+        if len & 0xC0 == 0xC0 {
+            // Pointers we wrote ourselves always target earlier offsets.
+            if jumps >= 16 || off + 1 >= buf.len() {
+                return false;
+            }
+            jumps += 1;
+            off = ((len & 0x3F) << 8) | buf[off + 1] as usize;
+            continue;
+        }
+        if len == 0 {
+            return idx == labels.len();
+        }
+        if idx >= labels.len() {
+            return false;
+        }
+        let label = labels[idx].as_bytes();
+        if off + 1 + len > buf.len()
+            || label.len() != len
+            || !buf[off + 1..off + 1 + len].eq_ignore_ascii_case(label)
+        {
+            return false;
+        }
+        idx += 1;
+        off += 1 + len;
+    }
+}
+
+struct Sink<'a> {
+    buf: &'a mut BytesMut,
+    label_offsets: &'a mut Vec<u16>,
+}
+
+impl Sink<'_> {
+    /// The first recorded offset whose encoded suffix equals `labels`.
+    ///
+    /// Each distinct suffix is written literally at most once (later
+    /// occurrences compress to pointers), so "first match in insertion
+    /// order" reproduces the first-occurrence offsets the old string-keyed
+    /// map produced — output stays byte-identical.
+    fn find_suffix(&self, labels: &[String]) -> Option<u16> {
+        self.label_offsets
+            .iter()
+            .copied()
+            .find(|&off| suffix_matches_at(self.buf, off as usize, labels))
     }
 
     fn put_name(&mut self, name: &DomainName) {
         let labels = name.labels();
         for i in 0..labels.len() {
-            let suffix: String = labels[i..]
-                .iter()
-                .map(|l| l.to_ascii_lowercase())
-                .collect::<Vec<_>>()
-                .join(".");
-            if let Some(&off) = self.offsets.get(&suffix) {
+            if let Some(off) = self.find_suffix(&labels[i..]) {
                 self.buf.put_u16(0xC000 | off);
                 return;
             }
             // Pointers can only reference the first 16 KiB − pointer space.
             if self.buf.len() <= 0x3FFF {
-                self.offsets.insert(suffix, self.buf.len() as u16);
+                self.label_offsets.push(self.buf.len() as u16);
             }
             let label = &labels[i];
             self.buf.put_u8(label.len() as u8);
@@ -158,52 +234,64 @@ impl Encoder {
         let rdlen = (self.buf.len() - start) as u16;
         self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
     }
+
+    fn put_message(&mut self, m: &Message) {
+        self.buf.put_u16(m.id);
+        let mut b1: u8 = 0;
+        if m.flags.qr {
+            b1 |= 0x80;
+        }
+        if m.flags.aa {
+            b1 |= 0x04;
+        }
+        if m.flags.tc {
+            b1 |= 0x02;
+        }
+        if m.flags.rd {
+            b1 |= 0x01;
+        }
+        let mut b2: u8 = m.rcode.number() & 0x0F;
+        if m.flags.ra {
+            b2 |= 0x80;
+        }
+        self.buf.put_u8(b1);
+        self.buf.put_u8(b2);
+        self.buf.put_u16(m.questions.len() as u16);
+        self.buf.put_u16(m.answers.len() as u16);
+        self.buf.put_u16(m.authority.len() as u16);
+        let arcount = m.additional.len() as u16 + u16::from(m.edns.is_some());
+        self.buf.put_u16(arcount);
+        for q in &m.questions {
+            self.put_question(q);
+        }
+        for r in &m.answers {
+            self.put_record(r);
+        }
+        for r in &m.authority {
+            self.put_record(r);
+        }
+        for r in &m.additional {
+            self.put_record(r);
+        }
+        if let Some(opt) = &m.edns {
+            self.put_opt(opt, m.rcode);
+        }
+    }
 }
 
 /// Encodes a message to wire bytes.
 pub fn encode_message(m: &Message) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.buf.put_u16(m.id);
-    let mut b1: u8 = 0;
-    if m.flags.qr {
-        b1 |= 0x80;
-    }
-    if m.flags.aa {
-        b1 |= 0x04;
-    }
-    if m.flags.tc {
-        b1 |= 0x02;
-    }
-    if m.flags.rd {
-        b1 |= 0x01;
-    }
-    let mut b2: u8 = m.rcode.number() & 0x0F;
-    if m.flags.ra {
-        b2 |= 0x80;
-    }
-    e.buf.put_u8(b1);
-    e.buf.put_u8(b2);
-    e.buf.put_u16(m.questions.len() as u16);
-    e.buf.put_u16(m.answers.len() as u16);
-    e.buf.put_u16(m.authority.len() as u16);
-    let arcount = m.additional.len() as u16 + u16::from(m.edns.is_some());
-    e.buf.put_u16(arcount);
-    for q in &m.questions {
-        e.put_question(q);
-    }
-    for r in &m.answers {
-        e.put_record(r);
-    }
-    for r in &m.authority {
-        e.put_record(r);
-    }
-    for r in &m.additional {
-        e.put_record(r);
-    }
-    if let Some(opt) = &m.edns {
-        e.put_opt(opt, m.rcode);
-    }
-    e.buf.to_vec()
+    let mut out = BytesMut::with_capacity(512);
+    MessageEncoder::new().encode_into(m, &mut out);
+    out.to_vec()
+}
+
+/// Encodes a message into a caller-provided buffer (cleared first).
+///
+/// With a warm buffer this performs no allocation besides the encoder's
+/// small offset list; use [`MessageEncoder`] directly to reuse that too.
+pub fn encode_message_into(m: &Message, out: &mut BytesMut) {
+    MessageEncoder::new().encode_into(m, out);
 }
 
 // ---------------------------------------------------------------- decoding
@@ -277,8 +365,7 @@ impl<'a> Decoder<'a> {
                     if pos + 1 >= self.data.len() {
                         return Err(DnsWireError::Truncated);
                     }
-                    let target =
-                        (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    let target = (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
                     if !jumped {
                         self.pos = pos + 2;
                     }
@@ -533,7 +620,10 @@ mod tests {
             .unwrap()
             .set_ecs(EcsOption::for_v4_net("100.64.3.0/24".parse().unwrap()));
         let back = round_trip(&q);
-        assert_eq!(back.edns.as_ref().unwrap().ecs(), q.edns.as_ref().unwrap().ecs());
+        assert_eq!(
+            back.edns.as_ref().unwrap().ecs(),
+            q.edns.as_ref().unwrap().ecs()
+        );
     }
 
     #[test]
@@ -566,7 +656,11 @@ mod tests {
         let bytes = encode_message(&r);
         // Uncompressed, each of the 8+1 extra names costs 17 bytes; with
         // pointers each repeated owner name costs 2.
-        assert!(bytes.len() < 200, "message unexpectedly large: {}", bytes.len());
+        assert!(
+            bytes.len() < 200,
+            "message unexpectedly large: {}",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -676,9 +770,7 @@ mod tests {
     #[test]
     fn pointer_loop_rejected() {
         // Name at offset 12 pointing to itself.
-        let bytes = vec![
-            0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1,
-        ];
+        let bytes = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1];
         assert!(decode_message(&bytes).is_err());
     }
 

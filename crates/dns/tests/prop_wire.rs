@@ -5,9 +5,11 @@
 
 use std::net::{Ipv4Addr, Ipv6Addr};
 
+use bytes::BytesMut;
 use proptest::prelude::*;
 use tectonic_dns::{
-    decode_message, encode_message, DomainName, EcsOption, Message, QType, RData, Rcode, Record,
+    decode_message, encode_message, DomainName, EcsOption, Message, MessageEncoder, QType,
+    QueryTemplate, RData, Rcode, Record,
 };
 
 /// Labels drawn from a DNS-plausible alphabet (the codec is 8-bit safe, but
@@ -65,14 +67,10 @@ fn arb_qtype() -> impl Strategy<Value = QType> {
 fn arb_ecs() -> impl Strategy<Value = EcsOption> {
     prop_oneof![
         (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
-            EcsOption::for_v4_net(
-                tectonic_net::Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap(),
-            )
+            EcsOption::for_v4_net(tectonic_net::Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap())
         }),
         (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| {
-            EcsOption::for_v6_net(
-                tectonic_net::Ipv6Net::new(Ipv6Addr::from(bits), len).unwrap(),
-            )
+            EcsOption::for_v6_net(tectonic_net::Ipv6Net::new(Ipv6Addr::from(bits), len).unwrap())
         }),
     ]
 }
@@ -150,5 +148,43 @@ proptest! {
         let bytes2 = encode_message(&decoded);
         let decoded2 = decode_message(&bytes2).unwrap();
         prop_assert_eq!(decoded, decoded2);
+    }
+
+    /// A `MessageEncoder` reused across arbitrary messages must emit exactly
+    /// what a fresh `encode_message` emits for each of them — stale
+    /// compression state leaking between messages would corrupt replies on
+    /// the scanner's scratch-buffer path.
+    #[test]
+    fn reused_encoder_is_byte_identical(ms in prop::collection::vec(arb_message(), 1..8)) {
+        let mut encoder = MessageEncoder::new();
+        let mut buf = BytesMut::new();
+        for m in &ms {
+            encoder.encode_into(m, &mut buf);
+            prop_assert_eq!(&buf[..], &encode_message(m)[..]);
+        }
+    }
+
+    /// Template patching must be byte-identical to encoding the equivalent
+    /// query from scratch, for any domain, ID and /24 subnet — this is the
+    /// fast path the ECS scanner rides for every query it sends.
+    #[test]
+    fn template_patching_matches_general_encoder(
+        name in arb_name(),
+        ids in prop::collection::vec(any::<u16>(), 1..6),
+        nets in prop::collection::vec(any::<u32>(), 1..6),
+    ) {
+        let template = QueryTemplate::new_v4_24(&name, QType::A)
+            .expect("template construction must succeed for valid names");
+        let mut patched = template.instantiate();
+        for (&id, &bits) in ids.iter().zip(nets.iter().cycle()) {
+            let subnet =
+                tectonic_net::Ipv4Net::new(Ipv4Addr::from(bits), 24).unwrap();
+            let mut want = Message::query(id, name.clone(), QType::A);
+            want.edns
+                .as_mut()
+                .unwrap()
+                .set_ecs(EcsOption::for_v4_net(subnet));
+            prop_assert_eq!(patched.patch(id, subnet), &encode_message(&want)[..]);
+        }
     }
 }

@@ -455,7 +455,10 @@ mod tests {
     fn serde_round_trip() {
         let j = serde_json::to_string(&CountryCode::US).unwrap();
         assert_eq!(j, "\"US\"");
-        assert_eq!(serde_json::from_str::<CountryCode>(&j).unwrap(), CountryCode::US);
+        assert_eq!(
+            serde_json::from_str::<CountryCode>(&j).unwrap(),
+            CountryCode::US
+        );
         assert!(serde_json::from_str::<CountryCode>("\"USA\"").is_err());
     }
 }

@@ -529,20 +529,18 @@ pub fn generate(
         }
 
         // --- geography
-        let ccs_v4: Vec<CountryCode> =
-            order.iter().take(spec.cc_count_v4).copied().collect();
-        let ccs_v6: Vec<CountryCode> =
-            order.iter().take(spec.cc_count_v6).copied().collect();
+        let ccs_v4: Vec<CountryCode> = order.iter().take(spec.cc_count_v4).copied().collect();
+        let ccs_v6: Vec<CountryCode> = order.iter().take(spec.cc_count_v6).copied().collect();
         let shares_v4 = cc_shares(&ccs_v4);
         let shares_v6 = cc_shares(&ccs_v6);
         let pools_v4 = city_pools(universe, &ccs_v4, spec.cities_v4);
         let pools_v6 = city_pools(universe, &ccs_v6, spec.cities_v6);
 
         let assign = |subnet: IpNet,
-                          cc_idx: usize,
-                          ccs: &[CountryCode],
-                          pools: &[Vec<&crate::city::City>],
-                          rng: &mut SimRng|
+                      cc_idx: usize,
+                      ccs: &[CountryCode],
+                      pools: &[Vec<&crate::city::City>],
+                      rng: &mut SimRng|
          -> EgressEntry {
             let cc = ccs[cc_idx];
             let pool = &pools[cc_idx];
@@ -567,11 +565,23 @@ pub fn generate(
 
         let assignments_v4 = quota_assignments(&shares_v4, v4_subnets.len(), &mut op_rng);
         for (subnet, cc_idx) in v4_subnets.into_iter().zip(assignments_v4) {
-            entries.push(assign(IpNet::V4(subnet), cc_idx, &ccs_v4, &pools_v4, &mut op_rng));
+            entries.push(assign(
+                IpNet::V4(subnet),
+                cc_idx,
+                &ccs_v4,
+                &pools_v4,
+                &mut op_rng,
+            ));
         }
         let assignments_v6 = quota_assignments(&shares_v6, v6_subnets.len(), &mut op_rng);
         for (subnet, cc_idx) in v6_subnets.into_iter().zip(assignments_v6) {
-            entries.push(assign(IpNet::V6(subnet), cc_idx, &ccs_v6, &pools_v6, &mut op_rng));
+            entries.push(assign(
+                IpNet::V6(subnet),
+                cc_idx,
+                &ccs_v6,
+                &pools_v6,
+                &mut op_rng,
+            ));
         }
         footprints.push(OperatorFootprint {
             asn: spec.asn,
@@ -651,8 +661,12 @@ mod tests {
             let holders: Vec<Asn> = footprints
                 .iter()
                 .filter(|f| {
-                    f.bgp_v4.iter().any(|p| IpNet::V4(*p).contains_net(&e.subnet))
-                        || f.bgp_v6.iter().any(|p| IpNet::V6(*p).contains_net(&e.subnet))
+                    f.bgp_v4
+                        .iter()
+                        .any(|p| IpNet::V4(*p).contains_net(&e.subnet))
+                        || f.bgp_v6
+                            .iter()
+                            .any(|p| IpNet::V6(*p).contains_net(&e.subnet))
                 })
                 .map(|f| f.asn)
                 .collect();
@@ -666,8 +680,11 @@ mod tests {
         let universe = small_universe();
         let specs = small_specs();
         let (list, _) = generate(&rng, &universe, &specs, 1.0);
-        let subnets: HashSet<String> =
-            list.entries().iter().map(|e| e.subnet.to_string()).collect();
+        let subnets: HashSet<String> = list
+            .entries()
+            .iter()
+            .map(|e| e.subnet.to_string())
+            .collect();
         assert_eq!(subnets.len(), list.len(), "duplicate subnets generated");
         // v4 subnets must not nest (bump allocation guarantees it).
         let v4: Vec<&EgressEntry> = list.v4_entries().collect();
@@ -721,7 +738,10 @@ mod tests {
         let back = EgressList::parse_csv(&csv).unwrap();
         assert_eq!(back.len(), list.len());
         assert_eq!(back.entries()[0], list.entries()[0]);
-        assert_eq!(back.entries()[list.len() - 1], list.entries()[list.len() - 1]);
+        assert_eq!(
+            back.entries()[list.len() - 1],
+            list.entries()[list.len() - 1]
+        );
     }
 
     #[test]
@@ -752,8 +772,11 @@ mod tests {
         let (full, _) = generate(&rng, &universe, &specs, 1.0);
         let (small, _) = generate(&rng, &universe, &specs, 0.87);
         assert!(small.len() < full.len());
-        let full_subnets: HashSet<String> =
-            full.entries().iter().map(|e| e.subnet.to_string()).collect();
+        let full_subnets: HashSet<String> = full
+            .entries()
+            .iter()
+            .map(|e| e.subnet.to_string())
+            .collect();
         let missing = small
             .entries()
             .iter()
@@ -787,8 +810,12 @@ mod tests {
                 .entries()
                 .iter()
                 .filter(|e| {
-                    f.bgp_v4.iter().any(|p| IpNet::V4(*p).contains_net(&e.subnet))
-                        || f.bgp_v6.iter().any(|p| IpNet::V6(*p).contains_net(&e.subnet))
+                    f.bgp_v4
+                        .iter()
+                        .any(|p| IpNet::V4(*p).contains_net(&e.subnet))
+                        || f.bgp_v6
+                            .iter()
+                            .any(|p| IpNet::V6(*p).contains_net(&e.subnet))
                 })
                 .map(|e| e.cc)
                 .collect();

@@ -145,8 +145,14 @@ mod tests {
                 city: None,
             },
         );
-        assert_eq!(db.lookup("10.1.2.3".parse().unwrap()).unwrap().cc, CountryCode::DE);
-        assert_eq!(db.lookup("10.9.9.9".parse().unwrap()).unwrap().cc, CountryCode::US);
+        assert_eq!(
+            db.lookup("10.1.2.3".parse().unwrap()).unwrap().cc,
+            CountryCode::DE
+        );
+        assert_eq!(
+            db.lookup("10.9.9.9".parse().unwrap()).unwrap().cc,
+            CountryCode::US
+        );
         assert!(!db.is_empty());
     }
 }

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::NetError;
 
 /// An autonomous-system number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 #[serde(transparent)]
 pub struct Asn(pub u32);
 
@@ -36,12 +34,8 @@ impl Asn {
     pub const FASTLY: Asn = Asn(54113);
 
     /// The four egress operator ASes of Table 3, in the paper's row order.
-    pub const EGRESS_OPERATORS: [Asn; 4] = [
-        Asn::AKAMAI_PR,
-        Asn::AKAMAI_EG,
-        Asn::CLOUDFLARE,
-        Asn::FASTLY,
-    ];
+    pub const EGRESS_OPERATORS: [Asn; 4] =
+        [Asn::AKAMAI_PR, Asn::AKAMAI_EG, Asn::CLOUDFLARE, Asn::FASTLY];
 
     /// The two ingress operator ASes of Table 1.
     pub const INGRESS_OPERATORS: [Asn; 2] = [Asn::APPLE, Asn::AKAMAI_PR];

@@ -358,6 +358,9 @@ mod tests {
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
         assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(SimDuration::from_secs(30).times(2), SimDuration::from_mins(1));
+        assert_eq!(
+            SimDuration::from_secs(30).times(2),
+            SimDuration::from_mins(1)
+        );
     }
 }

@@ -161,7 +161,10 @@ impl Ipv4Net {
     /// longer than 32.
     pub fn subnets(&self, new_len: u8) -> Result<Ipv4Subnets, NetError> {
         if new_len > 32 {
-            return Err(NetError::PrefixLenOutOfRange { len: new_len, max: 32 });
+            return Err(NetError::PrefixLenOutOfRange {
+                len: new_len,
+                max: 32,
+            });
         }
         if new_len < self.len {
             return Err(NetError::CannotSplit(format!(
@@ -354,7 +357,10 @@ impl Ipv6Net {
     /// of such subnets. Errors when `new_len` is out of range.
     pub fn nth_subnet(&self, new_len: u8, n: u128) -> Result<Ipv6Net, NetError> {
         if new_len > 128 {
-            return Err(NetError::PrefixLenOutOfRange { len: new_len, max: 128 });
+            return Err(NetError::PrefixLenOutOfRange {
+                len: new_len,
+                max: 128,
+            });
         }
         if new_len < self.len {
             return Err(NetError::CannotSplit(format!(
@@ -612,7 +618,12 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["0.0.0.0/0", "17.0.0.0/8", "203.0.113.0/24", "198.51.100.7/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "17.0.0.0/8",
+            "203.0.113.0/24",
+            "198.51.100.7/32",
+        ] {
             assert_eq!(v4(s).to_string(), s);
         }
         for s in ["::/0", "2620:149::/32", "2001:db8:1:2::/64"] {
@@ -744,7 +755,10 @@ mod tests {
     fn ordering_is_by_address_then_len() {
         let mut v = vec![v4("10.0.0.0/16"), v4("9.0.0.0/8"), v4("10.0.0.0/8")];
         v.sort();
-        assert_eq!(v, vec![v4("9.0.0.0/8"), v4("10.0.0.0/8"), v4("10.0.0.0/16")]);
+        assert_eq!(
+            v,
+            vec![v4("9.0.0.0/8"), v4("10.0.0.0/8"), v4("10.0.0.0/16")]
+        );
     }
 
     #[test]

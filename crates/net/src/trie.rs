@@ -230,6 +230,42 @@ impl<V> PrefixTrie<V> {
         best
     }
 
+    /// [`longest_match`] plus a *leaf* flag used for memoised lookups.
+    ///
+    /// The flag is `true` only when the best match sits at the terminal node
+    /// of the walk **and** that node has no children. In that case every
+    /// other address inside the matched prefix takes the same walk and finds
+    /// the same answer, so a caller may reuse the result for any address the
+    /// prefix contains without consulting the trie again. When more-specific
+    /// prefixes exist below the match the flag is `false` and no reuse is
+    /// safe. ([`remove`] does not prune nodes, so stale interior nodes can
+    /// only make the flag conservatively `false`, never wrongly `true`.)
+    ///
+    /// [`longest_match`]: PrefixTrie::longest_match
+    /// [`remove`]: PrefixTrie::remove
+    pub fn longest_match_leaf(&self, addr: IpAddr) -> Option<(IpNet, &V, bool)> {
+        let key = Key::of_addr(&addr);
+        let mut node = self.root(key.v4);
+        let mut best: Option<(IpNet, &V)> = node.value.as_ref().map(|(n, v)| (*n, v));
+        let mut best_is_current = best.is_some();
+        for d in 0..key.len {
+            match node.children[key.bit(d)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some((n, v)) = node.value.as_ref() {
+                        best = Some((*n, v));
+                        best_is_current = true;
+                    } else {
+                        best_is_current = false;
+                    }
+                }
+                None => break,
+            }
+        }
+        let leaf = best_is_current && node.children[0].is_none() && node.children[1].is_none();
+        best.map(|(n, v)| (n, v, leaf))
+    }
+
     /// Longest-prefix match for a whole prefix: the most specific stored
     /// prefix that fully contains `net`.
     pub fn longest_match_net(&self, net: &IpNet) -> Option<(IpNet, &V)> {
@@ -362,6 +398,41 @@ mod tests {
     }
 
     #[test]
+    fn longest_match_leaf_flags_reusable_matches() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("17.0.0.0/8"), "apple8");
+        t.insert(net("17.5.0.0/16"), "apple16");
+        // Match at the /16: terminal node, no children → leaf.
+        let (n, _, leaf) = t.longest_match_leaf(addr("17.5.1.2")).unwrap();
+        assert_eq!(n, net("17.5.0.0/16"));
+        assert!(leaf);
+        // Match at the /8 found on the way to the deeper /16 branch: the
+        // walk continues past it, so the answer is not reusable.
+        let (n, _, leaf) = t.longest_match_leaf(addr("17.5.255.1")).unwrap();
+        assert_eq!(n, net("17.5.0.0/16"));
+        assert!(leaf);
+        let (n, _, leaf) = t.longest_match_leaf(addr("17.9.9.9")).unwrap();
+        assert_eq!(n, net("17.0.0.0/8"));
+        assert!(!leaf, "/8 has a more-specific branch below it");
+        assert!(t.longest_match_leaf(addr("8.8.8.8")).is_none());
+    }
+
+    #[test]
+    fn longest_match_leaf_after_remove_is_conservative() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("10.0.0.0/8"), 8);
+        t.insert(net("10.0.0.0/16"), 16);
+        t.remove(&net("10.0.0.0/16"));
+        // Nodes are not pruned, so the /8 must not be flagged a leaf even
+        // though no more-specific *value* remains — conservative is fine,
+        // wrongly-true would corrupt memoised lookups.
+        let (n, v, leaf) = t.longest_match_leaf(addr("10.0.0.1")).unwrap();
+        assert_eq!(n, net("10.0.0.0/8"));
+        assert_eq!(*v, 8);
+        assert!(!leaf);
+    }
+
+    #[test]
     fn no_match_without_default() {
         let mut t = PrefixTrie::new();
         t.insert(net("192.0.2.0/24"), ());
@@ -377,9 +448,7 @@ mod tests {
         assert_eq!(t.longest_match(addr("10.1.1.1")).unwrap().1, &"v4");
         assert_eq!(t.longest_match(addr("a00::1")).unwrap().1, &"v6");
         // The v4-mapped v6 address must not hit the v4 entry.
-        assert!(t
-            .longest_match(addr("::ffff:10.0.0.1"))
-            .is_none());
+        assert!(t.longest_match(addr("::ffff:10.0.0.1")).is_none());
         assert_eq!(t.len(), 2);
     }
 
@@ -445,11 +514,7 @@ mod tests {
             "17.5.0.0/16",
             "::/0",
         ];
-        let t: PrefixTrie<usize> = nets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (net(s), i))
-            .collect();
+        let t: PrefixTrie<usize> = nets.iter().enumerate().map(|(i, s)| (net(s), i)).collect();
         assert_eq!(t.len(), nets.len());
         let mut seen: Vec<String> = t.iter().map(|(n, _)| n.to_string()).collect();
         seen.sort();

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 use tectonic_net::{IpNet, Ipv4Net, Ipv6Net, PrefixTrie};
 
 fn arb_v4net() -> impl Strategy<Value = Ipv4Net> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap())
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(bits, len)| Ipv4Net::new(Ipv4Addr::from(bits), len).unwrap())
 }
 
 fn arb_v6net() -> impl Strategy<Value = Ipv6Net> {

@@ -127,8 +127,8 @@ pub fn decode_headers(payload: &[u8]) -> Result<Headers, H3Error> {
             if payload.len() < end {
                 return Err(H3Error::BadHeaders);
             }
-            let s = String::from_utf8(payload[*pos..end].to_vec())
-                .map_err(|_| H3Error::BadHeaders)?;
+            let s =
+                String::from_utf8(payload[*pos..end].to_vec()).map_err(|_| H3Error::BadHeaders)?;
             *pos = end;
             Ok(s)
         };
@@ -164,7 +164,10 @@ mod tests {
             (":method".into(), "CONNECT".into()),
             (":protocol".into(), "connect-udp".into()),
             (":authority".into(), "egress.example.net:443".into()),
-            ("proxy-authorization".into(), "PrivateToken token=abc".into()),
+            (
+                "proxy-authorization".into(),
+                "PrivateToken token=abc".into(),
+            ),
         ]
     }
 

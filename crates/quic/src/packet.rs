@@ -133,7 +133,7 @@ pub fn encode_version_negotiation(
     let mut out = Vec::with_capacity(16 + supported.len() * 4);
     out.push(0b1000_0000); // form bit set, rest unused
     out.extend_from_slice(&0u32.to_be_bytes()); // version 0
-    // VN swaps the roles: its DCID is the client's SCID.
+                                                // VN swaps the roles: its DCID is the client's SCID.
     out.push(client_scid.len() as u8);
     out.extend_from_slice(client_scid);
     out.push(client_dcid.len() as u8);
@@ -196,16 +196,14 @@ pub fn decode_packet(data: &[u8]) -> Result<QuicPacket, QuicWireError> {
         scid,
     };
     if header.packet_type == PacketType::Initial {
-        let (token_len, used) =
-            decode_varint(&data[pos..]).ok_or(QuicWireError::Truncated)?;
+        let (token_len, used) = decode_varint(&data[pos..]).ok_or(QuicWireError::Truncated)?;
         pos += used;
         if data.len() < pos + token_len as usize {
             return Err(QuicWireError::Truncated);
         }
         let token = data[pos..pos + token_len as usize].to_vec();
         pos += token_len as usize;
-        let (payload_len, used) =
-            decode_varint(&data[pos..]).ok_or(QuicWireError::Truncated)?;
+        let (payload_len, used) = decode_varint(&data[pos..]).ok_or(QuicWireError::Truncated)?;
         pos += used;
         if data.len() < pos + payload_len as usize {
             return Err(QuicWireError::BadLength);
@@ -281,7 +279,10 @@ mod tests {
     #[test]
     fn truncation_and_length_errors() {
         assert_eq!(decode_packet(&[]), Err(QuicWireError::Truncated));
-        assert_eq!(decode_packet(&[0xC1, 0, 0, 0]), Err(QuicWireError::Truncated));
+        assert_eq!(
+            decode_packet(&[0xC1, 0, 0, 0]),
+            Err(QuicWireError::Truncated)
+        );
         // VN with a ragged version list length.
         let mut vn = encode_version_negotiation(b"d", b"s", &[VERSION_V1]);
         vn.push(0xAA);

@@ -111,10 +111,7 @@ impl QuicProber {
 
     /// Runs both probes against an ingress behaviour model, returning
     /// `(standard_outcome, negotiation_outcome)` — the paper's two rows.
-    pub fn probe_ingress(
-        &self,
-        ingress: &IngressQuicBehavior,
-    ) -> (ProbeOutcome, ProbeOutcome) {
+    pub fn probe_ingress(&self, ingress: &IngressQuicBehavior) -> (ProbeOutcome, ProbeOutcome) {
         let standard = self.standard_initial(b"probe-dcid", b"probe-scid");
         let standard_reply = ingress.handle_datagram(&standard);
         let trigger = self.negotiation_trigger(b"probe-dcid", b"probe-scid");
@@ -199,6 +196,9 @@ mod tests {
             supported_versions: vec![VERSION_V1],
         };
         let (_, negotiated) = QuicProber.probe_ingress(&ingress);
-        assert_eq!(negotiated, ProbeOutcome::VersionNegotiation(vec![VERSION_V1]));
+        assert_eq!(
+            negotiated,
+            ProbeOutcome::VersionNegotiation(vec![VERSION_V1])
+        );
     }
 }

@@ -177,8 +177,7 @@ impl Device {
             DnsMode::Open => {
                 // The device's stub queries through its local resolver; the
                 // authoritative sees the resolver's in-network source.
-                let query =
-                    Message::query(0x1E55, Domain::MaskQuic.name(), QType::A);
+                let query = Message::query(0x1E55, Domain::MaskQuic.name(), QType::A);
                 let ctx = QueryContext {
                     src: IpAddr::V4(self.addr),
                     now,
@@ -193,9 +192,7 @@ impl Device {
                             .copied()
                             .ok_or(ConnectError::DnsFailed)
                     }
-                    tectonic_dns::server::ServerReply::Dropped => {
-                        Err(ConnectError::DnsFailed)
-                    }
+                    tectonic_dns::server::ServerReply::Dropped => Err(ConnectError::DnsFailed),
                 }
             }
         }
@@ -363,7 +360,9 @@ mod tests {
     fn fixed_dns_uses_forced_ingress() {
         let d = deployment();
         let auth = d.auth_server_unlimited();
-        let forced = d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE)[3];
+        let forced = d
+            .fleets
+            .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE)[3];
         let device = d.device_in_country(CountryCode::DE, DnsMode::Fixed(forced));
         let req = device
             .request(RequestAgent::Safari, &auth, Epoch::May2022.start())
@@ -391,8 +390,12 @@ mod tests {
         let d = deployment();
         let auth = d.auth_server_unlimited();
         let now = Epoch::May2022.start();
-        let a1 = d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE)[0];
-        let a2 = d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
+        let a1 = d
+            .fleets
+            .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE)[0];
+        let a2 = d
+            .fleets
+            .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
         let dev1 = d.device_in_country(CountryCode::DE, DnsMode::Fixed(a1));
         let dev2 = d.device_in_country(CountryCode::DE, DnsMode::Fixed(a2));
         // Same device address → same client key → same egress pool: collect
@@ -401,8 +404,18 @@ mod tests {
         let mut set2 = std::collections::HashSet::new();
         for i in 0..60 {
             let t = now + SimDuration::from_secs(30).times(i);
-            set1.insert(dev1.request(RequestAgent::Curl, &auth, t).unwrap().egress.addr);
-            set2.insert(dev2.request(RequestAgent::Curl, &auth, t).unwrap().egress.addr);
+            set1.insert(
+                dev1.request(RequestAgent::Curl, &auth, t)
+                    .unwrap()
+                    .egress
+                    .addr,
+            );
+            set2.insert(
+                dev2.request(RequestAgent::Curl, &auth, t)
+                    .unwrap()
+                    .egress
+                    .addr,
+            );
         }
         assert_eq!(set1, set2, "egress pools differ across forced ingresses");
     }
@@ -427,7 +440,9 @@ mod tests {
     fn management_target_in_same_prefix_but_different() {
         let d = deployment();
         let device = d.device_in_country(CountryCode::DE, DnsMode::Open);
-        let ingress = d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[5];
+        let ingress = d
+            .fleets
+            .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[5];
         let target = device.management_connection_target(ingress);
         assert_ne!(target, ingress);
         assert!(Ipv4Net::slash24_of(ingress).contains(target));

@@ -280,7 +280,8 @@ impl DeploymentConfig {
                 spec.cities_v4 = (spec.cities_v4 as u64 / div).max(2) as usize;
                 spec.cities_v6 = (spec.cities_v6 as u64 / div).max(2) as usize;
             }
-            cfg.city_universe_size = (cfg.city_universe_size as u64 / div.min(8)).max(2_000) as usize;
+            cfg.city_universe_size =
+                (cfg.city_universe_size as u64 / div.min(8)).max(2_000) as usize;
         }
         cfg
     }
@@ -363,7 +364,11 @@ mod tests {
         let total = |e: Epoch| -> usize {
             Asn::INGRESS_OPERATORS
                 .iter()
-                .map(|a| cfg.plan_for(Domain::MaskQuic, *a).unwrap().size_at(e, false))
+                .map(|a| {
+                    cfg.plan_for(Domain::MaskQuic, *a)
+                        .unwrap()
+                        .size_at(e, false)
+                })
                 .sum()
         };
         let jan = total(Epoch::Jan2022);
@@ -425,10 +430,7 @@ mod tests {
         let announced_v6 = egress.v6_bgp_prefixes + ingress_v6 + cfg.unused_akamai_pr.v6;
         assert_eq!(announced_v4, 478, "announced v4");
         assert_eq!(announced_v6, 1336, "announced v6");
-        let used = egress.v4_bgp_prefixes
-            + egress.v6_bgp_prefixes
-            + ingress_v4
-            + ingress_v6;
+        let used = egress.v4_bgp_prefixes + egress.v6_bgp_prefixes + ingress_v4 + ingress_v6;
         let share = used as f64 / (announced_v4 + announced_v6) as f64;
         assert!(
             (0.915..0.93).contains(&share),
@@ -456,8 +458,8 @@ mod tests {
         assert_eq!(cw.total_ases(), 72_735);
         assert_eq!(cw.total_slash24(), 11_900_000);
         // Apple-served subnet share ≈ 69 % (§4.1).
-        let apple = cw.apple_only_slash24 as f64
-            + cw.both_apple_subnet_share * cw.both_slash24 as f64;
+        let apple =
+            cw.apple_only_slash24 as f64 + cw.both_apple_subnet_share * cw.both_slash24 as f64;
         let share = apple / cw.total_slash24() as f64;
         assert!((0.67..0.71).contains(&share), "Apple share {share:.3}");
     }

@@ -113,8 +113,7 @@ impl Deployment {
         let universe = CityUniverse::generate(&mut universe_rng, config.city_universe_size);
         let world = Arc::new(ClientWorld::generate(&rng, &config.client_world));
         let fleets = Arc::new(IngressFleets::build(&config));
-        let (egress_list, egress_footprints) =
-            generate(&rng, &universe, &config.egress_specs, 1.0);
+        let (egress_list, egress_footprints) = generate(&rng, &universe, &config.egress_specs, 1.0);
 
         // --- global RIB
         let mut rib = Rib::new();
@@ -348,7 +347,9 @@ mod tests {
         let (_, asn) = d.rib.lookup(IpAddr::V4(client_as.host_addr(1))).unwrap();
         assert_eq!(asn, client_as.asn);
         // An ingress address resolves to its operator.
-        let ingress = d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
+        let ingress = d
+            .fleets
+            .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
         let (_, asn) = d.rib.lookup(IpAddr::V4(ingress)).unwrap();
         assert_eq!(asn, Asn::AKAMAI_PR);
         // An egress subnet resolves to its operator.
@@ -403,10 +404,7 @@ mod tests {
         let may = d.egress_list_at(Epoch::May2022);
         assert_eq!(may.len(), d.egress_list.len());
         let growth = may.len() as f64 / jan.len() as f64 - 1.0;
-        assert!(
-            (0.10..0.20).contains(&growth),
-            "Jan→May growth {growth:.3}"
-        );
+        assert!((0.10..0.20).contains(&growth), "Jan→May growth {growth:.3}");
     }
 
     #[test]

@@ -50,11 +50,7 @@ pub struct EgressSelector {
 
 impl EgressSelector {
     /// Builds per-location pools from the egress list and footprints.
-    pub fn build(
-        list: &EgressList,
-        footprints: &[OperatorFootprint],
-        seed: u64,
-    ) -> EgressSelector {
+    pub fn build(list: &EgressList, footprints: &[OperatorFootprint], seed: u64) -> EgressSelector {
         let mut pools: HashMap<(Asn, CountryCode), Vec<IpNet>> = HashMap::new();
         let mut global_pools: HashMap<Asn, Vec<IpNet>> = HashMap::new();
         // Index the footprints once; per-entry attribution is then a
@@ -189,7 +185,11 @@ impl EgressSelector {
         let addr = match subnet {
             IpNet::V4(n) => {
                 // Skip the network address when the subnet has room.
-                let host = if n.addr_count() > 2 { 1 + addr_index } else { addr_index };
+                let host = if n.addr_count() > 2 {
+                    1 + addr_index
+                } else {
+                    addr_index
+                };
                 IpAddr::V4(n.nth_addr(host))
             }
             IpNet::V6(n) => IpAddr::V6(n.nth_addr(1 + addr_index as u128)),
@@ -239,7 +239,12 @@ mod tests {
             let sel = s
                 .select(42, CountryCode::US, now, conn, false)
                 .expect("US always has presence");
-            assert!(sel.subnet.contains(sel.addr), "{} ∉ {}", sel.addr, sel.subnet);
+            assert!(
+                sel.subnet.contains(sel.addr),
+                "{} ∉ {}",
+                sel.addr,
+                sel.subnet
+            );
             assert!(sel.subnet.is_v4());
         }
     }
@@ -249,7 +254,11 @@ mod tests {
         let s = selector();
         let now = SimTime::from_ymd(2022, 5, 10);
         let addrs: Vec<IpAddr> = (0..200)
-            .map(|conn| s.select(42, CountryCode::US, now, conn, false).unwrap().addr)
+            .map(|conn| {
+                s.select(42, CountryCode::US, now, conn, false)
+                    .unwrap()
+                    .addr
+            })
             .collect();
         let distinct: HashSet<_> = addrs.iter().collect();
         // Small pool (≤ subnets_per_location × addrs_per_subnet)…
@@ -284,7 +293,9 @@ mod tests {
         let diff = (0..100)
             .filter(|i| {
                 let a = s.select(42, CountryCode::US, now, *i * 2, false).unwrap();
-                let b = s.select(42, CountryCode::US, now, *i * 2 + 1, false).unwrap();
+                let b = s
+                    .select(42, CountryCode::US, now, *i * 2 + 1, false)
+                    .unwrap();
                 a.addr != b.addr
             })
             .count();

@@ -212,19 +212,23 @@ mod tests {
     fn april_default_fleet_sizes_match_table1() {
         let f = fleets();
         assert_eq!(
-            f.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE).len(),
+            f.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::APPLE)
+                .len(),
             349
         );
         assert_eq!(
-            f.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR).len(),
+            f.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)
+                .len(),
             1237
         );
         assert_eq!(
-            f.fleet_v4(Epoch::Jan2022, Domain::MaskH2, Asn::AKAMAI_PR).len(),
+            f.fleet_v4(Epoch::Jan2022, Domain::MaskH2, Asn::AKAMAI_PR)
+                .len(),
             0
         );
         assert_eq!(
-            f.fleet_v4(Epoch::Apr2022, Domain::MaskH2, Asn::AKAMAI_PR).len(),
+            f.fleet_v4(Epoch::Apr2022, Domain::MaskH2, Asn::AKAMAI_PR)
+                .len(),
             1062
         );
     }
@@ -314,8 +318,7 @@ mod tests {
     #[test]
     fn quic_behavior_is_paper_shaped() {
         let f = fleets();
-        let (std_outcome, vn_outcome) =
-            tectonic_quic::QuicProber.probe_ingress(f.quic_behavior());
+        let (std_outcome, vn_outcome) = tectonic_quic::QuicProber.probe_ingress(f.quic_behavior());
         assert_eq!(std_outcome, tectonic_quic::ProbeOutcome::Timeout);
         assert!(matches!(
             vn_outcome,
@@ -326,7 +329,9 @@ mod tests {
     #[test]
     fn empty_fleet_for_unknown_pairs() {
         let f = fleets();
-        assert!(f.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::CLOUDFLARE).is_empty());
+        assert!(f
+            .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::CLOUDFLARE)
+            .is_empty());
         assert!(f.pool(Domain::MaskH2, Asn::FASTLY).is_none());
     }
 }

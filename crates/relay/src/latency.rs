@@ -76,7 +76,9 @@ impl ConnectionLatency {
 }
 
 fn centroid(cc: CountryCode) -> (f64, f64) {
-    country_info(cc).map(|i| (i.lat, i.lon)).unwrap_or((0.0, 0.0))
+    country_info(cc)
+        .map(|i| (i.lat, i.lon))
+        .unwrap_or((0.0, 0.0))
 }
 
 impl LatencyModel {
@@ -110,16 +112,18 @@ impl LatencyModel {
         // Relay: ingress near the client (detour only), egress near the
         // represented location, then on to the target.
         let to_ingress_ms = self.segment(self.ingress_detour_km, 1.0, connection_key ^ 0x11);
-        let ingress_to_egress_km =
-            haversine_km(clat, clon, elat, elon) + self.ingress_detour_km;
+        let ingress_to_egress_km = haversine_km(clat, clon, elat, elon) + self.ingress_detour_km;
         let backbone_ms = self.segment(
             ingress_to_egress_km,
             self.backbone_factor,
             connection_key ^ 0xB0,
         );
         let egress_to_target_km = haversine_km(elat, elon, tlat, tlon);
-        let to_target_ms =
-            self.segment(egress_to_target_km, self.backbone_factor, connection_key ^ 0x71);
+        let to_target_ms = self.segment(
+            egress_to_target_km,
+            self.backbone_factor,
+            connection_key ^ 0x71,
+        );
         ConnectionLatency {
             direct_ms,
             relayed_ms: to_ingress_ms + backbone_ms + to_target_ms,
@@ -157,7 +161,11 @@ mod tests {
         // segments but no continental crossing.
         let model = LatencyModel::default();
         let conn = model.connection(cc("DE"), cc("DE"), cc("DE"), 7);
-        assert!(conn.overhead_ms() < 25.0, "overhead {:.1}", conn.overhead_ms());
+        assert!(
+            conn.overhead_ms() < 25.0,
+            "overhead {:.1}",
+            conn.overhead_ms()
+        );
     }
 
     #[test]

@@ -210,8 +210,7 @@ pub fn establish(
     now: SimTime,
 ) -> Result<MasqueSession, MasqueError> {
     let token = issuer.issue(user, now).map_err(MasqueError::Token)?;
-    let client_geohash =
-        geohash::encode(client_location.0, client_location.1, GEOHASH_PRECISION);
+    let client_geohash = geohash::encode(client_location.0, client_location.1, GEOHASH_PRECISION);
     // The inner request is encrypted to the egress; the ingress only sees
     // its length.
     let inner = build_connect(target_authority, &client_geohash);

@@ -77,12 +77,7 @@ impl RouterTopology {
     /// Hop sequence: client gateway → transit → destination-AS border →
     /// destination-AS site router (last hop) — the level of detail the
     /// paper's validation needs.
-    pub fn traceroute(
-        &self,
-        client_asn: Asn,
-        dst_asn: Asn,
-        dst: IpAddr,
-    ) -> Vec<RouterHop> {
+    pub fn traceroute(&self, client_asn: Asn, dst_asn: Asn, dst: IpAddr) -> Vec<RouterHop> {
         let transit = Asn(3356);
         let gateway = RouterHop {
             addr: router_addr(client_asn, 0),
@@ -139,8 +134,7 @@ mod tests {
         let ingress: IpAddr = "172.240.3.1".parse().unwrap();
         let mut shared = false;
         for third in 0..200u32 {
-            let egress: IpAddr =
-                format!("172.224.{}.9", third % 250).parse().unwrap();
+            let egress: IpAddr = format!("172.224.{}.9", third % 250).parse().unwrap();
             if t.shares_last_hop(Asn::AKAMAI_PR, ingress, egress) {
                 shared = true;
                 break;

@@ -164,12 +164,12 @@ impl EcsAnswerer for MaskZone {
         let subnet = self.client_subnet(ecs, info.src);
         let operator = self.operator_of(subnet);
         let cc = self.cc_of(subnet, info.src);
-        let subnet_key = subnet.map(|s| u32::from(s.network()) as u64).unwrap_or(
-            match info.src {
+        let subnet_key = subnet
+            .map(|s| u32::from(s.network()) as u64)
+            .unwrap_or(match info.src {
                 IpAddr::V4(a) => u32::from(a) as u64,
                 IpAddr::V6(a) => (u128::from(a) >> 64) as u64,
-            },
-        );
+            });
         let domain_key = match domain {
             Domain::MaskQuic => 0x51,
             Domain::MaskH2 => 0x48,
@@ -253,10 +253,7 @@ mod tests {
     fn setup() -> (Arc<IngressFleets>, Arc<ClientWorld>, MaskZone) {
         let config = DeploymentConfig::scaled(512);
         let fleets = Arc::new(IngressFleets::build(&config));
-        let world = Arc::new(ClientWorld::generate(
-            &SimRng::new(5),
-            &config.client_world,
-        ));
+        let world = Arc::new(ClientWorld::generate(&SimRng::new(5), &config.client_world));
         let zone = MaskZone::new(fleets.clone(), world.clone(), 8, 99);
         (fleets, world, zone)
     }
@@ -290,7 +287,11 @@ mod tests {
         let client = world.ases()[0].host_addr(0);
         let ecs = EcsOption::for_v4_net(Ipv4Net::slash24_of(client));
         let ans = zone
-            .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::A),
+                Some(&ecs),
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         assert!(!ans.rdatas.is_empty());
         assert!(ans.rdatas.len() <= 8);
@@ -307,7 +308,11 @@ mod tests {
             let subnet = client_as.slash24s().next().unwrap();
             let ecs = EcsOption::for_v4_net(subnet);
             let ans = zone
-                .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+                .answer(
+                    &q("mask.icloud.com", QType::A),
+                    Some(&ecs),
+                    &info_at(Epoch::Apr2022),
+                )
                 .unwrap();
             let asns: HashSet<_> = ans
                 .rdatas
@@ -326,7 +331,11 @@ mod tests {
             let want = world.serving_operator(subnet).unwrap();
             let ecs = EcsOption::for_v4_net(subnet);
             let ans = zone
-                .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+                .answer(
+                    &q("mask.icloud.com", QType::A),
+                    Some(&ecs),
+                    &info_at(Epoch::Apr2022),
+                )
                 .unwrap();
             let got = fleets
                 .asn_of(IpAddr::V4(ans.rdatas[0].as_a().unwrap()))
@@ -345,7 +354,11 @@ mod tests {
             .unwrap();
         let ecs = EcsOption::for_v4_net(both.slash24s().next().unwrap());
         let ans = zone
-            .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::A),
+                Some(&ecs),
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         assert_eq!(ans.scope_len, 24);
         // A single-operator AS with a prefix wider than /24 gets that scope.
@@ -356,7 +369,11 @@ mod tests {
             .expect("some AS has a wide prefix");
         let ecs = EcsOption::for_v4_net(single.slash24s().next().unwrap());
         let ans = zone
-            .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::A),
+                Some(&ecs),
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         assert_eq!(ans.scope_len, single.prefixes[0].len());
     }
@@ -367,7 +384,11 @@ mod tests {
         let client = world.ases()[0].host_addr(0);
         let ecs = EcsOption::for_v4_net(Ipv4Net::slash24_of(client));
         let ans = zone
-            .answer(&q("mask.icloud.com", QType::AAAA), Some(&ecs), &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::AAAA),
+                Some(&ecs),
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         assert_eq!(ans.scope_len, 0);
         assert!(ans.rdatas.iter().all(|r| r.as_aaaa().is_some()));
@@ -385,7 +406,11 @@ mod tests {
             .unwrap();
         let ecs = EcsOption::for_v4_net(akamai_client.slash24s().next().unwrap());
         let ans = zone
-            .answer(&q("mask-h2.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Feb2022))
+            .answer(
+                &q("mask-h2.icloud.com", QType::A),
+                Some(&ecs),
+                &info_at(Epoch::Feb2022),
+            )
             .unwrap();
         let asn = fleets
             .asn_of(IpAddr::V4(ans.rdatas[0].as_a().unwrap()))
@@ -397,7 +422,11 @@ mod tests {
     fn other_names_fall_through() {
         let (_, _, zone) = setup();
         assert!(zone
-            .answer(&q("www.icloud.com", QType::A), None, &info_at(Epoch::Apr2022))
+            .answer(
+                &q("www.icloud.com", QType::A),
+                None,
+                &info_at(Epoch::Apr2022)
+            )
             .is_none());
     }
 
@@ -405,7 +434,11 @@ mod tests {
     fn txt_on_mask_is_nodata() {
         let (_, _, zone) = setup();
         let ans = zone
-            .answer(&q("mask.icloud.com", QType::TXT), None, &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::TXT),
+                None,
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         assert!(ans.rdatas.is_empty());
     }
@@ -468,10 +501,18 @@ mod tests {
         let (_, world, zone) = setup();
         let ecs = EcsOption::for_v4_net(world.ases()[0].slash24s().next().unwrap());
         let a = zone
-            .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::A),
+                Some(&ecs),
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         let b = zone
-            .answer(&q("mask.icloud.com", QType::A), Some(&ecs), &info_at(Epoch::Apr2022))
+            .answer(
+                &q("mask.icloud.com", QType::A),
+                Some(&ecs),
+                &info_at(Epoch::Apr2022),
+            )
             .unwrap();
         assert_eq!(a, b);
     }

@@ -50,7 +50,12 @@ fn main() {
     println!("\nrate-limited scan economics (April, default domain):");
     let limited_auth = deployment.auth_server();
     let mut clock = SimClock::new(Epoch::Apr2022.start());
-    let limited = scanner.scan(Domain::MaskQuic.name(), &limited_auth, &deployment.rib, &mut clock);
+    let limited = scanner.scan(
+        Domain::MaskQuic.name(),
+        &limited_auth,
+        &deployment.rib,
+        &mut clock,
+    );
     println!(
         "  {} queries + {} rate-limit retries → {} addresses in {} simulated hours",
         limited.queries_sent,

@@ -19,19 +19,13 @@ fn main() {
     let vantage_operators = vec![Asn::CLOUDFLARE, Asn::AKAMAI_PR];
 
     // Figure 3: 5-minute rounds over a day, open vs fixed DNS.
-    let open_device = deployment.vantage_device(
-        CountryCode::DE,
-        DnsMode::Open,
-        vantage_operators.clone(),
-    );
+    let open_device =
+        deployment.vantage_device(CountryCode::DE, DnsMode::Open, vantage_operators.clone());
     let forced = deployment
         .fleets
         .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
-    let fixed_device = deployment.vantage_device(
-        CountryCode::DE,
-        DnsMode::Fixed(forced),
-        vantage_operators,
-    );
+    let fixed_device =
+        deployment.vantage_device(CountryCode::DE, DnsMode::Fixed(forced), vantage_operators);
     let config = RelayScanConfig::operator_series();
     let start = Epoch::May2022.start();
     let open = RelayScanSeries::run(&open_device, &auth, &config, start);

@@ -96,7 +96,10 @@ fn main() {
     save("table3_egress.json", report::to_archive_json(&table3));
     save("table4_cities.json", report::to_archive_json(&table4));
     let points = analysis.geo_points(&deployment.universe);
-    save("fig2_fig5_geo_points.json", report::to_archive_json(&points));
+    save(
+        "fig2_fig5_geo_points.json",
+        report::to_archive_json(&points),
+    );
     let cdfs = [
         analysis.cdf(true, true),
         analysis.cdf(true, false),
@@ -123,8 +126,13 @@ fn main() {
         atlas_in_ecs,
         april.total(),
     );
-    let aaaa_results =
-        atlas.run_mask_campaign(&deployment, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 2);
+    let aaaa_results = atlas.run_mask_campaign(
+        &deployment,
+        Domain::MaskQuic,
+        QType::AAAA,
+        Epoch::Apr2022,
+        2,
+    );
     let aaaa_report = AtlasCampaignReport::aggregate(&deployment, &aaaa_results);
     println!(
         "Atlas AAAA: {} addresses (Apple {}, AkamaiPR {})",
@@ -132,7 +140,10 @@ fn main() {
         aaaa_report.v6_count_for(Asn::APPLE),
         aaaa_report.v6_count_for(Asn::AKAMAI_PR),
     );
-    save("r2_ipv6_ingress.json", report::to_archive_json(&aaaa_report.v6_addresses));
+    save(
+        "r2_ipv6_ingress.json",
+        report::to_archive_json(&aaaa_report.v6_addresses),
+    );
 
     // --------------------------------------------------------- Blocking
     println!("\n=== R3: blocking survey ===");
@@ -160,13 +171,26 @@ fn main() {
     let fixed_device =
         deployment.vantage_device(CountryCode::DE, DnsMode::Fixed(forced), vantage_ops);
     let start = Epoch::May2022.start();
-    let open = RelayScanSeries::run(&open_device, &auth, &RelayScanConfig::operator_series(), start);
-    let fixed =
-        RelayScanSeries::run(&fixed_device, &auth, &RelayScanConfig::operator_series(), start);
+    let open = RelayScanSeries::run(
+        &open_device,
+        &auth,
+        &RelayScanConfig::operator_series(),
+        start,
+    );
+    let fixed = RelayScanSeries::run(
+        &fixed_device,
+        &auth,
+        &RelayScanConfig::operator_series(),
+        start,
+    );
     print!("{}", report::render_fig3(&open, &fixed));
     save("fig3_operator_series.json", report::to_archive_json(&open));
-    let rotation_series =
-        RelayScanSeries::run(&open_device, &auth, &RelayScanConfig::rotation_series(), start);
+    let rotation_series = RelayScanSeries::run(
+        &open_device,
+        &auth,
+        &RelayScanConfig::rotation_series(),
+        start,
+    );
     let rotation = RotationReport::from_series(&rotation_series);
     print!("{}", report::render_rotation(&rotation));
     save("r4_rotation.json", report::to_archive_json(&rotation));
@@ -175,7 +199,10 @@ fn main() {
     println!("\n=== R5/R6: correlation audit ===");
     let correlation = CorrelationReport::audit(&deployment, Epoch::Apr2022);
     print!("{}", report::render_correlation(&correlation));
-    save("r5_r6_correlation.json", report::to_archive_json(&correlation));
+    save(
+        "r5_r6_correlation.json",
+        report::to_archive_json(&correlation),
+    );
 
     // ------------------------------------------------------------- QUIC
     println!("\n=== R7: QUIC probing ===");

@@ -40,7 +40,9 @@ fn main() {
     let mut flows = Vec::new();
     for i in 0..200 {
         let now = Epoch::May2022.start() + SimDuration::from_secs(30 * i);
-        let request = device.request(RequestAgent::Safari, &auth, now).expect("relay up");
+        let request = device
+            .request(RequestAgent::Safari, &auth, now)
+            .expect("relay up");
         flows.push(FlowRecord {
             src: IpAddr::V4(device.addr()),
             dst: request.ingress,

@@ -222,7 +222,10 @@ fn cmd_relay_scan(args: &Args) {
             .collect::<Vec<_>>(),
         series.operator_changes().len(),
     );
-    print!("{}", report::render_rotation(&RotationReport::from_series(&series)));
+    print!(
+        "{}",
+        report::render_rotation(&RotationReport::from_series(&series))
+    );
 }
 
 fn cmd_audit(args: &Args) {

@@ -55,8 +55,7 @@ fn atlas_addresses_are_a_subset_of_the_ecs_scan() {
 #[test]
 fn ipv6_enumeration_shape() {
     let (d, atlas) = setup();
-    let results =
-        atlas.run_mask_campaign(&d, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 2);
+    let results = atlas.run_mask_campaign(&d, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 2);
     let report = AtlasCampaignReport::aggregate(&d, &results);
     // The AS split mirrors the paper: Akamai PR hosts the lion's share.
     let apple = report.v6_count_for(Asn::APPLE);
@@ -96,7 +95,11 @@ fn blocking_survey_matches_configured_population() {
     );
     assert_eq!(report.hijacks, 1, "exactly one hijack configured");
     // NXDOMAIN dominates the failing responses.
-    let nx = report.rcode_breakdown.get("NXDOMAIN").copied().unwrap_or(0.0);
+    let nx = report
+        .rcode_breakdown
+        .get("NXDOMAIN")
+        .copied()
+        .unwrap_or(0.0);
     assert!(nx > 0.5, "NXDOMAIN share {nx:.3}");
 }
 
@@ -124,15 +127,18 @@ fn classification_consistency_with_probe_policies() {
                 "normal probe {} classified {verdict:?}",
                 probe.id
             ),
-            P::BlockNxDomain => assert!(
-                matches!(verdict, ProbeVerdict::BlockedNxDomain | ProbeVerdict::Timeout)
-            ),
-            P::BlockNoData => assert!(
-                matches!(verdict, ProbeVerdict::BlockedNoData | ProbeVerdict::Timeout)
-            ),
-            P::Hijack(_) => assert!(
-                matches!(verdict, ProbeVerdict::Hijacked | ProbeVerdict::Timeout)
-            ),
+            P::BlockNxDomain => assert!(matches!(
+                verdict,
+                ProbeVerdict::BlockedNxDomain | ProbeVerdict::Timeout
+            )),
+            P::BlockNoData => assert!(matches!(
+                verdict,
+                ProbeVerdict::BlockedNoData | ProbeVerdict::Timeout
+            )),
+            P::Hijack(_) => assert!(matches!(
+                verdict,
+                ProbeVerdict::Hijacked | ProbeVerdict::Timeout
+            )),
             _ => {}
         }
     }
@@ -147,7 +153,12 @@ fn whoami_reveals_resolver_identity() {
     let auth = whoami_server();
     // For each public-resolver probe, the whoami answer must be the
     // resolver's (anycast) address, not the probe's.
-    for probe in atlas.probes.iter().filter(|p| p.resolver_kind.is_public()).take(50) {
+    for probe in atlas
+        .probes
+        .iter()
+        .filter(|p| p.resolver_kind.is_public())
+        .take(50)
+    {
         let q = Message::query(1, "whoami.akamai.net".parse().unwrap(), QType::A);
         let ctx = QueryContext {
             src: probe.resolver_addr,

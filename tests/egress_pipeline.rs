@@ -100,11 +100,7 @@ fn akamai_covers_superset_of_akamai_eg_countries() {
         d.egress_list
             .entries()
             .iter()
-            .filter(|e| {
-                d.rib
-                    .lookup_net(&e.subnet)
-                    .is_some_and(|(_, a)| a == asn)
-            })
+            .filter(|e| d.rib.lookup_net(&e.subnet).is_some_and(|(_, a)| a == asn))
             .map(|e| e.cc)
             .collect()
     };

@@ -121,6 +121,10 @@ fn qoe_shapes_are_stable_across_seeds() {
             "within-10% share {:.3}",
             r.within_10pct
         );
-        assert!(r.p95_overhead_ms < 60.0, "p95 overhead {:.1}", r.p95_overhead_ms);
+        assert!(
+            r.p95_overhead_ms < 60.0,
+            "p95 overhead {:.1}",
+            r.p95_overhead_ms
+        );
     }
 }

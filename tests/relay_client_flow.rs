@@ -9,9 +9,7 @@ use tectonic::core::ecs_scan::EcsScanner;
 use tectonic::geo::country::CountryCode;
 use tectonic::net::{Asn, Epoch, SimClock, SimDuration};
 use tectonic::quic::{IngressQuicBehavior, ProbeOutcome, QuicProber};
-use tectonic::relay::{
-    Deployment, DeploymentConfig, DnsMode, Domain, RequestAgent,
-};
+use tectonic::relay::{Deployment, DeploymentConfig, DnsMode, Domain, RequestAgent};
 
 fn deployment() -> Deployment {
     Deployment::build(404, DeploymentConfig::scaled(128))
@@ -29,7 +27,10 @@ fn isp_sees_only_ingress_server_sees_only_egress() {
         let now = Epoch::May2022.start() + SimDuration::from_secs(30 * i);
         let req = device.request(RequestAgent::Curl, &auth, now).unwrap();
         assert!(d.fleets.is_ingress(req.ingress), "ISP-visible address");
-        assert!(!d.fleets.is_ingress(req.egress.addr), "egress is not ingress");
+        assert!(
+            !d.fleets.is_ingress(req.egress.addr),
+            "egress is not ingress"
+        );
         assert_ne!(req.ingress, req.egress.addr);
     }
 }
@@ -58,8 +59,9 @@ fn correlation_attack_surface_exists_in_akamai_pr() {
     // an AkamaiPR egress is observable at both ends by one entity.
     let d = deployment();
     let auth = d.auth_server_unlimited();
-    let ingress =
-        d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
+    let ingress = d
+        .fleets
+        .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[0];
     let device = d.vantage_device(
         CountryCode::US,
         DnsMode::Fixed(ingress),
@@ -81,8 +83,9 @@ fn management_connection_targets_ingress_prefix() {
     // connection into the configured ingress's prefix.
     let d = deployment();
     let device = d.device_in_country(CountryCode::DE, DnsMode::Open);
-    let ingress =
-        d.fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[3];
+    let ingress = d
+        .fleets
+        .fleet_v4(Epoch::Apr2022, Domain::MaskQuic, Asn::AKAMAI_PR)[3];
     let target = device.management_connection_target(ingress);
     assert_ne!(target, ingress);
     // Same /24 ⇒ same AS in the RIB.
@@ -165,10 +168,7 @@ fn masque_session_enforces_visibility_separation() {
         // The egress knows the ingress and the target, never the client.
         assert_eq!(session.egress_view.ingress_addr, req.ingress);
         assert_eq!(session.egress_view.target_authority, "ipecho.net:80");
-        assert_ne!(
-            session.egress_view.ingress_addr,
-            IpAddr::V4(device.addr())
-        );
+        assert_ne!(session.egress_view.ingress_addr, IpAddr::V4(device.addr()));
         // The geohash is coarse (4 chars ≈ city scale).
         assert_eq!(session.egress_view.client_geohash.len(), 4);
     }
@@ -190,7 +190,10 @@ fn udp_blocked_network_uses_tcp_fallback() {
     let req = device
         .request(RequestAgent::Safari, &auth, Epoch::May2022.start())
         .unwrap();
-    assert_eq!(req.session.transport, tectonic::relay::Transport::TcpFallback);
+    assert_eq!(
+        req.session.transport,
+        tectonic::relay::Transport::TcpFallback
+    );
 }
 
 #[test]
@@ -226,9 +229,7 @@ fn odoh_resolution_carries_egress_ecs() {
     // location, not the client's.
     use std::sync::Arc;
     use tectonic::dns::zone::{EcsAnswer, EcsAnswerer, QueryInfo};
-    use tectonic::dns::{
-        server::AuthoritativeServer, EcsOption, QType, Question, RData, Zone,
-    };
+    use tectonic::dns::{server::AuthoritativeServer, EcsOption, QType, Question, RData, Zone};
 
     struct EcsEcho;
     impl EcsAnswerer for EcsEcho {
@@ -251,9 +252,8 @@ fn odoh_resolution_carries_egress_ecs() {
 
     let d = deployment();
     let relay_auth = d.auth_server_unlimited();
-    let target_auth = AuthoritativeServer::new().with_zone(
-        Zone::new("cdn.example".parse().unwrap()).with_dynamic(Arc::new(EcsEcho)),
-    );
+    let target_auth = AuthoritativeServer::new()
+        .with_zone(Zone::new("cdn.example".parse().unwrap()).with_dynamic(Arc::new(EcsEcho)));
     let device = d.device_in_country(CountryCode::US, DnsMode::Open);
     let outcome = device
         .odoh_resolve(
@@ -284,5 +284,8 @@ fn odoh_resolution_carries_egress_ecs() {
         .rib
         .lookup(std::net::IpAddr::V4(subnet.network()))
         .expect("egress space is routed");
-    assert!(Asn::EGRESS_OPERATORS.contains(&asn), "{asn} not an egress AS");
+    assert!(
+        Asn::EGRESS_OPERATORS.contains(&asn),
+        "{asn} not an egress AS"
+    );
 }

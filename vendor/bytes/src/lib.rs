@@ -1,0 +1,240 @@
+//! Vendored minimal subset of the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the repository
+//! vendors the small slice of the `bytes` API it actually uses: a growable
+//! byte buffer ([`BytesMut`]) plus the [`Buf`]/[`BufMut`] read/write traits.
+//! Semantics match the upstream crate for the covered surface.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a byte cursor: big-endian integer reads that advance.
+pub trait Buf {
+    /// Remaining readable bytes.
+    fn remaining(&self) -> usize;
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u16` and advances.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian `u32` and advances.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self[0], self[1]]);
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes([self[0], self[1], self[2], self[3]]);
+        *self = &self[4..];
+        v
+    }
+}
+
+/// Write access: big-endian integer and slice appends.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable, reusable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Reserves space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Clears the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, yielding the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { inner: v.to_vec() }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.inner.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_index() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u16(0xBEEF);
+        b.put_u8(7);
+        b.put_u32(0x01020304);
+        b.put_slice(&[9, 9]);
+        assert_eq!(b.len(), 9);
+        assert_eq!(&b[0..2], &[0xBE, 0xEF]);
+        b[0..2].copy_from_slice(&[0, 1]);
+        assert_eq!(b.to_vec()[..3], [0, 1, 7]);
+    }
+
+    #[test]
+    fn buf_reads_advance() {
+        let data = [0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02];
+        let mut s: &[u8] = &data;
+        assert_eq!(s.get_u16(), 0xDEAD);
+        assert_eq!(s.get_u32(), 0xBEEF0102);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(&[1; 40]);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+    }
+}

@@ -1,0 +1,769 @@
+//! Vendored minimal `proptest` shim.
+//!
+//! The build environment has no crates.io access, so the repository carries a
+//! small deterministic property-testing harness exposing the subset of the
+//! proptest API the test suites use: `proptest!` with `#![proptest_config]`,
+//! `prop_assert!` / `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, numeric
+//! range strategies, `Just`, tuples, `prop_map` / `prop_filter`,
+//! `collection::vec`, `option::of`, and a small `string_regex` subset.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test RNG (seeded from the test name and case index, so failures are
+//! reproducible run-to-run) and there is no shrinking — the failing input is
+//! reported as-is via the panic message.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------- RNG
+
+/// Deterministic per-case generator (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `index` of test `name` — stable across runs.
+    pub fn for_case(name: &str, index: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------- errors
+
+/// A failed assertion inside a proptest case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------- strategy
+
+/// A generator of random values of type [`Strategy::Value`].
+///
+/// `generate` returns `None` when a `prop_filter` rejects the draw; the
+/// runner retries with fresh randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values for which `f` returns false.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _reason: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(&self.f)
+    }
+}
+
+/// Always generates a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// Numeric ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                Some((self.start as i128 + off) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(span > 0, "empty range strategy");
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                Some((*self.start() as i128 + off) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        Some(self.start + unit * (self.end - self.start))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        Some(self.start() + unit * (self.end() - self.start()))
+    }
+}
+
+/// Primitive types with a full-domain `any::<T>()` strategy.
+pub trait ArbitraryPrim: Sized {
+    /// A uniform draw over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryPrim for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arb_prim {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrim for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arb_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrim for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl ArbitraryPrim for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over the whole domain of a primitive type.
+pub fn any<T: ArbitraryPrim>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryPrim> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$n.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J),
+}
+
+/// One boxed alternative of a [`Union`].
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> Option<V>>;
+
+/// Type-erased alternative used by [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given closures (one per alternative).
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[idx])(rng)
+    }
+}
+
+/// Boxes a strategy into a [`Union`] arm.
+pub fn union_arm<S: Strategy + 'static>(s: S) -> UnionArm<S::Value> {
+    Box::new(move |rng| s.generate(rng))
+}
+
+// ---------------------------------------------------------------- modules
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`]; inclusive.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Bounded retries so one unlucky rejection doesn't kill the
+                // whole vector draw.
+                let mut element = None;
+                for _ in 0..100 {
+                    if let Some(v) = self.element.generate(rng) {
+                        element = Some(v);
+                        break;
+                    }
+                }
+                out.push(element?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy yielding `None` about a quarter of the time and `Some`
+    /// of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.below(4) == 0 {
+                Some(None)
+            } else {
+                self.inner.generate(rng).map(Some)
+            }
+        }
+    }
+}
+
+/// Regex-shaped string strategies (small subset).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    enum Atom {
+        /// Characters a class can produce.
+        Class(Vec<char>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// See [`string_regex`].
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Regex parse error.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Builds a string strategy from a simple regex: a sequence of literal
+    /// characters and character classes (`[a-z0-9_-]`, ranges + literals),
+    /// each optionally quantified with `{n}` or `{m,n}`. This covers the
+    /// patterns the test suites use; anything fancier is a parse error.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?;
+                    let body = &chars[i + 1..close];
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            let (lo, hi) = (body[j], body[j + 2]);
+                            if lo > hi {
+                                return Err(Error(format!("bad range in {pattern:?}")));
+                            }
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error(format!("empty class in {pattern:?}")));
+                    }
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {:?} in {pattern:?}",
+                        chars[i]
+                    )));
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                    i += 1;
+                    Atom::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional {n} / {m,n} quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .ok_or_else(|| Error(format!("unclosed quantifier in {pattern:?}")))?;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo = lo
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad quantifier in {pattern:?}")))?;
+                    let hi = hi
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad quantifier in {pattern:?}")))?;
+                    (lo, hi)
+                } else {
+                    let n = body
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad quantifier in {pattern:?}")))?;
+                    (n, n)
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<String> {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = piece.min + rng.below((piece.max - piece.min) as u64 + 1) as usize;
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(set) => {
+                            out.push(set[rng.below(set.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Draws from a strategy, retrying filter rejections.
+pub fn draw<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    for _ in 0..1000 {
+        if let Some(v) = strategy.generate(rng) {
+            return v;
+        }
+    }
+    panic!("proptest: strategy rejected 1000 consecutive draws");
+}
+
+/// Runs `case` for each configured case index; panics on the first failure.
+pub fn run_cases(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for index in 0..config.cases {
+        let mut rng = TestRng::for_case(name, index);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest case {index}/{} of `{name}` failed: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Defines property tests; see the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(__config, stringify!($name), |__rng| {
+                    $(let $pat = $crate::draw(&($strat), __rng);)*
+                    let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// One-of strategy over the listed alternatives (uniform).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::union_arm($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirrors `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, string};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in prop::collection::vec(any::<u16>(), 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_filter(v in prop_oneof![Just(1u8), Just(2u8)], e in (0u32..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert!(v == 1 || v == 2);
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn string_regex_shapes(s in prop::string::string_regex("[a-z]{2,4}-R[0-9]{2}").unwrap()) {
+            let (head, tail) = s.split_once('-').unwrap();
+            prop_assert!(head.len() >= 2 && head.len() <= 4);
+            prop_assert!(head.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(tail.starts_with('R'));
+            prop_assert_eq!(tail.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("x", 7);
+        let mut b = crate::TestRng::for_case("x", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,572 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so this crate re-implements
+//! the two derives the codebase uses without `syn`/`quote`: the token stream
+//! is walked by hand and the generated impls are assembled as source text and
+//! re-parsed. Supported shapes: non-generic structs (named, tuple, unit) and
+//! enums (unit / newtype / tuple / struct variants). Supported attributes:
+//! container `#[serde(transparent)]`, `#[serde(try_from = "T", into = "T")]`,
+//! and field `#[serde(skip)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consumes a run of `#[...]` attributes, folding any `serde(...)` items
+    /// into `attrs` via `apply`.
+    fn take_attrs(&mut self, mut apply: impl FnMut(&str, Option<&str>)) {
+        while self.peek_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: expected [...] after #, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.peek_ident("serde") {
+                inner.next();
+                let args = match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => panic!("serde_derive: expected serde(...), got {other:?}"),
+                };
+                let mut items = Cursor::new(args.stream());
+                while let Some(tok) = items.next() {
+                    let key = match tok {
+                        TokenTree::Ident(i) => i.to_string(),
+                        TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                        other => panic!("serde_derive: unexpected serde attr token {other:?}"),
+                    };
+                    if items.peek_punct('=') {
+                        items.next();
+                        let val = match items.next() {
+                            Some(TokenTree::Literal(l)) => {
+                                let s = l.to_string();
+                                s.trim_matches('"').to_string()
+                            }
+                            other => panic!("serde_derive: expected literal, got {other:?}"),
+                        };
+                        apply(&key, Some(&val));
+                    } else {
+                        apply(&key, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(super)`, ...
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type (or expression) up to a top-level comma or end of input;
+    /// consumes the trailing comma if present. Tracks `<`/`>` nesting so
+    /// commas inside generics don't end the field.
+    fn skip_to_field_end(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut skip = false;
+        cur.take_attrs(|key, _| {
+            if key == "skip" {
+                skip = true;
+            }
+        });
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        if !cur.peek_punct(':') {
+            panic!("serde_derive: expected `:` after field {name}");
+        }
+        cur.next();
+        cur.skip_to_field_end();
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut skip = false;
+        cur.take_attrs(|key, _| {
+            if key == "skip" {
+                skip = true;
+            }
+        });
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        cur.skip_to_field_end();
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.take_attrs(|_, _| {});
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                cur.next();
+                Fields::Tuple(parse_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                cur.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Explicit discriminant (`= expr`) and/or trailing comma.
+        if cur.peek_punct('=') {
+            cur.next();
+            cur.skip_to_field_end();
+        } else if cur.peek_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut cur = Cursor::new(ts);
+    let mut attrs = ContainerAttrs::default();
+    cur.take_attrs(|key, val| match (key, val) {
+        ("transparent", None) => attrs.transparent = true,
+        ("try_from", Some(v)) => attrs.try_from = Some(v.to_string()),
+        ("into", Some(v)) => attrs.into = Some(v.to_string()),
+        _ => {}
+    });
+    cur.skip_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if cur.peek_punct('<') {
+        panic!("serde_derive: generic type {name} is not supported by the vendored derive");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input { name, attrs, shape }
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.attrs.into {
+        format!(
+            "let v: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&v)"
+        )
+    } else {
+        match &input.shape {
+            Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+            Shape::Struct(Fields::Tuple(fields)) => {
+                let live: Vec<usize> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| !f.skip)
+                    .map(|(i, _)| i)
+                    .collect();
+                if live.len() == 1 {
+                    // Newtype (and `transparent`) structs serialize as the inner value.
+                    format!("::serde::Serialize::to_content(&self.{})", live[0])
+                } else {
+                    let items: Vec<String> = live
+                        .iter()
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+            }
+            Shape::Struct(Fields::Named(fields)) => {
+                let live: Vec<&str> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| f.name.as_deref().unwrap())
+                    .collect();
+                if input.attrs.transparent && live.len() == 1 {
+                    format!("::serde::Serialize::to_content(&self.{})", live[0])
+                } else {
+                    let items: Vec<String> = live
+                        .iter()
+                        .map(|n| {
+                            format!(
+                                "(::serde::Content::Str(\"{n}\".to_string()), \
+                                 ::serde::Serialize::to_content(&self.{n}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", items.join(", "))
+                }
+            }
+            Shape::Enum(variants) => {
+                let mut arms = Vec::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let arm = match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(fields) if fields.len() == 1 => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vname}\".to_string()), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(fields) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(\"{vname}\".to_string()), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(::serde::Content::Str(\"{n}\".to_string()), \
+                                         ::serde::Serialize::to_content({n}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(\"{vname}\".to_string()), \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    };
+                    arms.push(arm);
+                }
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `from_content` expression for one named field out of map content `{src}`.
+fn named_field_expr(src: &str, field: &Field) -> String {
+    let n = field.name.as_deref().unwrap();
+    if field.skip {
+        format!("{n}: ::std::default::Default::default(),")
+    } else {
+        format!(
+            "{n}: match ::serde::Content::get({src}, \"{n}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+             None => ::serde::Deserialize::from_content(&::serde::Content::Null)\n\
+             .map_err(|_| ::serde::DeError::custom(\"missing field `{n}`\"))?,\n\
+             }},"
+        )
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(from_ty) = &input.attrs.try_from {
+        format!(
+            "let v: {from_ty} = ::serde::Deserialize::from_content(c)?;\n\
+             ::std::convert::TryFrom::try_from(v).map_err(::serde::DeError::custom)"
+        )
+    } else {
+        match &input.shape {
+            Shape::Struct(Fields::Unit) => format!("{{ let _ = c; Ok({name}) }}"),
+            Shape::Struct(Fields::Tuple(fields)) => {
+                let live: Vec<usize> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| !f.skip)
+                    .map(|(i, _)| i)
+                    .collect();
+                if live.len() == 1 && fields.len() == 1 {
+                    format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+                } else {
+                    let mut pre = String::from(
+                        "let s = ::serde::Content::as_seq(c)\
+                         .ok_or_else(|| ::serde::DeError::expected(\"sequence\", c))?;\n\
+                         let mut it = s.iter();\n",
+                    );
+                    let mut items = Vec::new();
+                    for (i, f) in fields.iter().enumerate() {
+                        if f.skip {
+                            items.push("::std::default::Default::default()".to_string());
+                        } else {
+                            pre.push_str(&format!(
+                                "let f{i} = ::serde::Deserialize::from_content(\
+                                 it.next().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"tuple too short\"))?)?;\n"
+                            ));
+                            items.push(format!("f{i}"));
+                        }
+                    }
+                    format!("{pre}Ok({name}({}))", items.join(", "))
+                }
+            }
+            Shape::Struct(Fields::Named(fields)) => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                if input.attrs.transparent && live.len() == 1 {
+                    let n = live[0].name.as_deref().unwrap();
+                    let defaults: Vec<String> = fields
+                        .iter()
+                        .filter(|f| f.skip)
+                        .map(|f| {
+                            format!(
+                                "{}: ::std::default::Default::default(),",
+                                f.name.as_deref().unwrap()
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "Ok({name} {{ {n}: ::serde::Deserialize::from_content(c)?, {} }})",
+                        defaults.join(" ")
+                    )
+                } else {
+                    let items: Vec<String> =
+                        fields.iter().map(|f| named_field_expr("c", f)).collect();
+                    format!("Ok({name} {{\n{}\n}})", items.join("\n"))
+                }
+            }
+            Shape::Enum(variants) => {
+                let mut unit_arms = Vec::new();
+                let mut data_arms = Vec::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname}),"));
+                        }
+                        Fields::Tuple(fields) if fields.len() == 1 => {
+                            data_arms.push(format!(
+                                "\"{vname}\" => Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_content(v)?)),"
+                            ));
+                        }
+                        Fields::Tuple(fields) => {
+                            let mut pre = String::from(
+                                "let s = ::serde::Content::as_seq(v)\
+                                 .ok_or_else(|| ::serde::DeError::expected(\"sequence\", v))?;\n\
+                                 let mut it = s.iter();\n",
+                            );
+                            let mut items = Vec::new();
+                            for i in 0..fields.len() {
+                                pre.push_str(&format!(
+                                    "let f{i} = ::serde::Deserialize::from_content(\
+                                     it.next().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"tuple too short\"))?)?;\n"
+                                ));
+                                items.push(format!("f{i}"));
+                            }
+                            data_arms.push(format!(
+                                "\"{vname}\" => {{ {pre}Ok({name}::{vname}({})) }}",
+                                items.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let items: Vec<String> =
+                                fields.iter().map(|f| named_field_expr("v", f)).collect();
+                            data_arms.push(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{\n{}\n}}),",
+                                items.join("\n")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match c {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n\
+                     {unit}\n\
+                     other => Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                     let (k, v) = &entries[0];\n\
+                     let k = match k {{\n\
+                     ::serde::Content::Str(s) => s.as_str(),\n\
+                     other => return Err(::serde::DeError::expected(\"variant name\", other)),\n\
+                     }};\n\
+                     match k {{\n\
+                     {data}\n\
+                     other => Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{other:?}}\"))),\n\
+                     }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"enum variant\", other)),\n\
+                     }}",
+                    unit = unit_arms.join("\n"),
+                    data = data_arms.join("\n"),
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` via the vendored content-tree model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` via the vendored content-tree model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
