@@ -89,7 +89,7 @@ impl DnsCampaign {
         DnsCampaign {
             qname,
             qtype,
-            policy_suffixes: vec!["icloud.com".parse().expect("static")],
+            policy_suffixes: vec![DomainName::literal("icloud.com")],
         }
     }
 
@@ -99,7 +99,7 @@ impl DnsCampaign {
         DnsCampaign {
             qname,
             qtype,
-            policy_suffixes: vec!["icloud.com".parse().expect("static")],
+            policy_suffixes: vec![DomainName::literal("icloud.com")],
         }
     }
 

@@ -131,9 +131,8 @@ pub fn generate(
 
     (0..config.probes)
         .map(|i| {
-            let site = &sites[rng.pick_weighted(&site_weights).expect("weights positive")];
-            let kind =
-                config.resolver_mix[rng.pick_weighted(&kind_weights).expect("mix positive")].0;
+            let site = &sites[rng.pick_weighted(&site_weights).unwrap_or(0)];
+            let kind = config.resolver_mix[rng.pick_weighted(&kind_weights).unwrap_or(0)].0;
             let resolver_addr: IpAddr = match kind {
                 ResolverKind::Isp => IpAddr::V4(site.isp_resolver_addr),
                 ResolverKind::Local => IpAddr::V4(site.probe_addr),

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use tectonic_dns::server::AuthoritativeServer;
 use tectonic_dns::zone::{EcsAnswer, EcsAnswerer, QueryInfo};
-use tectonic_dns::{QType, Question, RData, Zone};
+use tectonic_dns::{DomainName, QType, Question, RData, Zone};
 
 /// The dynamic answerer echoing the query source.
 #[derive(Debug, Default)]
@@ -43,7 +43,7 @@ impl EcsAnswerer for WhoamiZone {
 
 /// Builds an authoritative server hosting only the whoami zone.
 pub fn whoami_server() -> AuthoritativeServer {
-    let zone = Zone::new("akamai.net".parse().expect("static")).with_dynamic(Arc::new(WhoamiZone));
+    let zone = Zone::new(DomainName::literal("akamai.net")).with_dynamic(Arc::new(WhoamiZone));
     AuthoritativeServer::new().with_zone(zone)
 }
 

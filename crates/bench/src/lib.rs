@@ -8,6 +8,9 @@
 //! computational kernel, so `cargo bench` output doubles as the
 //! reproduction record used in `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::sync::OnceLock;
 
 use tectonic_relay::{Deployment, DeploymentConfig};
@@ -41,8 +44,7 @@ pub fn paper_deployment() -> &'static Deployment {
 
 /// Prints a banner separating artefact output from criterion noise.
 pub fn banner(title: &str) {
-    println!("\n================================================================");
-    println!("== {title}");
-    println!("== (simulated deployment, scale 1/{BENCH_SCALE}, seed {BENCH_SEED})");
-    println!("================================================================");
+    let rule = "================================================================";
+    // lintkit: allow(no-print) -- bench harness banner; stdout IS the reproduction record here
+    println!("\n{rule}\n== {title}\n== (simulated deployment, scale 1/{BENCH_SCALE}, seed {BENCH_SEED})\n{rule}");
 }

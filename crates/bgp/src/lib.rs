@@ -17,6 +17,7 @@
 //!   dataset, the join key for Table 2.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod aspop;

@@ -69,7 +69,7 @@ impl AtlasSetup {
         seed: u64,
     ) -> Vec<ProbeResult> {
         let campaign = DnsCampaign::control(
-            "control.atlas-measurements.net".parse().expect("static"),
+            tectonic_dns::DomainName::literal("control.atlas-measurements.net"),
             QType::A,
         );
         campaign.run(

@@ -75,6 +75,7 @@ impl Table2 {
         self.rows
             .iter()
             .find(|r| r.category == category)
+            // lintkit: allow(no-panic) -- the constructor emits one row per category unconditionally
             .expect("all categories present")
     }
 
@@ -215,6 +216,7 @@ mod tests {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            decode_errors: 0,
             duration: tectonic_net::SimDuration::ZERO,
         };
         let table = Table2::build(&empty, &d.aspop);

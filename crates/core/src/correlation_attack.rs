@@ -136,11 +136,10 @@ pub fn run_attack(config: &AttackConfig, seed: u64) -> AttackReport {
             .iter()
             .min_by(|x, y| {
                 train_distance(ingress, &egress_logs[**x])
-                    .partial_cmp(&train_distance(ingress, &egress_logs[**y]))
-                    .expect("distances finite")
+                    .total_cmp(&train_distance(ingress, &egress_logs[**y]))
             })
             .copied()
-            .expect("sessions > 0");
+            .unwrap_or(session);
         if best == session {
             matched += 1;
         }

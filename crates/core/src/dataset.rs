@@ -15,7 +15,7 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 use tectonic_net::Epoch;
 
-use tectonic_geo::egress::EgressList;
+use tectonic_geo::egress::{CsvParseStats, EgressList};
 
 use crate::attribution::Table2;
 use crate::blocking::BlockingReport;
@@ -82,7 +82,8 @@ impl Archive {
     /// when an egress list is supplied) into `dir`.
     pub fn write_to_dir(&self, dir: &Path, egress: Option<&EgressList>) -> io::Result<()> {
         fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(self).expect("archive serialises");
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         fs::write(dir.join("archive.json"), json)?;
         if let Some(list) = egress {
             fs::write(dir.join("egress-ip-ranges.csv"), list.to_csv())?;
@@ -96,7 +97,8 @@ impl Archive {
         serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Loads the egress CSV next to an archive, if present.
+    /// Loads the egress CSV next to an archive, if present. Strict: the
+    /// first malformed row fails the load.
     pub fn load_egress(dir: &Path) -> io::Result<Option<EgressList>> {
         let path = dir.join("egress-ip-ranges.csv");
         if !path.exists() {
@@ -106,6 +108,18 @@ impl Archive {
         EgressList::parse_csv(&text)
             .map(Some)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads the egress CSV leniently: malformed rows are skipped and
+    /// counted, so one corrupt row cannot abort a Table 3/4 run. Returns
+    /// `None` stats when no CSV file is present.
+    pub fn load_egress_lossy(dir: &Path) -> io::Result<Option<(EgressList, CsvParseStats)>> {
+        let path = dir.join("egress-ip-ranges.csv");
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(path)?;
+        Ok(Some(EgressList::parse_csv_lossy(&text)))
     }
 }
 

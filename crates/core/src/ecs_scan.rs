@@ -121,6 +121,10 @@ pub struct EcsScanReport {
     pub skipped_unrouted: u64,
     /// Rate-limit retries performed.
     pub rate_limited: u64,
+    /// Replies that failed DNS wire decoding (truncated or garbage bytes).
+    /// Such records are skipped and counted — one malformed reply must
+    /// never abort a multi-hour scan.
+    pub decode_errors: u64,
     /// Simulated wall-clock duration of the scan.
     pub duration: SimDuration,
 }
@@ -233,18 +237,19 @@ impl EcsScanner {
                 }
                 last = Some(p);
                 if p.len() > 24 {
-                    subnets.push(Ipv4Net::new(p.network(), 24).expect("24 valid"));
-                } else {
-                    subnets.extend(p.subnets(24).expect("p ≤ 24"));
+                    subnets.push(Ipv4Net::slash24_of(p.network()));
+                } else if let Ok(subs) = p.subnets(24) {
+                    subnets.extend(subs);
                 }
             }
             subnets.dedup();
             subnets
         } else {
             // 1.0.0.0 through 223.255.255.0 — the unicast space.
-            let all = Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0).expect("default");
+            let all = Ipv4Net::literal("0.0.0.0/0");
             all.subnets(24)
-                .expect("24 of 0")
+                .into_iter()
+                .flatten()
                 .filter(|s| {
                     let first_octet = s.network().octets()[0];
                     (1..=223).contains(&first_octet)
@@ -289,11 +294,7 @@ impl EcsScanner {
                 Some(patched) => patched.patch(id, subnet),
                 None => {
                     let mut query = Message::query(id, domain.clone(), QType::A);
-                    query
-                        .edns
-                        .as_mut()
-                        .expect("query has EDNS")
-                        .set_ecs(EcsOption::for_v4_net(subnet));
+                    query.ensure_edns().set_ecs(EcsOption::for_v4_net(subnet));
                     scratch.encoder.encode_into(&query, &mut scratch.query_buf);
                     &scratch.query_buf
                 }
@@ -305,9 +306,13 @@ impl EcsScanner {
             report.queries_sent += 1;
             clock.advance(self.config.query_pacing);
             match auth.handle_query_into(wire, &ctx, &mut scratch.reply) {
-                ReplyOutcome::Written => {
-                    return decode_message(&scratch.reply).ok();
-                }
+                ReplyOutcome::Written => match decode_message(&scratch.reply) {
+                    Ok(response) => return Some(response),
+                    Err(_) => {
+                        report.decode_errors += 1;
+                        return None;
+                    }
+                },
                 ReplyOutcome::Dropped => {
                     report.rate_limited += 1;
                     attempts += 1;
@@ -347,16 +352,13 @@ impl EcsScanner {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            decode_errors: 0,
             duration: SimDuration::ZERO,
         };
         for subnet in sample_subnets {
             query_id = query_id.wrapping_add(1);
             let mut query = Message::query(query_id, domain.clone(), QType::AAAA);
-            query
-                .edns
-                .as_mut()
-                .expect("query has EDNS")
-                .set_ecs(EcsOption::for_v4_net(*subnet));
+            query.ensure_edns().set_ecs(EcsOption::for_v4_net(*subnet));
             let ctx = QueryContext {
                 src: IpAddr::V4(self.config.source),
                 now: clock.now(),
@@ -419,6 +421,7 @@ impl EcsScanner {
                 .collect();
             handles
                 .into_iter()
+                // lintkit: allow(no-panic) -- join fails only if a worker panicked; nothing to recover
                 .map(|h| h.join().expect("worker"))
                 .collect()
         });
@@ -434,6 +437,7 @@ impl EcsScanner {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            decode_errors: 0,
             duration: SimDuration::ZERO,
         };
         for r in reports {
@@ -458,6 +462,7 @@ impl EcsScanner {
             merged.skipped_by_scope += r.skipped_by_scope;
             merged.skipped_unrouted += r.skipped_unrouted;
             merged.rate_limited += r.rate_limited;
+            merged.decode_errors += r.decode_errors;
             merged.duration = merged.duration.max(r.duration);
         }
         merged
@@ -487,6 +492,7 @@ impl EcsScanner {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            decode_errors: 0,
             duration: SimDuration::ZERO,
         };
         let mut known_scopes: PrefixTrie<()> = PrefixTrie::new();
@@ -515,8 +521,9 @@ impl EcsScanner {
                 .map(|e| e.scope_len)
             {
                 if self.config.respect_scopes && scope < 24 {
-                    let scope_net = Ipv4Net::new(subnet.network(), scope).expect("scope ≤ 24");
-                    known_scopes.insert(scope_net, ());
+                    if let Ok(scope_net) = Ipv4Net::new(subnet.network(), scope) {
+                        known_scopes.insert(scope_net, ());
+                    }
                 }
             }
             let answers = response.a_answers();
@@ -859,5 +866,6 @@ mod failure_tests {
         let report = scanner.scan(Domain::MaskQuic.name(), &GarbageServer, &d.rib, &mut clock);
         assert_eq!(report.total(), 0, "garbage must not become addresses");
         assert!(report.queries_sent > 0);
+        assert!(report.decode_errors > 0, "undecodable replies are counted");
     }
 }

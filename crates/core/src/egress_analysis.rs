@@ -203,7 +203,7 @@ impl<'a> EgressAnalysis<'a> {
             .into_iter()
             .map(|(cc, c)| (cc, c as f64 / total))
             .collect();
-        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
         shares
     }
 
@@ -240,7 +240,7 @@ impl<'a> EgressAnalysis<'a> {
         coverage
             .into_iter()
             .filter(|(_, ops)| ops.len() == 1)
-            .map(|(cc, ops)| (cc, *ops.iter().next().expect("len 1")))
+            .filter_map(|(cc, ops)| ops.iter().next().map(|asn| (cc, *asn)))
             .collect()
     }
 

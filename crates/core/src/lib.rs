@@ -29,6 +29,7 @@
 //! | [`correlation_attack`] | §6's Tor-style timing correlation, dual-role vs split operators |
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod atlas_campaign;

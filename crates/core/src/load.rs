@@ -82,7 +82,7 @@ impl LoadReport {
                 continue;
             }
             let subnets: u64 = loads.iter().sum();
-            let max = *loads.iter().max().expect("non-empty");
+            let max = loads.iter().max().copied().unwrap_or(0);
             let g = gini(&mut loads);
             // loads is now sorted ascending.
             let decile = (loads.len() / 10).max(1);

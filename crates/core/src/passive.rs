@@ -174,7 +174,7 @@ pub fn ingress_traffic_shares(
         .into_iter()
         .map(|(addr, bytes)| (addr, bytes as f64 / relay_total.max(1) as f64))
         .collect();
-    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
     shares
 }
 

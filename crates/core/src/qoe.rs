@@ -52,10 +52,10 @@ pub fn qoe_experiment(
     let targets = [
         (CountryCode::US, 5.0),
         (CountryCode::DE, 2.0),
-        (CountryCode::new("NL").expect("static"), 1.5),
-        (CountryCode::new("GB").expect("static"), 1.0),
-        (CountryCode::new("SG").expect("static"), 0.8),
-        (CountryCode::new("JP").expect("static"), 0.7),
+        (CountryCode::literal("NL"), 1.5),
+        (CountryCode::literal("GB"), 1.0),
+        (CountryCode::literal("SG"), 0.8),
+        (CountryCode::literal("JP"), 0.7),
     ];
     let target_weights: Vec<f64> = targets.iter().map(|(_, w)| *w).collect();
     let ases = deployment.world.ases();
@@ -66,7 +66,7 @@ pub fn qoe_experiment(
     let mut faster = 0usize;
     for i in 0..samples {
         let client = &ases[rng.index(ases.len())];
-        let target = targets[rng.pick_weighted(&target_weights).expect("weights")].0;
+        let target = targets[rng.pick_weighted(&target_weights).unwrap_or(0)].0;
         // The egress represents the client's own country (the default
         // "maintain region" setting).
         let conn = model.connection(client.cc, client.cc, target, seed ^ (i as u64));
@@ -80,9 +80,9 @@ pub fn qoe_experiment(
         relayed.push(conn.relayed_ms);
         overhead.push(conn.overhead_ms());
     }
-    direct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    relayed.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    overhead.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    direct.sort_by(|a, b| a.total_cmp(b));
+    relayed.sort_by(|a, b| a.total_cmp(b));
+    overhead.sort_by(|a, b| a.total_cmp(b));
     QoeReport {
         connections: samples,
         median_direct_ms: percentile(&direct, 0.5),

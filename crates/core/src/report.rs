@@ -313,7 +313,8 @@ pub fn render_quic(report: &QuicProbeReport) -> String {
 /// Serialises any experiment artefact as pretty JSON for the research
 /// archive.
 pub fn to_archive_json<T: Serialize>(artefact: &T) -> String {
-    serde_json::to_string_pretty(artefact).expect("artefacts serialise")
+    serde_json::to_string_pretty(artefact)
+        .unwrap_or_else(|e| format!("{{\"error\": \"artefact failed to serialise: {e}\"}}"))
 }
 
 #[cfg(test)]
@@ -489,6 +490,7 @@ mod tests {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            decode_errors: 0,
             duration: SimDuration::ZERO,
         };
         let rows = vec![(Epoch::Jan2022, empty.clone(), None)];

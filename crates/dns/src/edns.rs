@@ -64,12 +64,8 @@ impl EcsOption {
     /// The query subnet as a prefix.
     pub fn source_net(&self) -> IpNet {
         match self.addr {
-            IpAddr::V4(a) => {
-                IpNet::V4(Ipv4Net::new(a, self.source_len.min(32)).expect("len clamped"))
-            }
-            IpAddr::V6(a) => {
-                IpNet::V6(Ipv6Net::new(a, self.source_len.min(128)).expect("len clamped"))
-            }
+            IpAddr::V4(a) => IpNet::V4(Ipv4Net::clamped(a, self.source_len)),
+            IpAddr::V6(a) => IpNet::V6(Ipv6Net::clamped(a, self.source_len)),
         }
     }
 
@@ -77,12 +73,8 @@ impl EcsOption {
     /// whole address space of the family (scope 0 = "valid everywhere").
     pub fn scope_net(&self) -> IpNet {
         match self.addr {
-            IpAddr::V4(a) => {
-                IpNet::V4(Ipv4Net::new(a, self.scope_len.min(32)).expect("len clamped"))
-            }
-            IpAddr::V6(a) => {
-                IpNet::V6(Ipv6Net::new(a, self.scope_len.min(128)).expect("len clamped"))
-            }
+            IpAddr::V4(a) => IpNet::V4(Ipv4Net::clamped(a, self.scope_len)),
+            IpAddr::V6(a) => IpNet::V6(Ipv6Net::clamped(a, self.scope_len)),
         }
     }
 

@@ -334,6 +334,14 @@ impl Message {
         }
     }
 
+    /// The EDNS OPT record, attaching a default one when absent.
+    ///
+    /// Queries built by [`Message::query`] always carry EDNS; for any other
+    /// message this makes "set an EDNS option" total instead of panicking.
+    pub fn ensure_edns(&mut self) -> &mut OptRecord {
+        self.edns.get_or_insert_with(OptRecord::default)
+    }
+
     /// A response skeleton mirroring this query's ID and question.
     pub fn response_to(&self, rcode: Rcode) -> Message {
         Message {

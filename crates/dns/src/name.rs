@@ -45,6 +45,16 @@ impl DomainName {
         DomainName { labels: Vec::new() }
     }
 
+    /// Parses a compile-time name literal, panicking on invalid input.
+    ///
+    /// For embedding well-known names in source (zone apexes, the mask
+    /// domains); never call this on runtime input — use [`DomainName::parse`]
+    /// and handle the error.
+    pub fn literal(s: &str) -> Self {
+        // lintkit: allow(no-panic) -- documented literal-only constructor; the single sanctioned panic site for static names
+        DomainName::parse(s).expect("invalid DomainName literal")
+    }
+
     /// Builds a name from labels, validating RFC 1035 limits.
     pub fn from_labels<I, S>(labels: I) -> Result<Self, NameError>
     where
@@ -218,17 +228,17 @@ impl From<DomainName> for String {
 
 /// The iCloud Private Relay QUIC ingress domain, `mask.icloud.com`.
 pub fn mask_domain() -> DomainName {
-    DomainName::parse("mask.icloud.com").expect("static name is valid")
+    DomainName::literal("mask.icloud.com")
 }
 
 /// The TCP-fallback ingress domain, `mask-h2.icloud.com`.
 pub fn mask_h2_domain() -> DomainName {
-    DomainName::parse("mask-h2.icloud.com").expect("static name is valid")
+    DomainName::literal("mask-h2.icloud.com")
 }
 
 /// The resolver-identity domain modelled after `whoami.akamai.net`.
 pub fn whoami_domain() -> DomainName {
-    DomainName::parse("whoami.akamai.net").expect("static name is valid")
+    DomainName::literal("whoami.akamai.net")
 }
 
 #[cfg(test)]

@@ -160,6 +160,7 @@ impl Resolver {
     pub fn public(kind: ResolverKind) -> Self {
         let addr = kind
             .well_known_addr()
+            // lintkit: allow(no-panic) -- API contract: callers pass a public resolver kind; the ISP kind has no well-known address
             .expect("public() requires a public resolver kind");
         Resolver::new(kind, addr)
     }
@@ -211,17 +212,17 @@ impl Resolver {
         now: SimTime,
     ) -> ResolutionOutcome {
         if self.blocks(name) {
-            return self.apply_policy(name, qtype);
+            if let Some(outcome) = self.apply_policy(name, qtype) {
+                return outcome;
+            }
         }
         let mut query = Message::query(self.fresh_id(), name.clone(), qtype);
         if self.kind.sends_ecs() {
             let ecs = match client_addr {
                 IpAddr::V4(a) => EcsOption::for_v4_net(Ipv4Net::slash24_of(a)),
-                IpAddr::V6(a) => {
-                    EcsOption::for_v6_net(tectonic_net::Ipv6Net::new(a, 56).expect("56 <= 128"))
-                }
+                IpAddr::V6(a) => EcsOption::for_v6_net(tectonic_net::Ipv6Net::clamped(a, 56)),
             };
-            query.edns.as_mut().expect("query has EDNS").set_ecs(ecs);
+            query.ensure_edns().set_ecs(ecs);
         }
         let ctx = QueryContext {
             src: self.addr,
@@ -244,7 +245,9 @@ impl Resolver {
         }
     }
 
-    fn apply_policy(&self, name: &DomainName, qtype: QType) -> ResolutionOutcome {
+    /// The policy verdict for a blocked name, or `None` under
+    /// [`ResolverPolicy::Normal`] (the caller resolves normally).
+    fn apply_policy(&self, name: &DomainName, qtype: QType) -> Option<ResolutionOutcome> {
         let make = |rcode: Rcode| {
             let q = Message::query(self.fresh_id(), name.clone(), qtype);
             let mut r = q.response_to(rcode);
@@ -252,12 +255,16 @@ impl Resolver {
             r
         };
         match self.policy {
-            ResolverPolicy::Normal => unreachable!("blocks() checked"),
-            ResolverPolicy::BlockNxDomain => ResolutionOutcome::Answered(make(Rcode::NxDomain)),
-            ResolverPolicy::BlockNoData => ResolutionOutcome::Answered(make(Rcode::NoError)),
-            ResolverPolicy::BlockRefused => ResolutionOutcome::Answered(make(Rcode::Refused)),
-            ResolverPolicy::BlockServFail => ResolutionOutcome::Answered(make(Rcode::ServFail)),
-            ResolverPolicy::BlockFormErr => ResolutionOutcome::Answered(make(Rcode::FormErr)),
+            ResolverPolicy::Normal => None,
+            ResolverPolicy::BlockNxDomain => {
+                Some(ResolutionOutcome::Answered(make(Rcode::NxDomain)))
+            }
+            ResolverPolicy::BlockNoData => Some(ResolutionOutcome::Answered(make(Rcode::NoError))),
+            ResolverPolicy::BlockRefused => Some(ResolutionOutcome::Answered(make(Rcode::Refused))),
+            ResolverPolicy::BlockServFail => {
+                Some(ResolutionOutcome::Answered(make(Rcode::ServFail)))
+            }
+            ResolverPolicy::BlockFormErr => Some(ResolutionOutcome::Answered(make(Rcode::FormErr))),
             ResolverPolicy::Hijack(addr) => {
                 let mut r = make(Rcode::NoError);
                 if qtype == QType::A {
@@ -267,9 +274,9 @@ impl Resolver {
                         RData::A(addr),
                     ));
                 }
-                ResolutionOutcome::Answered(r)
+                Some(ResolutionOutcome::Answered(r))
             }
-            ResolverPolicy::Timeout => ResolutionOutcome::Timeout,
+            ResolverPolicy::Timeout => Some(ResolutionOutcome::Timeout),
         }
     }
 }

@@ -23,11 +23,7 @@ use crate::wire::encode_message;
 /// Builds the exact query message the scanner sends for one /24.
 fn scan_query(id: u16, domain: &DomainName, qtype: QType, subnet: Ipv4Net) -> Message {
     let mut query = Message::query(id, domain.clone(), qtype);
-    query
-        .edns
-        .as_mut()
-        .expect("Message::query always attaches EDNS")
-        .set_ecs(EcsOption::for_v4_net(subnet));
+    query.ensure_edns().set_ecs(EcsOption::for_v4_net(subnet));
     query
 }
 
@@ -50,8 +46,8 @@ impl QueryTemplate {
     /// Builds and verifies a template, or `None` if in-place patching could
     /// not be proven byte-identical to the general encoder.
     pub fn new_v4_24(domain: &DomainName, qtype: QType) -> Option<QueryTemplate> {
-        let net_a = Ipv4Net::new(SENTINEL_A, 24).expect("/24 valid");
-        let net_b = Ipv4Net::new(SENTINEL_B, 24).expect("/24 valid");
+        let net_a = Ipv4Net::slash24_of(SENTINEL_A);
+        let net_b = Ipv4Net::slash24_of(SENTINEL_B);
         let wire_a = encode_message(&scan_query(0, domain, qtype, net_a));
         let wire_b = encode_message(&scan_query(0, domain, qtype, net_b));
         if wire_a.len() != wire_b.len() {

@@ -94,26 +94,28 @@ fn suffix_matches_at(buf: &[u8], mut off: usize, labels: &[String]) -> bool {
         // the end of the buffer (its terminator is not written yet); such an
         // incomplete name never matches, mirroring the string-keyed map that
         // only ever held distinct full suffixes.
-        if off >= buf.len() {
+        let Some(len) = buf.get(off).map(|b| *b as usize) else {
             return false;
-        }
-        let len = buf[off] as usize;
+        };
         if len & 0xC0 == 0xC0 {
             // Pointers we wrote ourselves always target earlier offsets.
-            if jumps >= 16 || off + 1 >= buf.len() {
+            let Some(&lo) = buf.get(off + 1) else {
+                return false;
+            };
+            if jumps >= 16 {
                 return false;
             }
             jumps += 1;
-            off = ((len & 0x3F) << 8) | buf[off + 1] as usize;
+            off = ((len & 0x3F) << 8) | lo as usize;
             continue;
         }
         if len == 0 {
             return idx == labels.len();
         }
-        if idx >= labels.len() {
+        let Some(label) = labels.get(idx) else {
             return false;
-        }
-        let label = labels[idx].as_bytes();
+        };
+        let label = label.as_bytes();
         if off + 1 + len > buf.len()
             || label.len() != len
             || !buf[off + 1..off + 1 + len].eq_ignore_ascii_case(label)
@@ -146,7 +148,7 @@ impl Sink<'_> {
 
     fn put_name(&mut self, name: &DomainName) {
         let labels = name.labels();
-        for i in 0..labels.len() {
+        for (i, label) in labels.iter().enumerate() {
             if let Some(off) = self.find_suffix(&labels[i..]) {
                 self.buf.put_u16(0xC000 | off);
                 return;
@@ -155,7 +157,6 @@ impl Sink<'_> {
             if self.buf.len() <= 0x3FFF {
                 self.label_offsets.push(self.buf.len() as u16);
             }
-            let label = &labels[i];
             self.buf.put_u8(label.len() as u8);
             self.buf.put_slice(label.as_bytes());
         }
@@ -307,10 +308,7 @@ impl<'a> Decoder<'a> {
     }
 
     fn take_u8(&mut self) -> Result<u8, DnsWireError> {
-        if self.remaining() < 1 {
-            return Err(DnsWireError::Truncated);
-        }
-        let v = self.data[self.pos];
+        let v = *self.data.get(self.pos).ok_or(DnsWireError::Truncated)?;
         self.pos += 1;
         Ok(v)
     }
@@ -349,10 +347,9 @@ impl<'a> Decoder<'a> {
         let mut jumped = false;
         let mut jumps = 0;
         loop {
-            if pos >= self.data.len() {
+            let Some(&len) = self.data.get(pos) else {
                 return Err(DnsWireError::Truncated);
-            }
-            let len = self.data[pos];
+            };
             match len {
                 0 => {
                     pos += 1;
@@ -362,10 +359,10 @@ impl<'a> Decoder<'a> {
                     break;
                 }
                 l if l & 0xC0 == 0xC0 => {
-                    if pos + 1 >= self.data.len() {
+                    let Some(&lo) = self.data.get(pos + 1) else {
                         return Err(DnsWireError::Truncated);
-                    }
-                    let target = (((l & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    };
+                    let target = (((l & 0x3F) as usize) << 8) | lo as usize;
                     if !jumped {
                         self.pos = pos + 2;
                     }
@@ -442,29 +439,22 @@ impl<'a> Decoder<'a> {
             if od.remaining() != 0 {
                 return Err(DnsWireError::BadOpt);
             }
-            let ttl_bytes = ttl.to_be_bytes();
+            let [ext_rcode, version, _, _] = ttl.to_be_bytes();
             let _ = rdata_start;
             return Ok(DecodedRecord::Opt(OptRecord {
                 udp_size: class_num,
-                ext_rcode: ttl_bytes[0],
-                version: ttl_bytes[1],
+                ext_rcode,
+                version,
                 options,
             }));
         }
         let rdata_bytes_start = self.pos;
         let rdata_slice = self.take_slice(rdlen)?;
         let rdata = match rtype {
-            QType::A => {
-                if rdlen != 4 {
-                    return Err(DnsWireError::BadRdata(rtype));
-                }
-                RData::A(Ipv4Addr::new(
-                    rdata_slice[0],
-                    rdata_slice[1],
-                    rdata_slice[2],
-                    rdata_slice[3],
-                ))
-            }
+            QType::A => match *rdata_slice {
+                [a, b, c, d] => RData::A(Ipv4Addr::new(a, b, c, d)),
+                _ => return Err(DnsWireError::BadRdata(rtype)),
+            },
             QType::AAAA => {
                 if rdlen != 16 {
                     return Err(DnsWireError::BadRdata(rtype));
@@ -494,7 +484,9 @@ impl<'a> Decoder<'a> {
                             serial,
                         }
                     }
-                    _ => unreachable!(),
+                    // The outer match arm admits only the four types above;
+                    // erring (not panicking) keeps a hostile rtype harmless.
+                    _ => return Err(DnsWireError::BadRdata(rtype)),
                 }
             }
             QType::TXT => {

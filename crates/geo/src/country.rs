@@ -36,9 +36,19 @@ impl CountryCode {
     /// Germany — the second-largest egress location (3.6 %).
     pub const DE: CountryCode = CountryCode(*b"DE");
 
+    /// Parses a compile-time two-letter code, panicking on invalid input.
+    ///
+    /// For static tables only; never call this on runtime input — use
+    /// [`CountryCode::new`] and handle the `None`.
+    pub fn literal(code: &str) -> CountryCode {
+        // lintkit: allow(no-panic) -- documented literal-only constructor; the single sanctioned panic site for static country codes
+        CountryCode::new(code).expect("invalid CountryCode literal")
+    }
+
     /// The code as a string slice.
     pub fn as_str(&self) -> &str {
-        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+        // Constructed from validated ASCII; the fallback is unreachable.
+        std::str::from_utf8(&self.0).unwrap_or("??")
     }
 }
 
@@ -351,7 +361,7 @@ pub fn all_countries() -> Vec<CountryInfo> {
     TABLE
         .iter()
         .map(|(code, lat, lon, weight)| CountryInfo {
-            code: CountryCode::new(code).expect("table codes are valid"),
+            code: CountryCode::literal(code),
             lat: *lat,
             lon: *lon,
             weight: *weight,
@@ -385,7 +395,7 @@ pub fn country_info(code: CountryCode) -> Option<CountryInfo> {
 /// infrastructure, microstates do not.
 pub fn pop_countries(n: usize) -> Vec<CountryCode> {
     let mut countries = all_countries();
-    countries.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights finite"));
+    countries.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     countries.into_iter().take(n).map(|c| c.code).collect()
 }
 

@@ -17,8 +17,6 @@
 //! [`EgressList::parse_csv`] accepts the real file's format, so a user with
 //! network access can swap the synthetic list for the live one.
 
-use std::fmt;
-
 use serde::{Deserialize, Serialize};
 use tectonic_net::{Asn, IpNet, Ipv4Net, Ipv6Net, SimRng};
 
@@ -38,28 +36,7 @@ pub struct EgressEntry {
     pub city: Option<String>,
 }
 
-/// Errors from parsing the CSV format.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EgressParseError {
-    /// A row did not have the expected four fields.
-    BadRow(usize),
-    /// A subnet failed to parse.
-    BadSubnet(usize, String),
-    /// A country code failed to parse.
-    BadCountry(usize, String),
-}
-
-impl fmt::Display for EgressParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EgressParseError::BadRow(n) => write!(f, "line {n}: expected 4 fields"),
-            EgressParseError::BadSubnet(n, s) => write!(f, "line {n}: bad subnet {s:?}"),
-            EgressParseError::BadCountry(n, s) => write!(f, "line {n}: bad country {s:?}"),
-        }
-    }
-}
-
-impl std::error::Error for EgressParseError {}
+pub use crate::csv::{CsvParseStats, EgressParseError};
 
 /// The egress list.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -118,36 +95,16 @@ impl EgressList {
         out
     }
 
-    /// Parses the CSV format; blank city fields become `None`.
+    /// Parses the CSV format strictly; blank city fields become `None` and
+    /// the first malformed row aborts. See [`crate::csv`] for the codec.
     pub fn parse_csv(text: &str) -> Result<EgressList, EgressParseError> {
-        let mut entries = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != 4 {
-                return Err(EgressParseError::BadRow(lineno + 1));
-            }
-            let subnet: IpNet = fields[0]
-                .parse()
-                .map_err(|_| EgressParseError::BadSubnet(lineno + 1, fields[0].into()))?;
-            let cc = CountryCode::new(fields[1])
-                .ok_or_else(|| EgressParseError::BadCountry(lineno + 1, fields[1].into()))?;
-            let city = if fields[3].is_empty() {
-                None
-            } else {
-                Some(fields[3].to_string())
-            };
-            entries.push(EgressEntry {
-                subnet,
-                cc,
-                region: fields[2].to_string(),
-                city,
-            });
-        }
-        Ok(EgressList { entries })
+        crate::csv::parse_csv(text)
+    }
+
+    /// Parses the CSV format leniently: malformed rows are skipped and
+    /// counted in the returned [`CsvParseStats`] instead of aborting.
+    pub fn parse_csv_lossy(text: &str) -> (EgressList, CsvParseStats) {
+        crate::csv::parse_csv_lossy(text)
     }
 }
 
@@ -209,11 +166,11 @@ impl OperatorEgressSpec {
                 asn: Asn::AKAMAI_PR,
                 v4_mask_plan: vec![(29, 5699), (30, 2602), (32, 1589)],
                 v4_bgp_prefixes: 301,
-                v4_pool: "172.224.0.0/12".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("172.224.0.0/12"),
                 v4_bgp_len: 21,
                 v6_subnets: 142_826,
                 v6_bgp_prefixes: 1172,
-                v6_pool: "2a02:26f7::/32".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2a02:26f7::/32"),
                 v6_bgp_len: 44,
                 cc_count_v4: 236,
                 cc_count_v6: 236,
@@ -224,11 +181,11 @@ impl OperatorEgressSpec {
                 asn: Asn::AKAMAI_EG,
                 v4_mask_plan: vec![(30, 1000), (31, 498), (32, 104)],
                 v4_bgp_prefixes: 1,
-                v4_pool: "23.32.0.0/12".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("23.32.0.0/12"),
                 v4_bgp_len: 12,
                 v6_subnets: 23_495,
                 v6_bgp_prefixes: 1,
-                v6_pool: "2600:1400::/32".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2600:1400::/32"),
                 v6_bgp_len: 32,
                 cc_count_v4: 18,
                 cc_count_v6: 24,
@@ -239,11 +196,11 @@ impl OperatorEgressSpec {
                 asn: Asn::CLOUDFLARE,
                 v4_mask_plan: vec![(32, 18_218)],
                 v4_bgp_prefixes: 112,
-                v4_pool: "104.0.0.0/10".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("104.0.0.0/10"),
                 v4_bgp_len: 20,
                 v6_subnets: 26_988,
                 v6_bgp_prefixes: 2,
-                v6_pool: "2a09:b800::/29".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2a09:b800::/29"),
                 v6_bgp_len: 32,
                 cc_count_v4: 248,
                 cc_count_v6: 248,
@@ -254,11 +211,11 @@ impl OperatorEgressSpec {
                 asn: Asn::FASTLY,
                 v4_mask_plan: vec![(31, 8530)],
                 v4_bgp_prefixes: 81,
-                v4_pool: "146.72.0.0/13".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("146.72.0.0/13"),
                 v4_bgp_len: 20,
                 v6_subnets: 8530,
                 v6_bgp_prefixes: 81,
-                v6_pool: "2a04:4e40::/26".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2a04:4e40::/26"),
                 v6_bgp_len: 48,
                 cc_count_v4: 236,
                 cc_count_v6: 236,
@@ -290,7 +247,7 @@ const DE_SHARE: f64 = 0.036;
 /// Ordered country preference: US, DE, then by descending weight.
 fn country_order() -> Vec<CountryCode> {
     let mut countries = all_countries();
-    countries.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights finite"));
+    countries.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     let mut order = vec![CountryCode::US, CountryCode::DE];
     for c in countries {
         if c.code != CountryCode::US && c.code != CountryCode::DE {
@@ -437,7 +394,7 @@ fn quota_assignments(shares: &[f64], total: usize, rng: &mut SimRng) -> Vec<usiz
                 fractional.push((i, exact - floor as f64));
             }
             // Largest remainders get the leftover units.
-            fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            fractional.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (i, _) in fractional.into_iter().take(extra - assigned) {
                 quotas[i] += 1;
             }
@@ -471,7 +428,8 @@ pub fn generate(
         let bgp_v4: Vec<Ipv4Net> = spec
             .v4_pool
             .subnets(spec.v4_bgp_len)
-            .expect("pool wider than prefix len")
+            .into_iter()
+            .flatten()
             .take(spec.v4_bgp_prefixes)
             .collect();
         assert_eq!(
@@ -481,12 +439,14 @@ pub fn generate(
             spec.asn
         );
         let bgp_v6: Vec<Ipv6Net> = (0..spec.v6_bgp_prefixes)
-            .map(|i| {
-                spec.v6_pool
-                    .nth_subnet(spec.v6_bgp_len, i as u128)
-                    .expect("pool wider than prefix len")
-            })
+            .filter_map(|i| spec.v6_pool.nth_subnet(spec.v6_bgp_len, i as u128).ok())
             .collect();
+        assert_eq!(
+            bgp_v6.len(),
+            spec.v6_bgp_prefixes,
+            "{}: v6 pool too small",
+            spec.asn
+        );
 
         // --- IPv4 subnets: bump-allocate inside each BGP prefix,
         //     large blocks first so alignment is automatic.
@@ -513,7 +473,7 @@ pub fn generate(
                 let addr = base.nth_addr(offset);
                 cursors[pfx_idx] = offset + block;
                 if i < emit_count {
-                    v4_subnets.push(Ipv4Net::new(addr, *len).expect("len valid"));
+                    v4_subnets.push(Ipv4Net::clamped(addr, *len));
                 }
             }
         }
@@ -522,10 +482,15 @@ pub fn generate(
         let v6_count = ((spec.v6_subnets as f64) * scale).round() as usize;
         let mut v6_subnets: Vec<Ipv6Net> = Vec::with_capacity(v6_count);
         for i in 0..v6_count {
-            let pfx_idx = i % bgp_v6.len().max(1);
-            let base = bgp_v6[pfx_idx];
+            let Some(base) = bgp_v6.get(i % bgp_v6.len().max(1)) else {
+                break; // no v6 footprint configured
+            };
             let slot = (i / bgp_v6.len().max(1)) as u128;
-            v6_subnets.push(base.nth_subnet(64, slot).expect("64 within prefix"));
+            // Carving /64s out of a shorter announced prefix cannot fail;
+            // a misconfigured spec (bgp_len > 64) just truncates the list.
+            if let Ok(s) = base.nth_subnet(64, slot) {
+                v6_subnets.push(s);
+            }
         }
 
         // --- geography

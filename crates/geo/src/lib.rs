@@ -22,6 +22,7 @@
 pub mod city;
 pub mod coords;
 pub mod country;
+pub mod csv;
 pub mod egress;
 pub mod geohash;
 pub mod mmdb;
@@ -29,5 +30,6 @@ pub mod mmdb;
 pub use city::{City, CityUniverse};
 pub use coords::haversine_km;
 pub use country::{CountryCode, CountryInfo};
+pub use csv::{CsvParseStats, EgressParseError};
 pub use egress::{EgressEntry, EgressList, OperatorEgressSpec};
 pub use mmdb::{GeoDb, Location};

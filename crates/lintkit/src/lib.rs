@@ -1,0 +1,125 @@
+//! `lintkit` — the workspace's self-contained static-analysis pass.
+//!
+//! The reproduction's pipelines parse hostile or malformed external inputs
+//! (DNS wire replies, the published egress CSV, Atlas measurement dumps).
+//! One stray `unwrap` turns a bad record into an aborted multi-hour scan,
+//! which the ROADMAP's production-scale goal cannot afford. This crate
+//! enforces the project's robustness invariants *statically* so they cannot
+//! regress:
+//!
+//! * **no-panic** — no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!` in library (non-test) code,
+//! * **no-index** — no `expr[i]` indexing on designated hostile-input parse
+//!   paths (use `.get`),
+//! * **no-print** — no `println!`-family output in library code,
+//! * **forbid-unsafe** — every crate root carries `#![forbid(unsafe_code)]`,
+//! * **vendor-manifest** — the vendored dependency shims match the
+//!   checked-in public-API manifest (`vendor/API_MANIFEST.txt`),
+//! * **allow-needs-reason** — suppressions must carry a justification.
+//!
+//! Any finding can be suppressed with
+//! `// lintkit: allow(<rule>) -- <reason>`; the reason is mandatory.
+//!
+//! Built without external dependencies (no crates.io access in the build
+//! environment, so no `syn`): the lexer in [`lexer`] provides just enough
+//! structure. Run via `cargo run -p xtask -- lint`; the same pass also runs
+//! as a tier-1 test (`tests/workspace_gate.rs`) and in CI.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_file, FileContext, Finding, Rule};
+
+/// What to lint and how strictly.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+    /// Workspace-relative paths of files where the `no-index` rule applies —
+    /// the parse paths that face hostile input.
+    pub strict_index: Vec<String>,
+    /// Crate directory names under `crates/` to skip entirely (dev tools
+    /// such as the lint driver binary itself).
+    pub skip_crates: Vec<String>,
+}
+
+impl Config {
+    /// The project policy: every library crate, strict indexing on the
+    /// hostile-input decoders, and the `xtask` driver exempt (it is a
+    /// pure binary dev-tool, not library code).
+    pub fn for_workspace(root: &Path) -> Config {
+        Config {
+            root: root.to_path_buf(),
+            strict_index: vec![
+                "crates/dns/src/wire.rs".to_string(),
+                "crates/geo/src/csv.rs".to_string(),
+            ],
+            skip_crates: vec!["xtask".to_string()],
+        }
+    }
+}
+
+/// Lints the whole workspace: every crate under `crates/*/src`, the root
+/// package's `src/`, and the vendored-shim manifest. Findings come back
+/// sorted by file and line.
+pub fn lint_workspace(config: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let crates_dir = config.root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if config.skip_crates.contains(&name) {
+            continue;
+        }
+        lint_src_dir(config, &dir.join("src"), &mut findings)?;
+    }
+    // The root `tectonic` package.
+    lint_src_dir(config, &config.root.join("src"), &mut findings)?;
+    // Vendored-shim API drift.
+    findings.extend(manifest::check(&config.root.join("vendor"))?);
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Lints every `.rs` file under one `src/` directory.
+fn lint_src_dir(config: &Config, src_dir: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    if !src_dir.is_dir() {
+        return Ok(());
+    }
+    let mut files = Vec::new();
+    manifest::collect_rs_files(src_dir, &mut files)?;
+    files.sort();
+    for file in files {
+        let rel = file
+            .strip_prefix(&config.root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let ctx = FileContext {
+            is_crate_root: file.parent() == Some(src_dir)
+                && file.file_name().is_some_and(|n| n == "lib.rs"),
+            strict_index: config.strict_index.contains(&rel),
+            // Binary targets own their stdout; libraries do not.
+            allow_print: rel.contains("/bin/") || rel.ends_with("src/main.rs"),
+        };
+        let text = fs::read_to_string(&file)?;
+        findings.extend(check_file(&rel, &text, ctx));
+    }
+    Ok(())
+}

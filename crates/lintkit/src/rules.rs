@@ -1,0 +1,617 @@
+//! The lint rules and the per-file checker.
+//!
+//! Rules operate on the token stream from [`crate::lexer`]; everything in a
+//! `#[cfg(test)]`-gated item is exempt (test code may panic freely), and
+//! any finding can be suppressed with an allow comment that *must* carry a
+//! justification:
+//!
+//! ```text
+//! // lintkit: allow(no-panic) -- bounds checked two lines above
+//! ```
+//!
+//! The comment suppresses matching findings on its own line (trailing
+//! form) or, when it stands alone, on the next code line. An allow without
+//! a reason, or for an unknown rule, is itself reported.
+
+use std::fmt;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The rules the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// in library code.
+    NoPanic,
+    /// No `expr[i]` indexing (use `.get`) — enforced on hostile-input parse
+    /// paths only; slicing with an explicit range is out of scope.
+    NoIndex,
+    /// No `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code —
+    /// output belongs to the report/monitor layer or a binary target.
+    NoPrint,
+    /// Crate roots must carry `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// An allow comment must name a known rule and give a reason.
+    AllowNeedsReason,
+    /// Vendored shims must match the checked-in public-API manifest.
+    VendorManifest,
+}
+
+impl Rule {
+    /// The rule's stable name, as used in allow comments and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoIndex => "no-index",
+            Rule::NoPrint => "no-print",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::AllowNeedsReason => "allow-needs-reason",
+            Rule::VendorManifest => "vendor-manifest",
+        }
+    }
+
+    /// Parses a rule name as written in an allow comment.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "no-panic" => Some(Rule::NoPanic),
+            "no-index" => Some(Rule::NoIndex),
+            "no-print" => Some(Rule::NoPrint),
+            "forbid-unsafe" => Some(Rule::ForbidUnsafe),
+            "allow-needs-reason" => Some(Rule::AllowNeedsReason),
+            "vendor-manifest" => Some(Rule::VendorManifest),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line of the violation (0 for file-level findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Per-file lint context, decided by the workspace walker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileContext {
+    /// This file is a crate root (`src/lib.rs`) and must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// The `no-index` rule applies (hostile-input parse paths).
+    pub strict_index: bool,
+    /// Printing is acceptable here (binary targets under `src/bin/`).
+    pub allow_print: bool,
+}
+
+/// A parsed `lintkit: allow(...)` comment.
+struct Allow {
+    rule: Option<Rule>,
+    has_reason: bool,
+    /// The code line the allow applies to.
+    effective_line: u32,
+    /// The line the comment itself sits on (for error reporting).
+    comment_line: u32,
+}
+
+/// Checks one source file against every applicable rule.
+pub fn check_file(rel_path: &str, src: &str, ctx: FileContext) -> Vec<Finding> {
+    let tokens = lex(src);
+    let allows = collect_allows(&tokens);
+    let mut findings = Vec::new();
+
+    // Malformed allow comments are findings themselves, never suppressible.
+    for a in &allows {
+        match a.rule {
+            None => findings.push(Finding {
+                rule: Rule::AllowNeedsReason,
+                file: rel_path.to_string(),
+                line: a.comment_line,
+                message: "allow comment names an unknown rule".to_string(),
+            }),
+            Some(_) if !a.has_reason => findings.push(Finding {
+                rule: Rule::AllowNeedsReason,
+                file: rel_path.to_string(),
+                line: a.comment_line,
+                message: "allow comment needs a `-- <reason>` justification".to_string(),
+            }),
+            Some(_) => {}
+        }
+    }
+    let suppressed = |rule: Rule, line: u32| {
+        allows
+            .iter()
+            .any(|a| a.rule == Some(rule) && a.has_reason && a.effective_line == line)
+    };
+
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+
+    if ctx.is_crate_root && !has_forbid_unsafe(&code) {
+        findings.push(Finding {
+            rule: Rule::ForbidUnsafe,
+            file: rel_path.to_string(),
+            line: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+
+    let skip = test_gated_ranges(&code);
+    let in_skip = |i: usize| skip.iter().any(|(lo, hi)| (*lo..=*hi).contains(&i));
+
+    let mut i = 0usize;
+    while i < code.len() {
+        if in_skip(i) {
+            i += 1;
+            continue;
+        }
+        let tok = code[i];
+        // `.unwrap()` / `.expect(` method calls.
+        if tok.is_punct(b'.') {
+            if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                if paren.is_punct(b'(')
+                    && (name.is_ident("unwrap") || name.is_ident("expect"))
+                    && !suppressed(Rule::NoPanic, name.line)
+                {
+                    findings.push(Finding {
+                        rule: Rule::NoPanic,
+                        file: rel_path.to_string(),
+                        line: name.line,
+                        message: format!(".{}() can panic on malformed input", name.text),
+                    });
+                }
+            }
+        }
+        // Panicking and printing macros.
+        if tok.kind == TokenKind::Ident {
+            if let Some(bang) = code.get(i + 1) {
+                if bang.is_punct(b'!') {
+                    let is_panic = matches!(
+                        tok.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    );
+                    let is_print = matches!(
+                        tok.text.as_str(),
+                        "println" | "eprintln" | "print" | "eprint" | "dbg"
+                    );
+                    if is_panic && !suppressed(Rule::NoPanic, tok.line) {
+                        findings.push(Finding {
+                            rule: Rule::NoPanic,
+                            file: rel_path.to_string(),
+                            line: tok.line,
+                            message: format!("{}! aborts the whole pipeline", tok.text),
+                        });
+                    }
+                    if is_print && !ctx.allow_print && !suppressed(Rule::NoPrint, tok.line) {
+                        findings.push(Finding {
+                            rule: Rule::NoPrint,
+                            file: rel_path.to_string(),
+                            line: tok.line,
+                            message: format!(
+                                "{}! in library code — route output through the report layer",
+                                tok.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Indexing without `.get` on strict paths.
+        if ctx.strict_index && tok.is_punct(b'[') && i > 0 && is_index_base(code[i - 1]) {
+            if let Some(close) = matching_bracket(&code, i) {
+                if !contains_top_level_range(&code, i, close)
+                    && !suppressed(Rule::NoIndex, tok.line)
+                {
+                    findings.push(Finding {
+                        rule: Rule::NoIndex,
+                        file: rel_path.to_string(),
+                        line: tok.line,
+                        message: "indexing can panic — use .get()/.get_mut() on this parse path"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Whether the token before `[` makes it an index expression: an
+/// identifier that is not an expression-introducing keyword, or a closing
+/// `)` / `]` (call result / nested index).
+fn is_index_base(prev: &Token) -> bool {
+    match prev.kind {
+        TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
+        TokenKind::Ident => !matches!(
+            prev.text.as_str(),
+            "let"
+                | "mut"
+                | "ref"
+                | "in"
+                | "if"
+                | "else"
+                | "while"
+                | "loop"
+                | "for"
+                | "match"
+                | "return"
+                | "break"
+                | "continue"
+                | "move"
+                | "as"
+                | "dyn"
+                | "impl"
+                | "where"
+                | "box"
+                | "const"
+                | "static"
+                | "type"
+                | "use"
+                | "pub"
+                | "unsafe"
+                | "async"
+                | "await"
+                | "yield"
+        ),
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`, if any.
+fn matching_bracket(code: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct(b'[') {
+            depth += 1;
+        } else if t.is_punct(b']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `code[open+1..close]` contains a `..` at the outermost bracket
+/// depth — i.e. the expression is a range slice, not a scalar index.
+fn contains_top_level_range(code: &[&Token], open: usize, close: usize) -> bool {
+    let mut depth = 0i32;
+    let mut k = open + 1;
+    while k < close {
+        let t = code[k];
+        if t.is_punct(b'[') || t.is_punct(b'(') {
+            depth += 1;
+        } else if t.is_punct(b']') || t.is_punct(b')') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(b'.') {
+            if let Some(next) = code.get(k + 1) {
+                if next.is_punct(b'.') {
+                    return true;
+                }
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Whether the stream carries the inner attribute `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(code: &[&Token]) -> bool {
+    code.windows(8).any(|w| {
+        w[0].is_punct(b'#')
+            && w[1].is_punct(b'!')
+            && w[2].is_punct(b'[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct(b'(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(b')')
+            && w[7].is_punct(b']')
+    })
+}
+
+/// Token-index ranges (inclusive) of items gated behind `#[cfg(test)]`
+/// (or any `cfg` whose arguments mention `test` without `not`).
+fn test_gated_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct(b'#')
+            && code.get(i + 1).is_some_and(|t| t.is_punct(b'['))
+            && code.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && code.get(i + 3).is_some_and(|t| t.is_punct(b'('))
+        {
+            // Scan the cfg argument list.
+            let mut j = i + 4;
+            let mut depth = 1i32;
+            let mut mentions_test = false;
+            let mut mentions_not = false;
+            while j < code.len() && depth > 0 {
+                let t = code[j];
+                if t.is_punct(b'(') {
+                    depth += 1;
+                } else if t.is_punct(b')') {
+                    depth -= 1;
+                } else if t.is_ident("test") {
+                    mentions_test = true;
+                } else if t.is_ident("not") {
+                    mentions_not = true;
+                }
+                j += 1;
+            }
+            // Skip the closing `]` of the attribute.
+            if code.get(j).is_some_and(|t| t.is_punct(b']')) {
+                j += 1;
+            }
+            if mentions_test && !mentions_not {
+                if let Some(end) = item_end(code, j) {
+                    ranges.push((i, end));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Index of the last token of the item starting at `start` (further
+/// attributes included): either the `;` that terminates it or the `}`
+/// matching its first body brace.
+fn item_end(code: &[&Token], start: usize) -> Option<usize> {
+    let mut i = start;
+    // Skip any further outer attributes.
+    while code.get(i).is_some_and(|t| t.is_punct(b'#'))
+        && code.get(i + 1).is_some_and(|t| t.is_punct(b'['))
+    {
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < code.len() {
+            if code[j].is_punct(b'[') {
+                depth += 1;
+            } else if code[j].is_punct(b']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    // Find the body `{` or the terminating `;` (at bracket depth 0, so a
+    // `[u8; 4]` in the header does not end the item early).
+    let mut sq = 0i32;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct(b'[') {
+            sq += 1;
+        } else if t.is_punct(b']') {
+            sq -= 1;
+        } else if t.is_punct(b';') && sq == 0 {
+            return Some(i);
+        } else if t.is_punct(b'{') {
+            let mut depth = 0i32;
+            let mut j = i;
+            while j < code.len() {
+                if code[j].is_punct(b'{') {
+                    depth += 1;
+                } else if code[j].is_punct(b'}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                j += 1;
+            }
+            return Some(code.len() - 1);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses every `lintkit: allow(...)` comment in the stream.
+fn collect_allows(tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("lintkit: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            allows.push(Allow {
+                rule: None,
+                has_reason: false,
+                effective_line: tok.line,
+                comment_line: tok.line,
+            });
+            continue;
+        };
+        let rule = Rule::from_name(rest[..close].trim());
+        let tail = rest[close + 1..].trim();
+        let has_reason = tail
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        // Trailing comment → applies to its own line. Standalone comment →
+        // applies to the next code line.
+        let standalone = !tokens[..idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| t.kind != TokenKind::Comment);
+        let effective_line = if standalone {
+            tokens[idx + 1..]
+                .iter()
+                .find(|t| t.kind != TokenKind::Comment)
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        } else {
+            tok.line
+        };
+        allows.push(Allow {
+            rule,
+            has_reason,
+            effective_line,
+            comment_line: tok.line,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        check_file("test.rs", src, FileContext::default())
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        let f = check("fn f() { x.unwrap(); y.expect(\"m\"); }");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::NoPanic));
+    }
+
+    #[test]
+    fn flags_panicking_macros() {
+        let f = check("fn f() { panic!(\"x\"); unreachable!(); todo!(); }");
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        assert!(check("fn f() { x.unwrap_or(0); x.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); panic!(); }\n}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn g() { x.unwrap(); }";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses() {
+        let src = "fn f() { x.unwrap(); } // lintkit: allow(no-panic) -- checked above";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_line() {
+        let src = "// lintkit: allow(no-panic) -- fixture\nfn f() { x.unwrap(); }";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_finding() {
+        let src = "fn f() { x.unwrap(); } // lintkit: allow(no-panic)";
+        let f = check(src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|f| f.rule == Rule::AllowNeedsReason));
+        assert!(f.iter().any(|f| f.rule == Rule::NoPanic));
+    }
+
+    #[test]
+    fn allow_for_unknown_rule_is_reported() {
+        let src = "fn f() {} // lintkit: allow(no-such-rule) -- because";
+        let f = check(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AllowNeedsReason);
+    }
+
+    #[test]
+    fn print_macros_flagged_only_in_library_context() {
+        let src = "fn f() { println!(\"x\"); dbg!(y); }";
+        assert_eq!(check(src).len(), 2);
+        let ctx = FileContext {
+            allow_print: true,
+            ..FileContext::default()
+        };
+        assert!(check_file("bin.rs", src, ctx).is_empty());
+    }
+
+    #[test]
+    fn crate_root_needs_forbid_unsafe() {
+        let ctx = FileContext {
+            is_crate_root: true,
+            ..FileContext::default()
+        };
+        let f = check_file("lib.rs", "fn f() {}", ctx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ForbidUnsafe);
+        assert!(check_file("lib.rs", "#![forbid(unsafe_code)]\nfn f() {}", ctx).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_only_on_strict_paths() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] }";
+        assert!(check(src).is_empty());
+        let ctx = FileContext {
+            strict_index: true,
+            ..FileContext::default()
+        };
+        let f = check_file("strict.rs", src, ctx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoIndex);
+    }
+
+    #[test]
+    fn range_slicing_and_declarations_not_flagged_by_no_index() {
+        let ctx = FileContext {
+            strict_index: true,
+            ..FileContext::default()
+        };
+        let src = "fn f(b: &[u8]) -> &[u8] { let x: [u8; 4] = [0; 4]; &b[1..3] }";
+        assert!(check_file("strict.rs", src, ctx).is_empty());
+    }
+
+    #[test]
+    fn finding_lines_are_exact() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        let f = check(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an allow comment missing its `-- <reason>` justification.
+//! Yields `allow-needs-reason` on line 5 AND the unsuppressed `no-panic`
+//! on line 6 — a reasonless allow suppresses nothing.
+
+// lintkit: allow(no-panic)
+pub fn bad() -> u32 { "7".parse().unwrap() }

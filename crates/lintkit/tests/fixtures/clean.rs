@@ -1,0 +1,25 @@
+//! Fixture: passes every rule under the strictest context (crate root,
+//! strict indexing, printing disallowed), including one properly justified
+//! allow suppressing an `expect`.
+
+#![forbid(unsafe_code)]
+
+/// Total accessor: `.get` instead of indexing.
+pub fn first_byte(buf: &[u8]) -> Option<u8> {
+    buf.get(0).copied()
+}
+
+/// A justified suppression is not a finding.
+pub fn must_have() -> u32 {
+    // lintkit: allow(no-panic) -- fixture: constant input cannot fail
+    "7".parse().expect("constant")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely; the rules skip `#[cfg(test)]` ranges.
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!("3".parse::<u32>().unwrap(), 3);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` attribute —
+//! linted with `is_crate_root` set, yielding one `forbid-unsafe` finding.
+
+pub fn noop() {}

@@ -1,0 +1,11 @@
+//! Fixture: exactly one `no-index` violation, on line 5 (linted with
+//! `strict_index` set, as a hostile-input parse path would be).
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+/// Range slicing is out of scope for the rule — this must NOT be flagged.
+pub fn header(buf: &[u8]) -> &[u8] {
+    &buf[..4]
+}

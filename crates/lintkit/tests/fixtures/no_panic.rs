@@ -1,0 +1,6 @@
+//! Fixture: exactly one `no-panic` violation, on line 5.
+
+/// Parses a count from operator-controlled input.
+pub fn parse_count(input: &str) -> u32 {
+    input.parse().unwrap()
+}

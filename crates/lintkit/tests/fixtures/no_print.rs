@@ -1,0 +1,6 @@
+//! Fixture: exactly one `no-print` violation, on line 5.
+
+/// Library code talking straight to stdout.
+pub fn announce(n: u32) {
+    println!("scanned {n} subnets");
+}

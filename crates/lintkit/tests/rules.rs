@@ -1,0 +1,183 @@
+//! Fixture tests: one known violation per rule, asserting the exact
+//! rule, file, and line the analyzer reports — the acceptance check that
+//! flipping any fixture violation changes the verdict.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lintkit::{check_file, manifest, FileContext, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The strictest context: crate root, hostile-input indexing rules, no
+/// printing.
+fn strict() -> FileContext {
+    FileContext {
+        is_crate_root: true,
+        strict_index: true,
+        allow_print: false,
+    }
+}
+
+fn lint(name: &str, ctx: FileContext) -> Vec<Finding> {
+    check_file(&format!("fixtures/{name}"), &fixture(name), ctx)
+}
+
+#[test]
+fn no_panic_fixture_flags_rule_file_line() {
+    let findings = lint(
+        "no_panic.rs",
+        FileContext {
+            is_crate_root: false,
+            ..strict()
+        },
+    );
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, Rule::NoPanic);
+    assert_eq!(findings[0].file, "fixtures/no_panic.rs");
+    assert_eq!(findings[0].line, 5);
+    assert_eq!(
+        findings[0].to_string(),
+        "no-panic: fixtures/no_panic.rs:5: .unwrap() can panic on malformed input"
+    );
+}
+
+#[test]
+fn no_index_fixture_flags_rule_file_line() {
+    let findings = lint(
+        "no_index.rs",
+        FileContext {
+            is_crate_root: false,
+            ..strict()
+        },
+    );
+    assert_eq!(
+        findings.len(),
+        1,
+        "range slicing must not be flagged: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, Rule::NoIndex);
+    assert_eq!(findings[0].file, "fixtures/no_index.rs");
+    assert_eq!(findings[0].line, 5);
+}
+
+#[test]
+fn no_index_is_opt_in_per_file() {
+    let findings = lint(
+        "no_index.rs",
+        FileContext {
+            is_crate_root: false,
+            strict_index: false,
+            allow_print: false,
+        },
+    );
+    assert!(
+        findings.is_empty(),
+        "non-strict files may index: {findings:?}"
+    );
+}
+
+#[test]
+fn no_print_fixture_flags_rule_file_line() {
+    let findings = lint(
+        "no_print.rs",
+        FileContext {
+            is_crate_root: false,
+            ..strict()
+        },
+    );
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, Rule::NoPrint);
+    assert_eq!(findings[0].file, "fixtures/no_print.rs");
+    assert_eq!(findings[0].line, 5);
+}
+
+#[test]
+fn missing_forbid_fixture_flags_crate_root() {
+    let findings = lint("missing_forbid.rs", strict());
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, Rule::ForbidUnsafe);
+    assert_eq!(findings[0].file, "fixtures/missing_forbid.rs");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn reasonless_allow_is_a_finding_and_suppresses_nothing() {
+    let findings = lint(
+        "allow_without_reason.rs",
+        FileContext {
+            is_crate_root: false,
+            ..strict()
+        },
+    );
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    let reason = findings
+        .iter()
+        .find(|f| f.rule == Rule::AllowNeedsReason)
+        .expect("allow-needs-reason finding");
+    assert_eq!(reason.line, 5);
+    let panic = findings
+        .iter()
+        .find(|f| f.rule == Rule::NoPanic)
+        .expect("the unwrap stays flagged");
+    assert_eq!(panic.line, 6);
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = lint("clean.rs", strict());
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+}
+
+#[test]
+fn vendor_manifest_drift_is_flagged_both_ways() {
+    // A miniature vendor tree: one shim with one public fn, and a manifest
+    // that records a different API — drift in both directions.
+    let dir = std::env::temp_dir().join(format!("lintkit-manifest-{}", std::process::id()));
+    let src = dir.join("shim/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(src.join("lib.rs"), "pub fn present() {}\n").unwrap();
+    fs::write(
+        dir.join(manifest::MANIFEST_FILE),
+        "shim/src/lib.rs: fn recorded_but_gone\n",
+    )
+    .unwrap();
+
+    let findings = manifest::check(&dir).unwrap();
+    fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::VendorManifest));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("gained `shim/src/lib.rs: fn present`")),
+        "gained-item drift reported: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("lost `shim/src/lib.rs: fn recorded_but_gone`")),
+        "lost-item drift reported: {findings:?}"
+    );
+}
+
+#[test]
+fn missing_vendor_manifest_is_flagged() {
+    let dir = std::env::temp_dir().join(format!("lintkit-nomanifest-{}", std::process::id()));
+    let src = dir.join("shim/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(src.join("lib.rs"), "pub fn present() {}\n").unwrap();
+
+    let findings = manifest::check(&dir).unwrap();
+    fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, Rule::VendorManifest);
+    assert!(findings[0].message.contains("manifest missing"));
+}

@@ -1,0 +1,27 @@
+//! Tier-1 gate: the same analysis `cargo run -p xtask -- lint` performs,
+//! run over the real workspace from `cargo test`. Any unsuppressed panic
+//! path, stray print, missing `#![forbid(unsafe_code)]`, or vendored-shim
+//! API drift fails the build — not just the lint step.
+
+use std::path::PathBuf;
+
+use lintkit::{lint_workspace, Config};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let config = Config::for_workspace(&root);
+    let findings = lint_workspace(&config).expect("lint pass runs");
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

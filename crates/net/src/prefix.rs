@@ -74,7 +74,32 @@ impl Ipv4Net {
     /// The `/24` prefix covering `addr` — the granularity used for ECS
     /// client subnets throughout the paper.
     pub fn slash24_of(addr: Ipv4Addr) -> Self {
-        Self::new(addr, 24).expect("24 <= 32")
+        Self {
+            addr: Ipv4Addr::from(mask_u32(u32::from(addr), 24)),
+            len: 24,
+        }
+    }
+
+    /// Creates a prefix with `len` clamped to 32 — a total constructor for
+    /// lengths that arrive pre-validated or semantically capped (e.g. ECS
+    /// source/scope lengths).
+    pub fn clamped(addr: Ipv4Addr, len: u8) -> Self {
+        let len = len.min(32);
+        Self {
+            addr: Ipv4Addr::from(mask_u32(u32::from(addr), len)),
+            len,
+        }
+    }
+
+    /// Parses a compile-time prefix literal, panicking on invalid input.
+    ///
+    /// For embedding well-known prefixes in source (`Ipv4Net::literal(
+    /// "17.0.0.0/8")`); every call site is covered by construction the
+    /// first time it runs. Never call this on runtime input — use
+    /// [`FromStr`] and handle the error.
+    pub fn literal(s: &str) -> Self {
+        // lintkit: allow(no-panic) -- documented literal-only constructor; the single sanctioned panic site for static prefixes
+        s.parse().expect("invalid Ipv4Net literal")
     }
 
     /// The single-address `/32` prefix for `addr`.
@@ -134,7 +159,11 @@ impl Ipv4Net {
         if self.len == 0 {
             None
         } else {
-            Some(Ipv4Net::new(self.addr, self.len - 1).expect("shorter len is valid"))
+            let len = self.len - 1;
+            Some(Ipv4Net {
+                addr: Ipv4Addr::from(mask_u32(u32::from(self.addr), len)),
+                len,
+            })
         }
     }
 
@@ -308,9 +337,27 @@ impl Ipv6Net {
         })
     }
 
+    /// Creates a prefix with `len` clamped to 128 — the total counterpart
+    /// of [`Ipv6Net::new`], for pre-validated or semantically capped lengths.
+    pub fn clamped(addr: Ipv6Addr, len: u8) -> Self {
+        let len = len.min(128);
+        Self {
+            addr: Ipv6Addr::from(mask_u128(u128::from(addr), len)),
+            len,
+        }
+    }
+
     /// The single-address `/128` prefix for `addr`.
     pub fn host(addr: Ipv6Addr) -> Self {
         Self { addr, len: 128 }
+    }
+
+    /// Parses a compile-time prefix literal, panicking on invalid input.
+    ///
+    /// See [`Ipv4Net::literal`]; never call this on runtime input.
+    pub fn literal(s: &str) -> Self {
+        // lintkit: allow(no-panic) -- documented literal-only constructor; the single sanctioned panic site for static v6 prefixes
+        s.parse().expect("invalid Ipv6Net literal")
     }
 
     /// Network address (lowest address in the prefix).
@@ -349,7 +396,11 @@ impl Ipv6Net {
         if self.len == 0 {
             None
         } else {
-            Some(Ipv6Net::new(self.addr, self.len - 1).expect("shorter len is valid"))
+            let len = self.len - 1;
+            Some(Ipv6Net {
+                addr: Ipv6Addr::from(mask_u128(u128::from(self.addr), len)),
+                len,
+            })
         }
     }
 

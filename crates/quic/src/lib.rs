@@ -12,6 +12,7 @@
 //! [`probe`] implements the scanner and the ingress responder model.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod h3;

@@ -86,13 +86,13 @@ impl QuicProber {
     /// Builds the standard-handshake probe (QUIC v1 Initial, 1200 bytes) —
     /// the QScanner/curl behaviour that gets no answer from ingress nodes.
     pub fn standard_initial(&self, dcid: &[u8], scid: &[u8]) -> Vec<u8> {
-        encode_initial(crate::VERSION_V1, dcid, scid, 1200).expect("static CIDs fit")
+        encode_initial(crate::VERSION_V1, dcid, scid, 1200).unwrap_or_default()
     }
 
     /// Builds the forced-negotiation probe (reserved version) — the ZMap
     /// module behaviour that elicits Version Negotiation.
     pub fn negotiation_trigger(&self, dcid: &[u8], scid: &[u8]) -> Vec<u8> {
-        encode_initial(VERSION_FORCE_NEGOTIATION, dcid, scid, 1200).expect("static CIDs fit")
+        encode_initial(VERSION_FORCE_NEGOTIATION, dcid, scid, 1200).unwrap_or_default()
     }
 
     /// Classifies a (possibly absent) reply to a probe.

@@ -310,9 +310,7 @@ impl Device {
         // as the client subnet.
         let mut query = Message::query(0x0D0B, name.clone(), qtype);
         query
-            .edns
-            .as_mut()
-            .expect("query has EDNS")
+            .ensure_edns()
             .set_ecs(tectonic_dns::EcsOption::for_v4_net(Ipv4Net::slash24_of(
                 egress_v4,
             )));

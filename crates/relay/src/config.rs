@@ -21,8 +21,8 @@ impl Domain {
     /// The DNS name.
     pub fn name(&self) -> tectonic_dns::DomainName {
         match self {
-            Domain::MaskQuic => "mask.icloud.com".parse().expect("static"),
-            Domain::MaskH2 => "mask-h2.icloud.com".parse().expect("static"),
+            Domain::MaskQuic => tectonic_dns::DomainName::literal("mask.icloud.com"),
+            Domain::MaskH2 => tectonic_dns::DomainName::literal("mask-h2.icloud.com"),
         }
     }
 
@@ -79,9 +79,9 @@ impl IngressFleetPlan {
     /// Maximum fleet size across epochs (the pool size to allocate).
     pub fn max_size(&self, v6: bool) -> usize {
         if v6 {
-            *self.v6_by_epoch.iter().max().expect("non-empty")
+            self.v6_by_epoch.iter().max().copied().unwrap_or(0)
         } else {
-            *self.v4_by_epoch.iter().max().expect("non-empty")
+            self.v4_by_epoch.iter().max().copied().unwrap_or(0)
         }
     }
 }
@@ -205,9 +205,9 @@ impl DeploymentConfig {
                 domain: Domain::MaskQuic,
                 v4_by_epoch: [365, 355, 347, 349],
                 v6_by_epoch: [350, 348, 346, 346],
-                v4_pool: "17.64.0.0/12".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("17.64.0.0/12"),
                 v4_prefixes: 20,
-                v6_pool: "2620:149:a000::/40".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2620:149:a000::/40"),
                 v6_prefixes: 12,
             },
             IngressFleetPlan {
@@ -215,9 +215,9 @@ impl DeploymentConfig {
                 domain: Domain::MaskQuic,
                 v4_by_epoch: [823, 845, 945, 1237],
                 v6_by_epoch: [700, 780, 950, 1229],
-                v4_pool: "172.240.0.0/13".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("172.240.0.0/13"),
                 v4_prefixes: 64,
-                v6_pool: "2a02:26f8::/33".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2a02:26f8::/33"),
                 v6_prefixes: 70,
             },
             IngressFleetPlan {
@@ -225,9 +225,9 @@ impl DeploymentConfig {
                 domain: Domain::MaskH2,
                 v4_by_epoch: [356, 356, 334, 336],
                 v6_by_epoch: [340, 340, 330, 332],
-                v4_pool: "17.128.0.0/12".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("17.128.0.0/12"),
                 v4_prefixes: 9,
-                v6_pool: "2620:149:b000::/40".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2620:149:b000::/40"),
                 v6_prefixes: 8,
             },
             IngressFleetPlan {
@@ -235,9 +235,9 @@ impl DeploymentConfig {
                 domain: Domain::MaskH2,
                 v4_by_epoch: [0, 0, 25, 1062],
                 v6_by_epoch: [0, 0, 20, 1000],
-                v4_pool: "172.248.0.0/13".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("172.248.0.0/13"),
                 v4_prefixes: 30,
-                v6_pool: "2a02:26f8:8000::/33".parse().expect("static"),
+                v6_pool: Ipv6Net::literal("2a02:26f8:8000::/33"),
                 v6_prefixes: 37,
             },
         ];
@@ -256,8 +256,8 @@ impl DeploymentConfig {
             unused_akamai_pr: UnusedPrefixPlan {
                 v4: 83,
                 v6: 57,
-                v4_pool: "23.0.0.0/12".parse().expect("static"),
-                v6_pool: "2a02:26f9::/32".parse().expect("static"),
+                v4_pool: Ipv4Net::literal("23.0.0.0/12"),
+                v6_pool: Ipv6Net::literal("2a02:26f9::/32"),
             },
             city_universe_size: 25_000,
         }

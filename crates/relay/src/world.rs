@@ -51,12 +51,18 @@ impl ClientAs {
     pub fn slash24s(&self) -> impl Iterator<Item = Ipv4Net> + '_ {
         self.prefixes
             .iter()
-            .flat_map(|p| p.subnets(24).expect("client prefixes are ≤ /24"))
+            .flat_map(|p| p.subnets(24).into_iter().flatten())
     }
 
     /// A representative host address (used for resolvers and probes).
     pub fn host_addr(&self, n: u64) -> Ipv4Addr {
-        let first = self.prefixes.first().expect("AS has at least one prefix");
+        // Generated ASes always carry at least one prefix; an empty one
+        // falls back to TEST-NET-1 rather than panicking.
+        let first = self
+            .prefixes
+            .first()
+            .copied()
+            .unwrap_or_else(|| Ipv4Net::slash24_of(Ipv4Addr::new(192, 0, 2, 0)));
         // Skip .0 so the address does not collide with a subnet base.
         first.nth_addr(1 + n)
     }
@@ -82,7 +88,7 @@ fn slash24_for_index(idx: u64) -> Option<Ipv4Net> {
     let slash8 = CLIENT_SLASH8S.get((idx / 65_536) as usize)?;
     let within = (idx % 65_536) as u32;
     let bits = (u32::from(*slash8) << 24) | (within << 8);
-    Some(Ipv4Net::new(Ipv4Addr::from(bits), 24).expect("constructed /24"))
+    Some(Ipv4Net::slash24_of(Ipv4Addr::from(bits)))
 }
 
 /// Decomposes a /24-index range `[start, start+count)` into minimal CIDRs.
@@ -101,9 +107,11 @@ fn range_to_cidrs(start: u64, count: u64) -> Vec<Ipv4Net> {
             block_log -= 1;
         }
         let block = 1u64 << block_log;
-        let base = slash24_for_index(cur).expect("index in range");
+        let Some(base) = slash24_for_index(cur) else {
+            break; // caller asked past the allocatable space; asserted above
+        };
         let len = 24 - block_log as u8;
-        out.push(Ipv4Net::new(base.network(), len).expect("aligned block"));
+        out.push(Ipv4Net::clamped(base.network(), len));
         cur += block;
         remaining -= block;
     }
@@ -163,8 +171,8 @@ impl ClientWorld {
             // Fix rounding drift on the largest AS.
             let assigned: u64 = counts.iter().sum();
             let largest = (0..as_count)
-                .max_by(|a, b| raw[*a].partial_cmp(&raw[*b]).expect("finite"))
-                .expect("non-empty");
+                .max_by(|a, b| raw[*a].total_cmp(&raw[*b]))
+                .unwrap_or(0);
             if assigned < slash24_total {
                 counts[largest] += slash24_total - assigned;
             } else if assigned > slash24_total {

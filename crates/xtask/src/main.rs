@@ -1,0 +1,83 @@
+//! Workspace automation: `cargo run -p xtask -- lint`.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the [`lintkit`] static-analysis pass over every workspace
+//!   crate and the vendored-shim manifest; exits non-zero on any finding.
+//! * `lint --update-manifest` — regenerate `vendor/API_MANIFEST.txt` from
+//!   the current shim sources, then lint.
+//!
+//! The same pass runs as a tier-1 test (`crates/lintkit/tests/
+//! workspace_gate.rs`) and as a CI job, so `xtask lint` passing locally
+//! means the gates pass too.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lintkit::{lint_workspace, manifest, Config};
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask; CARGO_MANIFEST_DIR is compiled in,
+    // so the binary finds the root regardless of the invocation directory.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: cargo run -p xtask -- lint [--update-manifest]");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "lint" => lint(args.iter().any(|a| a == "--update-manifest")),
+        other => {
+            eprintln!("unknown subcommand `{other}`; expected `lint`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(update_manifest: bool) -> ExitCode {
+    let root = workspace_root();
+    let vendor = root.join("vendor");
+    if update_manifest {
+        let text = match manifest::generate(&vendor) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: generating manifest: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = vendor.join(manifest::MANIFEST_FILE);
+        if let Err(e) = fs::write(&path, text) {
+            eprintln!("xtask lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("updated {}", path.display());
+    }
+    let config = Config::for_workspace(&root);
+    let findings = match lint_workspace(&config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!(
+            "xtask lint: clean ({} strict-index paths, vendored-shim manifest verified)",
+            config.strict_index.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("xtask lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -13,6 +13,9 @@
 //! are appended to it as JSON lines for downstream tooling.
 
 #![forbid(unsafe_code)]
+// Wall-clock timing is this shim's whole job; the SimClock policy in
+// clippy.toml does not apply to the bench harness.
+#![allow(clippy::disallowed_methods)]
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
