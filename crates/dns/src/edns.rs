@@ -109,13 +109,11 @@ impl EcsOption {
     /// Decodes an option payload. Returns `None` on malformed input
     /// (unknown family, address octets inconsistent with `source_len`).
     pub fn decode(payload: &[u8]) -> Option<EcsOption> {
-        if payload.len() < 4 {
+        let [f0, f1, source_len, scope_len, addr_bytes @ ..] = payload else {
             return None;
-        }
-        let family = u16::from_be_bytes([payload[0], payload[1]]);
-        let source_len = payload[2];
-        let scope_len = payload[3];
-        let addr_bytes = &payload[4..];
+        };
+        let family = u16::from_be_bytes([*f0, *f1]);
+        let (source_len, scope_len) = (*source_len, *scope_len);
         let needed = (source_len as usize).div_ceil(8);
         if addr_bytes.len() < needed {
             return None;

@@ -53,8 +53,12 @@ impl QueryTemplate {
         if wire_a.len() != wire_b.len() {
             return None;
         }
-        let diff: Vec<usize> = (0..wire_a.len())
-            .filter(|&i| wire_a[i] != wire_b[i])
+        let diff: Vec<usize> = wire_a
+            .iter()
+            .zip(wire_b.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
             .collect();
         // Expect exactly the three ECS address octets, contiguous.
         let [d0, d1, d2] = diff.as_slice() else {

@@ -19,12 +19,11 @@ pub struct CountryCode([u8; 2]);
 impl CountryCode {
     /// Builds a code from two ASCII letters; lower case is folded to upper.
     pub fn new(code: &str) -> Option<CountryCode> {
-        let bytes = code.as_bytes();
-        if bytes.len() != 2 {
+        let [a, b] = code.as_bytes() else {
             return None;
-        }
-        let a = bytes[0].to_ascii_uppercase();
-        let b = bytes[1].to_ascii_uppercase();
+        };
+        let a = a.to_ascii_uppercase();
+        let b = b.to_ascii_uppercase();
         if !a.is_ascii_uppercase() || !b.is_ascii_uppercase() {
             return None;
         }

@@ -50,7 +50,9 @@ pub fn encode(lat: f64, lon: f64, precision: usize) -> String {
         even = !even;
         bit_count += 1;
         if bit_count == 5 {
-            hash.push(ALPHABET[bits as usize] as char);
+            // Five bits can only address the 32-entry alphabet; the
+            // fallback keeps the encoder total without an index panic.
+            hash.push(*ALPHABET.get(bits as usize).unwrap_or(&b'0') as char);
             bits = 0;
             bit_count = 0;
         }

@@ -20,6 +20,22 @@
 //! Any finding can be suppressed with
 //! `// lintkit: allow(<rule>) -- <reason>`; the reason is mandatory.
 //!
+//! On top of the per-file rules, the pass builds a workspace-wide symbol
+//! table ([`symbols`]) and conservative call graph ([`graph`]) and runs
+//! three interprocedural rules ([`reach`]):
+//!
+//! * **panic-reachability** — no panic site may be transitively reachable
+//!   from a declared hostile-input entry point (unresolvable dynamic
+//!   dispatch is a ⊥ node that conservatively "may panic"),
+//! * **lock-order** — the derived `Mutex`/`RwLock` acquisition-order graph
+//!   must be acyclic,
+//! * **determinism-taint** — `SystemTime::now`/`Instant::now`/`thread_rng`
+//!   sources must be unreachable from `SimClock`/`SimRng`-driven code.
+//!
+//! Accepted findings live in the `lint-baseline.json` ratchet ([`baseline`]):
+//! new findings fail, and so do stale baseline entries, so the debt only
+//! burns down.
+//!
 //! Built without external dependencies (no crates.io access in the build
 //! environment, so no `syn`): the lexer in [`lexer`] provides just enough
 //! structure. Run via `cargo run -p xtask -- lint`; the same pass also runs
@@ -28,9 +44,13 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod reach;
 pub mod rules;
+pub mod symbols;
 
 use std::fs;
 use std::io;
@@ -49,29 +69,75 @@ pub struct Config {
     /// Crate directory names under `crates/` to skip entirely (dev tools
     /// such as the lint driver binary itself).
     pub skip_crates: Vec<String>,
+    /// Entry points for the panic-reachability rule, as
+    /// `crate::module::name` patterns (`name` may be `*` for every
+    /// function in the module). A pattern that matches nothing is itself a
+    /// finding, so renames cannot silently disable the analysis.
+    pub entry_points: Vec<String>,
+    /// Crates linted per-file but excluded from the call graph. Build-time
+    /// tools (lintkit itself) are never callees of product code, and their
+    /// generic function names (`parse`, `resolve`, `collect`) would only
+    /// add false edges. Binary targets are excluded for the same reason —
+    /// a `[[bin]]` cannot be linked into a library call path.
+    pub graph_skip_crates: Vec<String>,
 }
 
 impl Config {
     /// The project policy: every library crate, strict indexing on the
-    /// hostile-input decoders, and the `xtask` driver exempt (it is a
-    /// pure binary dev-tool, not library code).
+    /// hostile-input decoders, the `xtask` driver exempt (it is a pure
+    /// binary dev-tool, not library code), and reachability entry points on
+    /// every surface that parses hostile bytes or serves the request path.
     pub fn for_workspace(root: &Path) -> Config {
         Config {
             root: root.to_path_buf(),
             strict_index: vec![
                 "crates/dns/src/wire.rs".to_string(),
                 "crates/geo/src/csv.rs".to_string(),
+                "crates/quic/src/packet.rs".to_string(),
+                "crates/quic/src/varint.rs".to_string(),
             ],
             skip_crates: vec!["xtask".to_string()],
+            entry_points: vec![
+                // The multi-hour ECS scan drive loop.
+                "core::ecs_scan::scan_subnets".to_string(),
+                // DNS wire decoding of hostile reply bytes.
+                "dns::wire::decode_message".to_string(),
+                // The published egress CSV (lossy parse path).
+                "geo::csv::parse_csv_lossy".to_string(),
+                // QUIC Version Negotiation probing (paper §6).
+                "quic::probe::*".to_string(),
+                // The relay client request path.
+                "relay::client::request".to_string(),
+                "relay::client::request_pair".to_string(),
+                "relay::client::odoh_resolve".to_string(),
+            ],
+            graph_skip_crates: vec!["lintkit".to_string()],
         }
     }
 }
 
+/// The full result of one workspace pass: the findings plus the call graph
+/// they were computed on (for `--graph` dumps and diagnostics).
+pub struct Analysis {
+    /// All findings, sorted by file and line.
+    pub findings: Vec<Finding>,
+    /// The linked workspace call graph.
+    pub graph: graph::CallGraph,
+    /// Resolved entry-point function indices into `graph.funcs`.
+    pub entries: Vec<usize>,
+}
+
 /// Lints the whole workspace: every crate under `crates/*/src`, the root
-/// package's `src/`, and the vendored-shim manifest. Findings come back
-/// sorted by file and line.
+/// package's `src/`, the vendored-shim manifest, and the interprocedural
+/// graph rules. Findings come back sorted by file and line.
 pub fn lint_workspace(config: &Config) -> io::Result<Vec<Finding>> {
+    Ok(analyze_workspace(config)?.findings)
+}
+
+/// [`lint_workspace`], but also returning the call graph.
+pub fn analyze_workspace(config: &Config) -> io::Result<Analysis> {
     let mut findings = Vec::new();
+    let mut file_symbols = Vec::new();
     let crates_dir = config.root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -87,18 +153,78 @@ pub fn lint_workspace(config: &Config) -> io::Result<Vec<Finding>> {
         if config.skip_crates.contains(&name) {
             continue;
         }
-        lint_src_dir(config, &dir.join("src"), &mut findings)?;
+        lint_src_dir(
+            config,
+            &name,
+            &dir.join("src"),
+            &mut findings,
+            &mut file_symbols,
+        )?;
     }
     // The root `tectonic` package.
-    lint_src_dir(config, &config.root.join("src"), &mut findings)?;
-    // Vendored-shim API drift.
-    findings.extend(manifest::check(&config.root.join("vendor"))?);
+    lint_src_dir(
+        config,
+        "tectonic",
+        &config.root.join("src"),
+        &mut findings,
+        &mut file_symbols,
+    )?;
+    // Vendored-shim API drift (fixture workspaces have no vendor tree).
+    let vendor = config.root.join("vendor");
+    if vendor.is_dir() {
+        findings.extend(manifest::check(&vendor)?);
+    }
+    // The interprocedural pass.
+    let graph = graph::CallGraph::build(file_symbols);
+    findings.extend(reach::check_graph(&graph, &config.entry_points));
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    let entries = config
+        .entry_points
+        .iter()
+        .flat_map(|p| graph.resolve_entry(p))
+        .collect();
+    Ok(Analysis {
+        findings,
+        graph,
+        entries,
+    })
 }
 
-/// Lints every `.rs` file under one `src/` directory.
-fn lint_src_dir(config: &Config, src_dir: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+/// The tier-1 gate check: the workspace policy plus baseline-ratchet
+/// semantics, as one call usable from any crate's tests. Returns `Err`
+/// with a rendered report when there are unbaselined findings or stale
+/// baseline entries.
+pub fn check_workspace_gate(root: &Path) -> Result<(), String> {
+    let config = Config::for_workspace(root);
+    let findings = lint_workspace(&config).map_err(|e| format!("lint pass failed: {e}"))?;
+    let baseline_text = fs::read_to_string(root.join(baseline::BASELINE_FILE)).unwrap_or_default();
+    let entries = baseline::parse(&baseline_text).map_err(|e| format!("bad baseline: {e}"))?;
+    let outcome = baseline::apply(&findings, &entries);
+    if outcome.is_clean() {
+        return Ok(());
+    }
+    let mut msg = String::new();
+    for f in &outcome.unbaselined {
+        msg.push_str(&format!("  {f}\n"));
+    }
+    for e in &outcome.stale {
+        msg.push_str(&format!(
+            "  stale baseline entry {}:{}: {} (regenerate with `cargo run -p xtask -- lint --update-baseline`)\n",
+            e.file, e.line, e.rule
+        ));
+    }
+    Err(msg)
+}
+
+/// Lints every `.rs` file under one `src/` directory and collects its
+/// symbol table for the graph pass.
+fn lint_src_dir(
+    config: &Config,
+    crate_name: &str,
+    src_dir: &Path,
+    findings: &mut Vec<Finding>,
+    file_symbols: &mut Vec<symbols::FileSymbols>,
+) -> io::Result<()> {
     if !src_dir.is_dir() {
         return Ok(());
     }
@@ -120,6 +246,15 @@ fn lint_src_dir(config: &Config, src_dir: &Path, findings: &mut Vec<Finding>) ->
         };
         let text = fs::read_to_string(&file)?;
         findings.extend(check_file(&rel, &text, ctx));
+        // Graph exclusions: build-time-tool crates and binary targets are
+        // never callees of library code (see `Config::graph_skip_crates`).
+        if !config.graph_skip_crates.iter().any(|c| c == crate_name) && !ctx.allow_print {
+            let module = file
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            file_symbols.push(symbols::collect(crate_name, &module, &rel, &text));
+        }
     }
     Ok(())
 }

@@ -35,6 +35,14 @@ pub enum Rule {
     AllowNeedsReason,
     /// Vendored shims must match the checked-in public-API manifest.
     VendorManifest,
+    /// No panic site (`unwrap`/`expect`/panic macros/scalar indexing) may be
+    /// transitively reachable from a declared hostile-input entry point.
+    PanicReachability,
+    /// The interprocedural lock-acquisition-order graph must be acyclic.
+    LockOrder,
+    /// No wall-clock or OS-randomness source may be reachable from a
+    /// function that takes a `SimClock`/`SimRng`.
+    DeterminismTaint,
 }
 
 impl Rule {
@@ -47,6 +55,9 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::AllowNeedsReason => "allow-needs-reason",
             Rule::VendorManifest => "vendor-manifest",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::LockOrder => "lock-order",
+            Rule::DeterminismTaint => "determinism-taint",
         }
     }
 
@@ -59,6 +70,9 @@ impl Rule {
             "forbid-unsafe" => Some(Rule::ForbidUnsafe),
             "allow-needs-reason" => Some(Rule::AllowNeedsReason),
             "vendor-manifest" => Some(Rule::VendorManifest),
+            "panic-reachability" => Some(Rule::PanicReachability),
+            "lock-order" => Some(Rule::LockOrder),
+            "determinism-taint" => Some(Rule::DeterminismTaint),
             _ => None,
         }
     }
@@ -243,7 +257,7 @@ pub fn check_file(rel_path: &str, src: &str, ctx: FileContext) -> Vec<Finding> {
 /// Whether the token before `[` makes it an index expression: an
 /// identifier that is not an expression-introducing keyword, or a closing
 /// `)` / `]` (call result / nested index).
-fn is_index_base(prev: &Token) -> bool {
+pub(crate) fn is_index_base(prev: &Token) -> bool {
     match prev.kind {
         TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
         TokenKind::Ident => !matches!(
@@ -282,7 +296,7 @@ fn is_index_base(prev: &Token) -> bool {
 }
 
 /// Index of the `]` matching the `[` at `open`, if any.
-fn matching_bracket(code: &[&Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_bracket(code: &[&Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (i, t) in code.iter().enumerate().skip(open) {
         if t.is_punct(b'[') {
@@ -299,7 +313,7 @@ fn matching_bracket(code: &[&Token], open: usize) -> Option<usize> {
 
 /// Whether `code[open+1..close]` contains a `..` at the outermost bracket
 /// depth — i.e. the expression is a range slice, not a scalar index.
-fn contains_top_level_range(code: &[&Token], open: usize, close: usize) -> bool {
+pub(crate) fn contains_top_level_range(code: &[&Token], open: usize, close: usize) -> bool {
     let mut depth = 0i32;
     let mut k = open + 1;
     while k < close {
@@ -336,7 +350,7 @@ fn has_forbid_unsafe(code: &[&Token]) -> bool {
 
 /// Token-index ranges (inclusive) of items gated behind `#[cfg(test)]`
 /// (or any `cfg` whose arguments mention `test` without `not`).
-fn test_gated_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_gated_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < code.len() {
@@ -436,6 +450,16 @@ fn item_end(code: &[&Token], start: usize) -> Option<usize> {
         i += 1;
     }
     None
+}
+
+/// The code lines carrying a *reasoned* allow comment for any of `rules` —
+/// the sanctioned sites the interprocedural pass must also trust.
+pub(crate) fn collect_reasoned_allows(tokens: &[Token], rules: &[Rule]) -> Vec<u32> {
+    collect_allows(tokens)
+        .iter()
+        .filter(|a| a.has_reason && a.rule.is_some_and(|r| rules.contains(&r)))
+        .map(|a| a.effective_line)
+        .collect()
 }
 
 /// Parses every `lintkit: allow(...)` comment in the stream.

@@ -1,0 +1,738 @@
+//! The workspace symbol table: one [`FuncDef`] per non-test function.
+//!
+//! [`collect`] walks a file's token stream, tracking `mod`/`impl`/`trait`
+//! nesting, and records for every function outside `#[cfg(test)]` ranges:
+//!
+//! * its identity — crate, module (file stem), name, `impl` self type,
+//! * its **panic sites** — `unwrap`/`expect`/panic-family macros and scalar
+//!   `expr[i]` indexing (sites suppressed by a reasoned
+//!   `// lintkit: allow(no-panic|no-index|panic-reachability)` comment are
+//!   *not* recorded: the allow documents why the site cannot fire, so the
+//!   interprocedural pass trusts it the same way the per-file pass does),
+//! * its **call sites** — bare calls, `a::b::f()` path calls and `.m()`
+//!   method calls, the raw material for [`crate::graph`],
+//! * its **lock events** — acquisitions of struct fields declared as
+//!   `Mutex`/`RwLock` (blocking `lock`/`read`/`write`; `try_lock` cannot
+//!   deadlock and is ignored), interleaved with the call sites so the
+//!   lock-order analysis sees what is held across which calls,
+//! * its **determinism-taint sources** — `SystemTime::now`, `Instant::now`,
+//!   `thread_rng`-style wall-clock/OS-randomness reads,
+//! * whether its signature mentions `SimClock`/`SimRng` (the functions the
+//!   determinism rule protects).
+//!
+//! Trait declarations are recorded too: a method *name* declared in any
+//! workspace `trait` marks every `.name()` call as dynamic dispatch, which
+//! the graph resolves conservatively (all impls plus the ⊥ node).
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{collect_reasoned_allows, test_gated_ranges, Rule};
+
+/// One callable the analyzer knows about.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Crate directory name (`core`, `dns`, …; `tectonic` for the root).
+    pub crate_name: String,
+    /// Module name — the file stem (`ecs_scan`, `wire`, `lib`).
+    pub module: String,
+    /// The function name.
+    pub name: String,
+    /// The `impl` self-type name, when defined inside an `impl` block, or
+    /// the trait name for a default method body inside a `trait` block.
+    pub self_type: Option<String>,
+    /// Whether this is a default method body inside a `trait` block.
+    pub in_trait: bool,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the signature mentions `SimClock` or `SimRng`.
+    pub takes_sim_types: bool,
+    /// Unsuppressed may-panic sites in the body.
+    pub panic_sites: Vec<Site>,
+    /// Wall-clock / OS-randomness reads in the body.
+    pub taint_sites: Vec<Site>,
+    /// Body events in source order (calls and lock acquisitions).
+    pub events: Vec<Event>,
+}
+
+impl FuncDef {
+    /// `crate::module::name`, the display path used in findings and DOT.
+    pub fn path(&self) -> String {
+        format!("{}::{}::{}", self.crate_name, self.module, self.name)
+    }
+}
+
+/// A single interesting source location inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// 1-indexed line.
+    pub line: u32,
+    /// What sits there (`.unwrap()`, `panic!`, `indexing`, …).
+    pub what: String,
+}
+
+/// One body event, in source order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A call site.
+    Call(CallSite),
+    /// A blocking acquisition of a known lock field.
+    Acquire {
+        /// The lock's identity (see [`LockDecl::id`]).
+        lock: String,
+        /// 1-indexed line of the acquisition.
+        line: u32,
+    },
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments before the final name (`["masque"]` for
+    /// `masque::establish(..)`, empty for bare calls).
+    pub qualifiers: Vec<String>,
+    /// The called name.
+    pub name: String,
+    /// `.name(..)` method-call syntax.
+    pub is_method: bool,
+    /// 1-indexed line.
+    pub line: u32,
+}
+
+/// A struct field declared with a `Mutex`/`RwLock` type.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Workspace-relative file the struct lives in.
+    pub file: String,
+    /// The struct name.
+    pub struct_name: String,
+    /// The field name.
+    pub field: String,
+}
+
+impl LockDecl {
+    /// The stable identity used in lock-order findings: `Struct.field`.
+    pub fn id(&self) -> String {
+        format!("{}.{}", self.struct_name, self.field)
+    }
+}
+
+/// Everything [`collect`] extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileSymbols {
+    /// The functions defined in the file (test-gated ones excluded).
+    pub funcs: Vec<FuncDef>,
+    /// Method names declared in `trait` blocks (dynamic-dispatch markers).
+    pub trait_methods: Vec<String>,
+    /// `Mutex`/`RwLock` struct fields declared in the file.
+    pub locks: Vec<LockDecl>,
+}
+
+/// Panic-family macros (must match the per-file `no-panic` rule).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Extracts the symbol table of one file.
+pub fn collect(crate_name: &str, module: &str, rel_path: &str, src: &str) -> FileSymbols {
+    let tokens = lex(src);
+    let suppressed = collect_reasoned_allows(
+        &tokens,
+        &[Rule::NoPanic, Rule::NoIndex, Rule::PanicReachability],
+    );
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let skip = test_gated_ranges(&code);
+    let mut out = FileSymbols::default();
+    let mut walker = Walker {
+        code: &code,
+        skip: &skip,
+        suppressed: &suppressed,
+        crate_name,
+        module,
+        rel_path,
+        out: &mut out,
+    };
+    walker.items(0, code.len(), &Ctx::default());
+    out
+}
+
+/// Item-walk context: the `impl`/`trait` block we are inside, if any.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    self_type: Option<String>,
+    in_trait: bool,
+}
+
+struct Walker<'a> {
+    code: &'a [&'a Token],
+    skip: &'a [(usize, usize)],
+    suppressed: &'a [u32],
+    crate_name: &'a str,
+    module: &'a str,
+    rel_path: &'a str,
+    out: &'a mut FileSymbols,
+}
+
+impl Walker<'_> {
+    fn in_skip(&self, i: usize) -> bool {
+        self.skip.iter().any(|(lo, hi)| (*lo..=*hi).contains(&i))
+    }
+
+    /// Index of the `}`/`)`/`]`/`>` closing the opener at `open` (same
+    /// punctuation family), or the end of the stream.
+    fn close_of(&self, open: usize, opener: u8, closer: u8) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while let Some(t) = self.code.get(i) {
+            if t.is_punct(opener) {
+                depth += 1;
+            } else if t.is_punct(closer) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Walks the items in `code[lo..hi]`, collecting functions.
+    fn items(&mut self, lo: usize, hi: usize, ctx: &Ctx) {
+        let mut i = lo;
+        while i < hi {
+            if self.in_skip(i) {
+                i += 1;
+                continue;
+            }
+            let t = self.code[i];
+            if t.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "fn" => i = self.func(i, ctx, hi),
+                "mod" => {
+                    // Inline module: recurse into its braces (same file, so
+                    // the module name for resolution stays the file stem).
+                    let mut j = i + 1;
+                    while j < hi && !self.code[j].is_punct(b'{') && !self.code[j].is_punct(b';') {
+                        j += 1;
+                    }
+                    if j < hi && self.code[j].is_punct(b'{') {
+                        let close = self.close_of(j, b'{', b'}');
+                        self.items(j + 1, close.min(hi), ctx);
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                "impl" => {
+                    let (header_end, self_type) = self.impl_header(i, hi);
+                    if header_end < hi && self.code[header_end].is_punct(b'{') {
+                        let close = self.close_of(header_end, b'{', b'}');
+                        let inner = Ctx {
+                            self_type,
+                            in_trait: false,
+                        };
+                        self.items(header_end + 1, close.min(hi), &inner);
+                        i = close + 1;
+                    } else {
+                        i = header_end + 1;
+                    }
+                }
+                "trait" => {
+                    let name = self
+                        .code
+                        .get(i + 1)
+                        .filter(|t| t.kind == TokenKind::Ident)
+                        .map(|t| t.text.clone());
+                    let mut j = i + 1;
+                    while j < hi && !self.code[j].is_punct(b'{') && !self.code[j].is_punct(b';') {
+                        j += 1;
+                    }
+                    if j < hi && self.code[j].is_punct(b'{') {
+                        let close = self.close_of(j, b'{', b'}');
+                        self.trait_body(j + 1, close.min(hi), name.as_deref());
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                "struct" => {
+                    i = self.struct_decl(i, hi);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Records the method names a `trait` block declares, then walks its
+    /// default bodies as ordinary functions (tagged `in_trait`).
+    fn trait_body(&mut self, lo: usize, hi: usize, trait_name: Option<&str>) {
+        let mut i = lo;
+        while i < hi {
+            if self.code[i].is_ident("fn") {
+                if let Some(name) = self.code.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                    self.out.trait_methods.push(name.text.clone());
+                }
+                let ctx = Ctx {
+                    self_type: trait_name.map(String::from),
+                    in_trait: true,
+                };
+                i = self.func(i, &ctx, hi);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Parses `impl … {`, returning the index of the body `{` and the
+    /// self-type name (the last path segment before the brace, or before
+    /// `for` when it is a trait impl — `impl Trait for Type`).
+    fn impl_header(&self, start: usize, hi: usize) -> (usize, Option<String>) {
+        let mut j = start + 1;
+        let mut last_ident: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut seen_for = false;
+        let mut angle = 0i32;
+        while j < hi {
+            let t = self.code[j];
+            if t.is_punct(b'<') {
+                angle += 1;
+            } else if t.is_punct(b'>') {
+                angle -= 1;
+            } else if t.is_punct(b'{') && angle <= 0 {
+                break;
+            } else if t.is_ident("for") {
+                seen_for = true;
+            } else if t.is_ident("where") {
+                // Type name is settled before the where-clause.
+            } else if t.kind == TokenKind::Ident && angle <= 0 {
+                if seen_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        (j, after_for.or(last_ident))
+    }
+
+    /// Records `Mutex`/`RwLock` fields of a `struct` declaration; returns
+    /// the index just past the item.
+    fn struct_decl(&mut self, start: usize, hi: usize) -> usize {
+        let Some(name) = self
+            .code
+            .get(start + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+        else {
+            return start + 1;
+        };
+        let struct_name = name.text.clone();
+        let mut j = start + 2;
+        let mut angle = 0i32;
+        while j < hi {
+            let t = self.code[j];
+            if t.is_punct(b'<') {
+                angle += 1;
+            } else if t.is_punct(b'>') {
+                angle -= 1;
+            } else if (t.is_punct(b'{') || t.is_punct(b'(') || t.is_punct(b';')) && angle <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j >= hi || !self.code[j].is_punct(b'{') {
+            // Tuple/unit struct: no named lock fields to track.
+            return j + 1;
+        }
+        let close = self.close_of(j, b'{', b'}');
+        // Fields: `name : Type ,` — a field whose type tokens mention
+        // Mutex/RwLock before the next top-level comma is a lock.
+        let mut k = j + 1;
+        while k < close {
+            if self.code[k].kind == TokenKind::Ident
+                && self.code.get(k + 1).is_some_and(|t| t.is_punct(b':'))
+            {
+                let field = self.code[k].text.clone();
+                let mut m = k + 2;
+                let mut depth = 0i32;
+                let mut is_lock = false;
+                while m < close {
+                    let t = self.code[m];
+                    if t.is_punct(b'<') || t.is_punct(b'(') {
+                        depth += 1;
+                    } else if t.is_punct(b'>') || t.is_punct(b')') {
+                        depth -= 1;
+                    } else if t.is_punct(b',') && depth <= 0 {
+                        break;
+                    } else if t.is_ident("Mutex") || t.is_ident("RwLock") {
+                        is_lock = true;
+                    }
+                    m += 1;
+                }
+                if is_lock {
+                    self.out.locks.push(LockDecl {
+                        file: self.rel_path.to_string(),
+                        struct_name: struct_name.clone(),
+                        field,
+                    });
+                }
+                k = m + 1;
+            } else {
+                k += 1;
+            }
+        }
+        close + 1
+    }
+
+    /// Parses one `fn` starting at the `fn` keyword; returns the index just
+    /// past the item.
+    fn func(&mut self, fn_kw: usize, ctx: &Ctx, hi: usize) -> usize {
+        let Some(name_tok) = self
+            .code
+            .get(fn_kw + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+        else {
+            return fn_kw + 1;
+        };
+        // Signature runs to the body `{` or a `;` (trait method without a
+        // default body) at angle-depth 0.
+        let mut j = fn_kw + 2;
+        let mut angle = 0i32;
+        let mut takes_sim_types = false;
+        while j < hi {
+            let t = self.code[j];
+            if t.is_punct(b'<') {
+                angle += 1;
+            } else if t.is_punct(b'>') {
+                angle -= 1;
+            } else if t.is_ident("SimClock") || t.is_ident("SimRng") {
+                takes_sim_types = true;
+            } else if (t.is_punct(b'{') || t.is_punct(b';')) && angle <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j >= hi || self.code[j].is_punct(b';') {
+            // Bodyless trait-method declaration: nothing to analyze.
+            return j + 1;
+        }
+        let body_open = j;
+        let body_close = self.close_of(body_open, b'{', b'}').min(hi);
+        let mut def = FuncDef {
+            crate_name: self.crate_name.to_string(),
+            module: self.module.to_string(),
+            name: name_tok.text.clone(),
+            self_type: ctx.self_type.clone(),
+            in_trait: ctx.in_trait,
+            file: self.rel_path.to_string(),
+            line: self.code[fn_kw].line,
+            takes_sim_types,
+            panic_sites: Vec::new(),
+            taint_sites: Vec::new(),
+            events: Vec::new(),
+        };
+        self.body(body_open + 1, body_close, &mut def);
+        self.out.funcs.push(def);
+        body_close + 1
+    }
+
+    /// Scans a function body for panic sites, taint sources, lock
+    /// acquisitions and call sites.
+    fn body(&mut self, lo: usize, hi: usize, def: &mut FuncDef) {
+        let code = self.code;
+        let is_suppressed = |line: u32| self.suppressed.contains(&line);
+        let mut i = lo;
+        while i < hi {
+            let tok = code[i];
+            // `.unwrap()` / `.expect(`.
+            if tok.is_punct(b'.') {
+                if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                    if paren.is_punct(b'(')
+                        && (name.is_ident("unwrap") || name.is_ident("expect"))
+                        && !is_suppressed(name.line)
+                    {
+                        def.panic_sites.push(Site {
+                            line: name.line,
+                            what: format!(".{}()", name.text),
+                        });
+                    }
+                }
+            }
+            // Panic-family macros and taint sources.
+            if tok.kind == TokenKind::Ident {
+                if code.get(i + 1).is_some_and(|t| t.is_punct(b'!'))
+                    && PANIC_MACROS.contains(&tok.text.as_str())
+                    && !is_suppressed(tok.line)
+                {
+                    def.panic_sites.push(Site {
+                        line: tok.line,
+                        what: format!("{}!", tok.text),
+                    });
+                }
+                let now_call = (tok.is_ident("SystemTime") || tok.is_ident("Instant"))
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+                    && code.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+                    && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
+                let rng_call = (tok.is_ident("thread_rng") || tok.is_ident("from_entropy"))
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(b'('));
+                if now_call || rng_call {
+                    let what = if now_call {
+                        format!("{}::now()", tok.text)
+                    } else {
+                        format!("{}()", tok.text)
+                    };
+                    def.taint_sites.push(Site {
+                        line: tok.line,
+                        what,
+                    });
+                }
+            }
+            // Scalar indexing.
+            if tok.is_punct(b'[') && i > lo && crate::rules::is_index_base(code[i - 1]) {
+                if let Some(close) = crate::rules::matching_bracket(code, i) {
+                    if !crate::rules::contains_top_level_range(code, i, close)
+                        && !is_suppressed(tok.line)
+                    {
+                        def.panic_sites.push(Site {
+                            line: tok.line,
+                            what: "indexing".to_string(),
+                        });
+                    }
+                }
+            }
+            // Lock acquisitions: `.field.lock()` / `.read()` / `.write()`.
+            // (`try_lock` is non-blocking and cannot deadlock.)
+            if tok.is_punct(b'.') {
+                if let (Some(field), Some(dot2), Some(verb), Some(paren)) = (
+                    code.get(i + 1),
+                    code.get(i + 2),
+                    code.get(i + 3),
+                    code.get(i + 4),
+                ) {
+                    if field.kind == TokenKind::Ident
+                        && dot2.is_punct(b'.')
+                        && paren.is_punct(b'(')
+                        && (verb.is_ident("lock")
+                            || verb.is_ident("read")
+                            || verb.is_ident("write"))
+                    {
+                        if let Some(decl) = self
+                            .out
+                            .locks
+                            .iter()
+                            .find(|l| l.field == field.text && l.file == self.rel_path)
+                        {
+                            def.events.push(Event::Acquire {
+                                lock: decl.id(),
+                                line: verb.line,
+                            });
+                        }
+                    }
+                }
+            }
+            // Call sites: `name (` that is not a macro, definition or
+            // control keyword. Method calls are `. name (`.
+            if tok.kind == TokenKind::Ident
+                && code.get(i + 1).is_some_and(|t| t.is_punct(b'('))
+                && !CALL_EXCLUDED.contains(&tok.text.as_str())
+            {
+                let prev = if i > lo { Some(code[i - 1]) } else { None };
+                let prev_is_macro_bang = prev.is_some_and(|t| t.is_punct(b'!'));
+                let prev_is_fn = prev.is_some_and(|t| t.is_ident("fn"));
+                if !prev_is_macro_bang && !prev_is_fn {
+                    let is_method = prev.is_some_and(|t| t.is_punct(b'.'));
+                    let mut qualifiers = Vec::new();
+                    if !is_method {
+                        // Walk `seg ::` pairs backwards.
+                        let mut k = i;
+                        while k >= 2
+                            && code[k - 1].is_punct(b':')
+                            && k >= 3
+                            && code[k - 2].is_punct(b':')
+                            && code[k - 3].kind == TokenKind::Ident
+                        {
+                            qualifiers.insert(0, code[k - 3].text.clone());
+                            k -= 3;
+                        }
+                    }
+                    def.events.push(Event::Call(CallSite {
+                        qualifiers,
+                        name: tok.text.clone(),
+                        is_method,
+                        line: tok.line,
+                    }));
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Identifiers that look like calls syntactically but are not function
+/// calls the graph should chase: control keywords and common tuple-struct
+/// or enum constructors from `std` whose payloads cannot panic.
+const CALL_EXCLUDED: [&str; 12] = [
+    "if", "while", "match", "for", "return", "loop", "else", "in", "move", "Some", "Ok", "Err",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols(src: &str) -> FileSymbols {
+        collect(
+            "testcrate",
+            "testmod",
+            "crates/testcrate/src/testmod.rs",
+            src,
+        )
+    }
+
+    #[test]
+    fn records_free_and_impl_functions() {
+        let s = symbols(
+            "fn free() {}\n\
+             struct S;\n\
+             impl S { fn method(&self) {} }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} }",
+        );
+        let names: Vec<(&str, Option<&str>)> = s
+            .funcs
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("free", None), ("method", Some("S")), ("fmt", Some("S")),]
+        );
+    }
+
+    #[test]
+    fn cfg_test_functions_are_invisible() {
+        let s = symbols("fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }");
+        assert_eq!(s.funcs.len(), 1);
+        assert_eq!(s.funcs[0].name, "lib");
+    }
+
+    #[test]
+    fn panic_sites_and_suppressions() {
+        let s = symbols(
+            "fn f(v: &[u8]) {\n\
+             v.unwrap();\n\
+             x.expect(\"m\"); // lintkit: allow(no-panic) -- fixture reason\n\
+             panic!();\n\
+             let a = v[0];\n\
+             let b = &v[1..2];\n\
+             }",
+        );
+        let sites: Vec<&str> = s.funcs[0]
+            .panic_sites
+            .iter()
+            .map(|p| p.what.as_str())
+            .collect();
+        assert_eq!(sites, vec![".unwrap()", "panic!", "indexing"]);
+    }
+
+    #[test]
+    fn calls_paths_and_methods() {
+        let s = symbols(
+            "fn f() {\n\
+             helper();\n\
+             masque::establish(1);\n\
+             x.handle(2);\n\
+             Ipv4Net::new(a, b);\n\
+             vec![1];\n\
+             }",
+        );
+        let calls: Vec<(Vec<String>, String, bool)> = s.funcs[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call(c) => Some((c.qualifiers.clone(), c.name.clone(), c.is_method)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                (vec![], "helper".to_string(), false),
+                (vec!["masque".to_string()], "establish".to_string(), false),
+                (vec![], "handle".to_string(), true),
+                (vec!["Ipv4Net".to_string()], "new".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn locks_declared_and_acquired() {
+        let s = symbols(
+            "struct S { counter: Mutex<u64>, plain: u64, map: RwLock<Map> }\n\
+             impl S {\n\
+             fn f(&self) { let g = self.counter.lock(); self.map.read(); }\n\
+             fn nb(&self) { self.counter.try_lock(); }\n\
+             }",
+        );
+        assert_eq!(s.locks.len(), 2);
+        let acquires: Vec<&str> = s.funcs[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { lock, .. } => Some(lock.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires, vec!["S.counter", "S.map"]);
+        // try_lock is not an acquisition event.
+        assert!(s.funcs[1]
+            .events
+            .iter()
+            .all(|e| !matches!(e, Event::Acquire { .. })));
+    }
+
+    #[test]
+    fn trait_methods_recorded_with_default_bodies() {
+        let s = symbols(
+            "trait Server {\n\
+             fn handle(&self, b: &[u8]) -> u8;\n\
+             fn twice(&self, b: &[u8]) -> u8 { self.handle(b) }\n\
+             }",
+        );
+        assert_eq!(s.trait_methods, vec!["handle", "twice"]);
+        assert_eq!(s.funcs.len(), 1);
+        assert_eq!(s.funcs[0].name, "twice");
+        assert!(s.funcs[0].in_trait);
+    }
+
+    #[test]
+    fn sim_type_signatures_detected() {
+        let s = symbols(
+            "fn sim(clock: &mut SimClock) {}\n\
+             fn rng(r: &SimRng) {}\n\
+             fn plain(x: u64) {}",
+        );
+        assert!(s.funcs[0].takes_sim_types);
+        assert!(s.funcs[1].takes_sim_types);
+        assert!(!s.funcs[2].takes_sim_types);
+    }
+
+    #[test]
+    fn taint_sources_detected() {
+        let s = symbols(
+            "fn bad() { let t = SystemTime::now(); let i = Instant::now(); let r = thread_rng(); }",
+        );
+        let what: Vec<&str> = s.funcs[0]
+            .taint_sites
+            .iter()
+            .map(|t| t.what.as_str())
+            .collect();
+        assert_eq!(
+            what,
+            vec!["SystemTime::now()", "Instant::now()", "thread_rng()"]
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Scan-loop fixture: the entry point reaches the dns decoder cross-crate,
+//! behind one local call of indirection.
+
+pub fn scan_subnets() -> u32 {
+    step()
+}
+
+fn step() -> u32 {
+    wire::decode_entry(7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated_unwrap_is_exempt() {
+        let v = vec![1u32];
+        let _ = *v.first().unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! Determinism fixture: SimClock-driven code reaching a wall-clock read.
+
+pub fn drive(clock: &SimClock) -> u32 {
+    let _ = clock;
+    leak()
+}
+
+fn leak() -> u32 {
+    let _ = std::time::SystemTime::now();
+    3
+}

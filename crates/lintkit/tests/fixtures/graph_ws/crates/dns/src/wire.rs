@@ -1,0 +1,11 @@
+//! Hostile-input decoder fixture: the seeded panic sits one call behind
+//! the public API.
+
+pub fn decode_entry(x: u32) -> u32 {
+    deep(x)
+}
+
+fn deep(x: u32) -> u32 {
+    let v = vec![x];
+    *v.first().unwrap()
+}

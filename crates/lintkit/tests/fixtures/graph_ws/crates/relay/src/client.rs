@@ -1,0 +1,10 @@
+//! Dynamic-dispatch fixture: a trait method with no workspace impl is a
+//! ⊥ edge and conservatively "may panic".
+
+pub trait Handler {
+    fn handle(&self) -> u32;
+}
+
+pub fn request(h: &dyn Handler) -> u32 {
+    h.handle()
+}

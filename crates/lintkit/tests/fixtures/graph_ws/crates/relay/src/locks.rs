@@ -1,0 +1,21 @@
+//! Lock-order fixture: two functions acquire the same pair of mutexes in
+//! opposite orders.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+    }
+
+    pub fn ba(&self) {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+    }
+}

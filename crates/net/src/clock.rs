@@ -94,7 +94,9 @@ impl SimTime {
             days += if is_leap(y) { 366 } else { 365 };
         }
         for m in 1..month.clamp(1, 12) {
-            days += DAYS_IN_MONTH[(m - 1) as usize];
+            // `m` is clamped below 12, so the lookup is total; a missing
+            // month contributes zero days rather than a panic.
+            days += DAYS_IN_MONTH.get((m - 1) as usize).copied().unwrap_or(0);
             if m == 2 && is_leap(year) {
                 days += 1;
             }

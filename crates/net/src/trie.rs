@@ -21,7 +21,10 @@ use crate::prefix::{IpNet, Ipv4Net, Ipv6Net};
 
 #[derive(Debug, Clone)]
 struct Node<V> {
-    children: [Option<Box<Node<V>>>; 2],
+    /// Child on the 0 bit.
+    zero: Option<Box<Node<V>>>,
+    /// Child on the 1 bit.
+    one: Option<Box<Node<V>>>,
     /// Value stored at this depth, together with the original prefix.
     value: Option<(IpNet, V)>,
 }
@@ -29,9 +32,38 @@ struct Node<V> {
 impl<V> Node<V> {
     fn new() -> Self {
         Node {
-            children: [None, None],
+            zero: None,
+            one: None,
             value: None,
         }
+    }
+
+    fn child(&self, one: bool) -> Option<&Node<V>> {
+        if one {
+            self.one.as_deref()
+        } else {
+            self.zero.as_deref()
+        }
+    }
+
+    fn child_mut(&mut self, one: bool) -> Option<&mut Node<V>> {
+        if one {
+            self.one.as_deref_mut()
+        } else {
+            self.zero.as_deref_mut()
+        }
+    }
+
+    fn child_slot_mut(&mut self, one: bool) -> &mut Option<Box<Node<V>>> {
+        if one {
+            &mut self.one
+        } else {
+            &mut self.zero
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.zero.is_none() && self.one.is_none()
     }
 }
 
@@ -82,8 +114,8 @@ impl Key {
 
     /// Bit at depth `d` (0 = most significant).
     #[inline]
-    fn bit(&self, d: u8) -> usize {
-        ((self.bits >> (127 - d as u32)) & 1) as usize
+    fn bit(&self, d: u8) -> bool {
+        (self.bits >> (127 - d as u32)) & 1 == 1
     }
 }
 
@@ -156,7 +188,9 @@ impl<V> PrefixTrie<V> {
         let mut node = self.root_mut(key.v4);
         for d in 0..key.len {
             let b = key.bit(d);
-            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+            node = node
+                .child_slot_mut(b)
+                .get_or_insert_with(|| Box::new(Node::new()));
         }
         let prev = node.value.replace((net, value));
         match prev {
@@ -173,7 +207,7 @@ impl<V> PrefixTrie<V> {
         let key = Key::of_net(net);
         let mut node = self.root(key.v4);
         for d in 0..key.len {
-            node = node.children[key.bit(d)].as_deref()?;
+            node = node.child(key.bit(d))?;
         }
         node.value.as_ref().map(|(_, v)| v)
     }
@@ -183,7 +217,7 @@ impl<V> PrefixTrie<V> {
         let key = Key::of_net(net);
         let mut node = self.root_mut(key.v4);
         for d in 0..key.len {
-            node = node.children[key.bit(d)].as_deref_mut()?;
+            node = node.child_mut(key.bit(d))?;
         }
         node.value.as_mut().map(|(_, v)| v)
     }
@@ -201,7 +235,7 @@ impl<V> PrefixTrie<V> {
         let key = Key::of_net(net);
         let mut node = self.root_mut(key.v4);
         for d in 0..key.len {
-            node = node.children[key.bit(d)].as_deref_mut()?;
+            node = node.child_mut(key.bit(d))?;
         }
         let prev = node.value.take();
         prev.map(|(_, v)| {
@@ -217,7 +251,7 @@ impl<V> PrefixTrie<V> {
         let mut node = self.root(key.v4);
         let mut best: Option<(IpNet, &V)> = node.value.as_ref().map(|(n, v)| (*n, v));
         for d in 0..key.len {
-            match node.children[key.bit(d)].as_deref() {
+            match node.child(key.bit(d)) {
                 Some(child) => {
                     node = child;
                     if let Some((n, v)) = node.value.as_ref() {
@@ -249,7 +283,7 @@ impl<V> PrefixTrie<V> {
         let mut best: Option<(IpNet, &V)> = node.value.as_ref().map(|(n, v)| (*n, v));
         let mut best_is_current = best.is_some();
         for d in 0..key.len {
-            match node.children[key.bit(d)].as_deref() {
+            match node.child(key.bit(d)) {
                 Some(child) => {
                     node = child;
                     if let Some((n, v)) = node.value.as_ref() {
@@ -262,7 +296,7 @@ impl<V> PrefixTrie<V> {
                 None => break,
             }
         }
-        let leaf = best_is_current && node.children[0].is_none() && node.children[1].is_none();
+        let leaf = best_is_current && node.is_leaf();
         best.map(|(n, v)| (n, v, leaf))
     }
 
@@ -273,7 +307,7 @@ impl<V> PrefixTrie<V> {
         let mut node = self.root(key.v4);
         let mut best: Option<(IpNet, &V)> = node.value.as_ref().map(|(n, v)| (*n, v));
         for d in 0..key.len {
-            match node.children[key.bit(d)].as_deref() {
+            match node.child(key.bit(d)) {
                 Some(child) => {
                     node = child;
                     if let Some((n, v)) = node.value.as_ref() {
@@ -295,7 +329,7 @@ impl<V> PrefixTrie<V> {
             out.push((*n, v));
         }
         for d in 0..key.len {
-            match node.children[key.bit(d)].as_deref() {
+            match node.child(key.bit(d)) {
                 Some(child) => {
                     node = child;
                     if let Some((n, v)) = node.value.as_ref() {
@@ -341,7 +375,10 @@ fn collect<'a, V>(node: &'a Node<V>, out: &mut Vec<(IpNet, &'a V)>) {
     if let Some((n, v)) = node.value.as_ref() {
         out.push((*n, v));
     }
-    for child in node.children.iter().flatten() {
+    for child in [node.zero.as_deref(), node.one.as_deref()]
+        .into_iter()
+        .flatten()
+    {
         collect(child, out);
     }
 }

@@ -146,17 +146,16 @@ pub fn encode_version_negotiation(
 
 /// Parses any long-header packet.
 pub fn decode_packet(data: &[u8]) -> Result<QuicPacket, QuicWireError> {
-    if data.is_empty() {
-        return Err(QuicWireError::Truncated);
-    }
-    let first = data[0];
+    let &first = data.first().ok_or(QuicWireError::Truncated)?;
     if first & 0x80 == 0 {
         return Err(QuicWireError::NotLongHeader);
     }
-    if data.len() < 7 {
+    // Seven bytes is the smallest long header: first byte, version, and two
+    // zero-length CID markers.
+    let [_, v0, v1, v2, v3, _, _, ..] = data else {
         return Err(QuicWireError::Truncated);
-    }
-    let version = u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
+    };
+    let version = u32::from_be_bytes([*v0, *v1, *v2, *v3]);
     let mut pos = 5;
     let take_cid = |pos: &mut usize| -> Result<Vec<u8>, QuicWireError> {
         let len = *data.get(*pos).ok_or(QuicWireError::Truncated)? as usize;
@@ -181,7 +180,7 @@ pub fn decode_packet(data: &[u8]) -> Result<QuicPacket, QuicWireError> {
         }
         let supported_versions = rest
             .chunks_exact(4)
-            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .map(|c| u32::from_be_bytes(c.try_into().unwrap_or_default()))
             .collect();
         return Ok(QuicPacket::VersionNegotiation(VersionNegotiation {
             dcid,

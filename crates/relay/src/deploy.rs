@@ -124,8 +124,12 @@ impl Deployment {
             rib.announce(prefix, asn);
         }
         for plan in &config.ingress_plans {
-            // lintkit: allow(no-panic) -- fleets were built from these very plans two lines up
-            let pool = fleets.pool(plan.domain, plan.asn).expect("plan was built");
+            // Fleets were built from these very plans two lines up; an absent
+            // pool would be a builder bug, and skipping it degrades to an
+            // unannounced fleet rather than a panic.
+            let Some(pool) = fleets.pool(plan.domain, plan.asn) else {
+                continue;
+            };
             for p in &pool.v4_prefixes {
                 rib.announce(*p, plan.asn);
             }

@@ -139,7 +139,7 @@ impl EgressSelector {
         }
         let window = now.as_millis() / self.operator_stickiness.as_millis().max(1);
         let h = self.mix(client_key ^ window.wrapping_mul(0x1000_0000_01b3));
-        Some(present[(h as usize) % present.len()])
+        present.get((h as usize) % present.len()).copied()
     }
 
     /// Selects an egress address for one fresh connection.
@@ -180,7 +180,7 @@ impl EgressSelector {
         let pool_size = self.subnets_per_location.min(family.len());
         // …and each connection draws a fresh (subnet, address) pair.
         let draw = self.mix(client_key ^ connection_id.rotate_left(17));
-        let subnet = family[(pool_base + (draw as usize % pool_size)) % family.len()];
+        let subnet = *family.get((pool_base + (draw as usize % pool_size)) % family.len())?;
         let addr_index = (draw >> 32) % self.addrs_per_subnet.max(1);
         let addr = match subnet {
             IpNet::V4(n) => {

@@ -130,12 +130,23 @@ impl IngressFleets {
         self.pools.get(&(domain, asn))
     }
 
+    /// Configured window size for one `(domain, operator)` pair, family row
+    /// (0 = v4, 1 = v6) and epoch; zero if the pair is unknown.
+    fn config_size(&self, domain: Domain, asn: Asn, family: usize, epoch: Epoch) -> usize {
+        self.config_sizes
+            .get(&(domain, asn))
+            .and_then(|rows| rows.get(family))
+            .and_then(|row| row.get(Self::epoch_index(epoch)))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// The active IPv4 fleet window at `epoch`.
     pub fn fleet_v4(&self, epoch: Epoch, domain: Domain, asn: Asn) -> &[Ipv4Addr] {
         let Some(pool) = self.pools.get(&(domain, asn)) else {
             return &[];
         };
-        let size = self.config_sizes[&(domain, asn)][0][Self::epoch_index(epoch)];
+        let size = self.config_size(domain, asn, 0, epoch);
         &pool.v4[..size.min(pool.v4.len())]
     }
 
@@ -144,7 +155,7 @@ impl IngressFleets {
         let Some(pool) = self.pools.get(&(domain, asn)) else {
             return &[];
         };
-        let size = self.config_sizes[&(domain, asn)][1][Self::epoch_index(epoch)];
+        let size = self.config_size(domain, asn, 1, epoch);
         &pool.v6[..size.min(pool.v6.len())]
     }
 

@@ -252,12 +252,14 @@ impl ClientWorld {
 
     /// A client AS by number.
     pub fn by_asn(&self, asn: Asn) -> Option<&ClientAs> {
-        self.by_asn.get(&asn).map(|i| &self.ases[*i])
+        self.by_asn.get(&asn).and_then(|i| self.ases.get(*i))
     }
 
     /// The client AS owning an address, if any.
     pub fn as_of_addr(&self, addr: IpAddr) -> Option<&ClientAs> {
-        self.trie.longest_match(addr).map(|(_, i)| &self.ases[*i])
+        self.trie
+            .longest_match(addr)
+            .and_then(|(_, i)| self.ases.get(*i))
     }
 
     /// The announced client CIDR covering `addr`, if any.

@@ -239,7 +239,7 @@ fn window<'a, T>(
     };
     let len = cluster.len();
     let start = if len == 0 { 0 } else { (h as usize) % len };
-    (0..count.min(len)).map(move |i| &cluster[(start + i) % len])
+    (0..count.min(len)).filter_map(move |i| cluster.get((start + i) % len))
 }
 
 #[cfg(test)]

@@ -2,10 +2,20 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the [`lintkit`] static-analysis pass over every workspace
-//!   crate and the vendored-shim manifest; exits non-zero on any finding.
+//! * `lint` — run the [`lintkit`] static-analysis pass (per-file rules plus
+//!   the interprocedural call-graph rules) over every workspace crate and
+//!   the vendored-shim manifest, then apply the `lint-baseline.json`
+//!   ratchet; exits non-zero on any unbaselined finding *or* any stale
+//!   baseline entry.
 //! * `lint --update-manifest` — regenerate `vendor/API_MANIFEST.txt` from
 //!   the current shim sources, then lint.
+//! * `lint --update-baseline` — regenerate `lint-baseline.json` from the
+//!   current findings, then lint (always clean afterwards — review the
+//!   diff before committing).
+//! * `lint --graph[=PATH]` — dump the workspace call graph as GraphViz DOT
+//!   to stdout (or PATH).
+//! * `lint --json PATH` — write the machine-readable findings report
+//!   (rule/file/line/message) for CI artifacts.
 //!
 //! The same pass runs as a tier-1 test (`crates/lintkit/tests/
 //! workspace_gate.rs`) and as a CI job, so `xtask lint` passing locally
@@ -16,7 +26,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lintkit::{lint_workspace, manifest, Config};
+use lintkit::{analyze_workspace, baseline, manifest, Config};
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/crates/xtask; CARGO_MANIFEST_DIR is compiled in,
@@ -27,14 +37,64 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("."))
 }
 
+/// Parsed `lint` options.
+struct LintOpts {
+    update_manifest: bool,
+    update_baseline: bool,
+    /// `Some(None)` = DOT to stdout, `Some(Some(path))` = DOT to file.
+    graph: Option<Option<String>>,
+    json: Option<String>,
+}
+
+fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts {
+        update_manifest: false,
+        update_baseline: false,
+        graph: None,
+        json: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--update-manifest" {
+            opts.update_manifest = true;
+        } else if arg == "--update-baseline" {
+            opts.update_baseline = true;
+        } else if arg == "--graph" {
+            opts.graph = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--graph=") {
+            opts.graph = Some(Some(path.to_string()));
+        } else if arg == "--json" {
+            i += 1;
+            let path = args.get(i).ok_or("--json needs a path")?;
+            opts.json = Some(path.clone());
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            opts.json = Some(path.to_string());
+        } else {
+            return Err(format!("unknown lint option `{arg}`"));
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: cargo run -p xtask -- lint [--update-manifest]");
+        eprintln!(
+            "usage: cargo run -p xtask -- lint \
+             [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH]"
+        );
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
-        "lint" => lint(args.iter().any(|a| a == "--update-manifest")),
+        "lint" => match parse_lint_opts(&args[1..]) {
+            Ok(opts) => lint(&opts),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!("unknown subcommand `{other}`; expected `lint`");
             ExitCode::FAILURE
@@ -42,10 +102,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint(update_manifest: bool) -> ExitCode {
+fn lint(opts: &LintOpts) -> ExitCode {
     let root = workspace_root();
     let vendor = root.join("vendor");
-    if update_manifest {
+    if opts.update_manifest {
         let text = match manifest::generate(&vendor) {
             Ok(t) => t,
             Err(e) => {
@@ -61,23 +121,79 @@ fn lint(update_manifest: bool) -> ExitCode {
         println!("updated {}", path.display());
     }
     let config = Config::for_workspace(&root);
-    let findings = match lint_workspace(&config) {
-        Ok(f) => f,
+    let analysis = match analyze_workspace(&config) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("xtask lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if findings.is_empty() {
+    if let Some(target) = &opts.graph {
+        let dot = analysis.graph.to_dot(&analysis.entries);
+        match target {
+            None => print!("{dot}"),
+            Some(path) => {
+                if let Err(e) = fs::write(path, dot) {
+                    eprintln!("xtask lint: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote call graph to {path}");
+            }
+        }
+    }
+    if let Some(path) = &opts.json {
+        let report = baseline::report_json(&analysis.findings);
+        if let Err(e) = fs::write(path, report) {
+            eprintln!("xtask lint: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote findings report to {path}");
+    }
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    if opts.update_baseline {
+        let text = baseline::generate(&analysis.findings);
+        if let Err(e) = fs::write(&baseline_path, text) {
+            eprintln!("xtask lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("updated {}", baseline_path.display());
+    }
+    let accepted = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        // No baseline file means an empty baseline: every finding fails.
+        Err(_) => Vec::new(),
+    };
+    let outcome = baseline::apply(&analysis.findings, &accepted);
+    if outcome.is_clean() {
         println!(
-            "xtask lint: clean ({} strict-index paths, vendored-shim manifest verified)",
-            config.strict_index.len()
+            "xtask lint: clean — {} functions, {} entry points, {} baselined finding(s), \
+             vendored-shim manifest verified",
+            analysis.graph.funcs.len(),
+            analysis.entries.len(),
+            accepted.len(),
         );
         return ExitCode::SUCCESS;
     }
-    for f in &findings {
+    for f in &outcome.unbaselined {
         println!("{f}");
     }
-    println!("xtask lint: {} finding(s)", findings.len());
+    for b in &outcome.stale {
+        println!(
+            "stale-baseline: {}:{}: `{}` no longer fires — delete the entry \
+             (or run `cargo run -p xtask -- lint --update-baseline`)",
+            b.file, b.line, b.rule
+        );
+    }
+    println!(
+        "xtask lint: {} unbaselined finding(s), {} stale baseline entr(y/ies)",
+        outcome.unbaselined.len(),
+        outcome.stale.len()
+    );
     ExitCode::FAILURE
 }

@@ -131,10 +131,11 @@ fn cmd_scan(args: &Args) {
         report.ingress_prefixes.len(),
     );
     println!(
-        "{} queries sent, {} skipped by scope, {} rate-limit retries, {} simulated hours",
+        "{} queries sent, {} skipped by scope, {} rate-limit retries, {} decode errors, {} simulated hours",
         report.queries_sent,
         report.skipped_by_scope,
         report.rate_limited,
+        report.decode_errors,
         report.duration.as_secs() / 3600,
     );
     let table2 = Table2::build(&report, &d.aspop);
@@ -145,7 +146,15 @@ fn cmd_scan(args: &Args) {
 
 fn cmd_egress(args: &Args) {
     let d = build(args);
-    let analysis = EgressAnalysis::new(&d.egress_list, &d.rib);
+    // Round-trip the list through its CSV form so the run reports the same
+    // rows-ok/rows-skipped statistics a real egress-list download would.
+    let (parsed, stats) =
+        tectonic::geo::egress::EgressList::parse_csv_lossy(&d.egress_list.to_csv());
+    println!(
+        "egress CSV: {} rows ok, {} rows skipped",
+        stats.rows_ok, stats.rows_skipped,
+    );
+    let analysis = EgressAnalysis::new(&parsed, &d.rib);
     print!("{}", report::render_table3(&analysis.table3()));
     print!("{}", report::render_table4(&analysis.table4()));
     let shares = analysis.country_shares();

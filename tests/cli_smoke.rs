@@ -22,6 +22,10 @@ fn scan_subcommand_prints_fleet() {
     assert!(stdout.contains("Apple"));
     assert!(stdout.contains("AkamaiPR"));
     assert!(stdout.contains("Table 2"));
+    assert!(
+        stdout.contains("decode errors"),
+        "scan counters surface the decode-error total: {stdout}"
+    );
 }
 
 #[test]
@@ -31,6 +35,10 @@ fn egress_subcommand_prints_tables() {
     assert!(stdout.contains("Table 3"));
     assert!(stdout.contains("Table 4"));
     assert!(stdout.contains("top countries: US"));
+    assert!(
+        stdout.contains("rows ok, 0 rows skipped"),
+        "egress CSV round-trip reports parse statistics: {stdout}"
+    );
 }
 
 #[test]

@@ -1,0 +1,13 @@
+//! Tier-1 lint gate from the root package, so a plain `cargo test -q` (which
+//! only runs the current package's targets) still enforces the whole
+//! static-analysis policy: per-file rules, call-graph reachability, and the
+//! `lint-baseline.json` ratchet (no unbaselined findings, no stale entries).
+//! The richer assertions live in `crates/lintkit/tests/workspace_gate.rs`.
+
+#[test]
+fn workspace_passes_lint_gate() {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Err(report) = lintkit::check_workspace_gate(&root) {
+        panic!("workspace lint gate failed:\n{report}");
+    }
+}
