@@ -1,13 +1,31 @@
-//! Ablation — the prefix-trie RIB against a linear scan baseline.
+//! Ablation — longest-prefix match engines at routing-table scale.
 //!
 //! Every ECS query does at least two RIB lookups (routed check + client-AS
-//! attribution); this bench quantifies why the trie matters.
+//! attribution), and a full scan performs tens of millions of them. This
+//! bench compares the three engines at 1k / 100k / 900k prefixes (900k is
+//! the order of the real IPv4 DFZ):
+//!
+//! * `linear`  — longest match by scanning every announcement,
+//! * `trie`    — the mutable pointer-chasing [`PrefixTrie`],
+//! * `frozen`  — the compiled flat [`FrozenLpm`] snapshot.
+//!
+//! Lookups stream through a 256k-address pool so the walked node/entry
+//! working set does not fit in cache — the regime a real scan runs in
+//! (every reply burst carries fresh addresses). `frozen_batch1024_*` runs
+//! one [`FrozenLpm::lookup_batch`] per 1024-address window;
+//! `frozen_single_x1024_*` performs the same windows one address at a time
+//! — the pair isolates the batching win at equal work.
 
 use std::net::IpAddr;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use tectonic_bench::{banner, bench_deployment};
-use tectonic_net::{Asn, IpNet, SimRng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use tectonic_bench::banner;
+use tectonic_net::{Asn, IpNet, Ipv4Net, PrefixTrie, SimRng};
+
+/// Addresses cycled through by every benchmark (windows of `BATCH`).
+const POOL: usize = 1 << 18;
+/// Addresses per `lookup_batch` call.
+const BATCH: usize = 1024;
 
 /// The naive baseline: longest match by scanning every announcement.
 fn linear_lookup(routes: &[(IpNet, Asn)], addr: IpAddr) -> Option<(IpNet, Asn)> {
@@ -18,41 +36,93 @@ fn linear_lookup(routes: &[(IpNet, Asn)], addr: IpAddr) -> Option<(IpNet, Asn)> 
         .copied()
 }
 
+/// A synthetic IPv4 table of roughly `target` random announcements.
+fn synthetic_table(target: usize, rng: &mut SimRng) -> PrefixTrie<Asn> {
+    let mut trie = PrefixTrie::new();
+    while trie.len() < target {
+        let len = 10 + (rng.next_u64_raw() % 15) as u8; // /10 ..= /24
+        let bits = rng.next_u64_raw() as u32;
+        if let Ok(net) = Ipv4Net::new(std::net::Ipv4Addr::from(bits), len) {
+            trie.insert(net, Asn((rng.next_u64_raw() % 70_000) as u32 + 1));
+        }
+    }
+    trie
+}
+
 fn bench(c: &mut Criterion) {
-    let d = bench_deployment();
-    let routes: Vec<(IpNet, Asn)> = d.rib.iter().collect();
+    banner("Ablation: RIB longest-prefix match — linear vs trie vs FrozenLpm");
     let mut rng = SimRng::new(99);
-    let addrs: Vec<IpAddr> = (0..1024)
+    let pool: Vec<IpAddr> = (0..POOL)
         .map(|_| IpAddr::V4(std::net::Ipv4Addr::from(rng.next_u64_raw() as u32)))
         .collect();
-    banner("Ablation: RIB longest-prefix match — trie vs linear scan");
-    println!("routes in table : {}", routes.len());
-    // Correctness cross-check before timing.
-    for addr in addrs.iter().take(128) {
-        assert_eq!(d.rib.lookup(*addr), linear_lookup(&routes, *addr));
-    }
-    println!("trie and linear scan agree on 128 random addresses");
 
     let mut group = c.benchmark_group("ablation_rib_lpm");
-    group.bench_function("trie_1k_lookups", |b| {
-        b.iter_batched(
-            || addrs.clone(),
-            |addrs| addrs.iter().filter(|a| d.rib.lookup(**a).is_some()).count(),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("linear_1k_lookups", |b| {
-        b.iter_batched(
-            || addrs.clone(),
-            |addrs| {
-                addrs
+    group.sample_size(20);
+    for (label, target) in [("1k", 1_000usize), ("100k", 100_000), ("900k", 900_000)] {
+        let trie = synthetic_table(target, &mut rng);
+        let frozen = trie.freeze();
+        let routes: Vec<(IpNet, Asn)> = trie.iter().map(|(n, a)| (n, *a)).collect();
+        println!("table {label}: {} prefixes", routes.len());
+
+        // Correctness cross-check before timing: all three engines agree.
+        let sample = &pool[..BATCH];
+        let mut batch = Vec::new();
+        frozen.lookup_batch(sample, &mut batch);
+        for (addr, got) in sample.iter().zip(&batch) {
+            let trie_hit = trie.longest_match(*addr).map(|(n, v)| (n, *v));
+            assert_eq!(got.map(|(n, v)| (n, *v)), trie_hit, "frozen vs trie");
+        }
+        for addr in sample.iter().take(128) {
+            let trie_hit = trie.longest_match(*addr).map(|(n, v)| (n, *v));
+            assert_eq!(linear_lookup(&routes, *addr), trie_hit, "linear vs trie");
+        }
+        println!("table {label}: linear, trie and frozen agree");
+
+        // Single lookups stream the pool so consecutive walks don't reuse
+        // each other's cache lines.
+        let mut i = 0usize;
+        group.bench_function(format!("linear_single_{label}"), |b| {
+            b.iter(|| {
+                i = (i + 1) & (POOL - 1);
+                linear_lookup(&routes, pool[i])
+            })
+        });
+        let mut i = 0usize;
+        group.bench_function(format!("trie_single_{label}"), |b| {
+            b.iter(|| {
+                i = (i + 1) & (POOL - 1);
+                trie.longest_match(pool[i])
+            })
+        });
+        let mut i = 0usize;
+        group.bench_function(format!("frozen_single_{label}"), |b| {
+            b.iter(|| {
+                i = (i + 1) & (POOL - 1);
+                frozen.longest_match(pool[i])
+            })
+        });
+
+        // Batched vs one-by-one over identical 1024-address windows.
+        let mut out = Vec::with_capacity(BATCH);
+        let mut w = 0usize;
+        group.bench_function(format!("frozen_batch1024_{label}"), |b| {
+            b.iter(|| {
+                w = (w + BATCH) & (POOL - 1);
+                frozen.lookup_batch(&pool[w..w + BATCH.min(POOL - w)], &mut out);
+                out.len()
+            })
+        });
+        let mut w = 0usize;
+        group.bench_function(format!("frozen_single_x1024_{label}"), |b| {
+            b.iter(|| {
+                w = (w + BATCH) & (POOL - 1);
+                pool[w..w + BATCH.min(POOL - w)]
                     .iter()
-                    .filter(|a| linear_lookup(&routes, **a).is_some())
+                    .filter(|a| frozen.longest_match(**a).is_some())
                     .count()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+            })
+        });
+    }
     group.finish();
 }
 

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::net::IpAddr;
 
 use serde::{Deserialize, Serialize};
-use tectonic_net::{Asn, IpNet, PrefixTrie};
+use tectonic_net::{Asn, FrozenLpm, IpNet, PrefixTrie};
 
 /// One announced route.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -18,9 +18,25 @@ pub struct RouteEntry {
 /// The reproduction uses a single global RIB (the "BGP collector view"): the
 /// relay deployment announces its prefixes here, the client-side Internet
 /// model announces eyeball prefixes, and the scanner and analyses query it.
-#[derive(Debug, Default)]
+///
+/// The trie is the build-side structure; once the table is loaded, callers
+/// [`freeze`](Rib::freeze) it and every read API runs on the compiled
+/// [`FrozenLpm`] snapshot instead of chasing trie pointers. Any mutation
+/// ([`announce`](Rib::announce) / [`withdraw`](Rib::withdraw)) invalidates
+/// the snapshot (reads fall back to the trie until the next freeze) and
+/// bumps the generation counter that fences [`LookupMemo`] reuse.
+#[derive(Debug)]
 pub struct Rib {
     routes: PrefixTrie<RouteEntry>,
+    /// Compiled snapshot of `routes`; `None` between a mutation and the
+    /// next [`freeze`](Rib::freeze).
+    frozen: Option<FrozenLpm<RouteEntry>>,
+    /// Ablation switch mirroring the scanner's `use_fast_path`: when off,
+    /// [`freeze`](Rib::freeze) is a no-op and every lookup walks the trie.
+    frozen_enabled: bool,
+    /// Bumped on every announce/withdraw; memoised lookups from an older
+    /// generation are discarded.
+    generation: u64,
     /// Per-AS announced prefix lists, kept alongside the trie for the
     /// prefix-census analyses (Table 3, §6). Entries are removed when their
     /// last prefix is withdrawn, so every present key has prefixes.
@@ -30,16 +46,63 @@ pub struct Rib {
     origins: Vec<Asn>,
 }
 
+impl Default for Rib {
+    fn default() -> Self {
+        Rib {
+            routes: PrefixTrie::new(),
+            frozen: None,
+            frozen_enabled: true,
+            generation: 0,
+            by_origin: HashMap::new(),
+            origins: Vec::new(),
+        }
+    }
+}
+
 impl Rib {
     /// An empty RIB.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Compiles the current table into a [`FrozenLpm`] snapshot so
+    /// steady-state lookups stop walking the pointer trie. Call after the
+    /// load phase; mutations drop the snapshot, so re-freeze after applying
+    /// a batch of updates. A no-op when the frozen engine is ablated off.
+    pub fn freeze(&mut self) {
+        if self.frozen_enabled {
+            self.frozen = Some(self.routes.freeze());
+        }
+    }
+
+    /// Ablation switch for the compiled engine (mirrors the scanner's
+    /// `use_fast_path`). Disabling drops the snapshot and pins all lookups
+    /// to the pointer trie; re-enabling freezes immediately.
+    pub fn set_frozen_enabled(&mut self, enabled: bool) {
+        self.frozen_enabled = enabled;
+        if enabled {
+            self.freeze();
+        } else {
+            self.frozen = None;
+        }
+    }
+
+    /// Whether lookups currently run on a compiled snapshot.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Drops the snapshot and records the mutation. Called by every write.
+    fn invalidate(&mut self) {
+        self.frozen = None;
+        self.generation = self.generation.wrapping_add(1);
+    }
+
     /// Announces `prefix` with origin `asn`. Re-announcing an existing
     /// prefix replaces the origin (and returns the previous one).
     pub fn announce(&mut self, prefix: impl Into<IpNet>, origin: Asn) -> Option<Asn> {
         let prefix = prefix.into();
+        self.invalidate();
         let prev = self.routes.insert(prefix, RouteEntry { origin });
         if let Some(prev) = &prev {
             if prev.origin != origin {
@@ -54,6 +117,7 @@ impl Rib {
 
     /// Withdraws `prefix`, returning its origin if it was announced.
     pub fn withdraw(&mut self, prefix: &IpNet) -> Option<Asn> {
+        self.invalidate();
         let prev = self.routes.remove(prefix);
         if let Some(entry) = &prev {
             self.unindex_prefix(entry.origin, prefix);
@@ -95,32 +159,61 @@ impl Rib {
 
     /// Longest-prefix match for an address.
     pub fn lookup(&self, addr: IpAddr) -> Option<(IpNet, Asn)> {
-        self.routes
-            .longest_match(addr)
-            .map(|(net, entry)| (net, entry.origin))
+        match &self.frozen {
+            Some(lpm) => lpm.lookup(addr).map(|(net, entry)| (net, entry.origin)),
+            None => self
+                .routes
+                .longest_match(addr)
+                .map(|(net, entry)| (net, entry.origin)),
+        }
+    }
+
+    /// Longest-prefix match for a burst of addresses; `out` is cleared and
+    /// receives exactly `addrs.iter().map(|a| lookup(*a))`. On a frozen RIB
+    /// this is one [`FrozenLpm::lookup_batch`] call (interleaved walks), so
+    /// the scanner's reply-attribution loop pays one dispatch per burst.
+    pub fn lookup_batch(&self, addrs: &[IpAddr], out: &mut Vec<Option<(IpNet, Asn)>>) {
+        match &self.frozen {
+            Some(lpm) => {
+                lpm.lookup_batch_map(addrs, out, |m| m.map(|(net, entry)| (net, entry.origin)));
+            }
+            None => {
+                out.clear();
+                out.extend(addrs.iter().map(|a| self.lookup(*a)));
+            }
+        }
     }
 
     /// The most specific announced prefix fully covering `net`.
     pub fn lookup_net(&self, net: &IpNet) -> Option<(IpNet, Asn)> {
-        self.routes
-            .longest_match_net(net)
-            .map(|(covering, entry)| (covering, entry.origin))
+        match &self.frozen {
+            Some(lpm) => lpm
+                .longest_match_net(net)
+                .map(|(covering, entry)| (covering, entry.origin)),
+            None => self
+                .routes
+                .longest_match_net(net)
+                .map(|(covering, entry)| (covering, entry.origin)),
+        }
     }
 
     /// Whether `addr` falls in any announced prefix — the scanner's
     /// "is this space routed at all" check.
     pub fn is_routed(&self, addr: IpAddr) -> bool {
-        self.routes.longest_match(addr).is_some()
+        self.lookup(addr).is_some()
     }
 
     /// Whether `net` is fully covered by an announcement.
     pub fn is_routed_net(&self, net: &IpNet) -> bool {
-        self.routes.longest_match_net(net).is_some()
+        self.lookup_net(net).is_some()
     }
 
     /// The origin AS of the exact prefix, if announced.
     pub fn origin_of(&self, prefix: &IpNet) -> Option<Asn> {
-        self.routes.exact(prefix).map(|e| e.origin)
+        match &self.frozen {
+            Some(lpm) => lpm.exact(prefix).map(|e| e.origin),
+            None => self.routes.exact(prefix).map(|e| e.origin),
+        }
     }
 
     /// All prefixes announced by `asn` (unspecified order).
@@ -147,20 +240,35 @@ impl Rib {
     /// When the previous match was a *leaf* (no more-specific prefix below
     /// it — see [`PrefixTrie::longest_match_leaf`]) and still contains
     /// `addr`, the memoised answer is provably identical to a full walk and
-    /// is returned without touching the trie.
+    /// is returned without touching the table.
     ///
-    /// The memo must not be reused across RIB mutations; the scanner holds
-    /// `&Rib` for the whole scan, which enforces this borrow-wise.
+    /// The memo carries the RIB generation it was filled at; any announce or
+    /// withdraw bumps the generation, so a stale memo is discarded here no
+    /// matter how the caller interleaved lookups and mutations.
     pub fn lookup_memoized(&self, addr: IpAddr, memo: &mut LookupMemo) -> Option<(IpNet, Asn)> {
-        if let Some((net, asn, true)) = memo.last {
-            if net.contains(addr) {
-                return Some((net, asn));
+        if memo.generation == self.generation {
+            if let Some((net, asn, true)) = memo.last {
+                if net.contains(addr) {
+                    return Some((net, asn));
+                }
             }
+        } else {
+            memo.last = None;
         }
-        match self.routes.longest_match_leaf(addr) {
-            Some((net, entry, leaf)) => {
-                memo.last = Some((net, entry.origin, leaf));
-                Some((net, entry.origin))
+        memo.generation = self.generation;
+        let matched = match &self.frozen {
+            Some(lpm) => lpm
+                .longest_match_leaf(addr)
+                .map(|(net, entry, leaf)| (net, entry.origin, leaf)),
+            None => self
+                .routes
+                .longest_match_leaf(addr)
+                .map(|(net, entry, leaf)| (net, entry.origin, leaf)),
+        };
+        match matched {
+            Some((net, origin, leaf)) => {
+                memo.last = Some((net, origin, leaf));
+                Some((net, origin))
             }
             None => {
                 memo.last = None;
@@ -170,11 +278,13 @@ impl Rib {
     }
 }
 
-/// Scratch state for [`Rib::lookup_memoized`]: the last match and whether it
-/// was a leaf (safe to reuse for any address it contains).
+/// Scratch state for [`Rib::lookup_memoized`]: the last match, whether it
+/// was a leaf (safe to reuse for any address it contains), and the RIB
+/// generation it was taken from (reuse across mutations is rejected).
 #[derive(Debug, Default, Clone)]
 pub struct LookupMemo {
     last: Option<(IpNet, Asn, bool)>,
+    generation: u64,
 }
 
 impl LookupMemo {
@@ -298,6 +408,124 @@ mod tests {
         rib.withdraw(&net("23.32.0.0/11"));
         assert!(rib.origins().is_empty());
         assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn frozen_lookups_match_trie_lookups() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        rib.announce(net("2620:149::/32"), Asn::APPLE);
+        assert!(!rib.is_frozen());
+        rib.freeze();
+        assert!(rib.is_frozen());
+        let mut cold = Rib::new();
+        cold.set_frozen_enabled(false);
+        for (p, asn) in rib.iter().collect::<Vec<_>>() {
+            cold.announce(p, asn);
+        }
+        for a in [
+            "17.5.1.2",
+            "17.9.9.9",
+            "23.33.0.1",
+            "8.8.8.8",
+            "2620:149::7",
+        ] {
+            let a: IpAddr = a.parse().unwrap();
+            assert_eq!(rib.lookup(a), cold.lookup(a), "{a}");
+            assert_eq!(rib.is_routed(a), cold.is_routed(a));
+        }
+        for n in ["17.5.3.0/24", "17.0.0.0/8", "16.0.0.0/8", "2620:149:a::/48"] {
+            let n = net(n);
+            assert_eq!(rib.lookup_net(&n), cold.lookup_net(&n), "{n}");
+            assert_eq!(rib.origin_of(&n), cold.origin_of(&n));
+        }
+    }
+
+    #[test]
+    fn lookup_batch_matches_single_lookups_frozen_and_not() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        let addrs: Vec<IpAddr> = ["17.1.1.1", "8.8.8.8", "23.33.0.1", "17.2.3.4", "9.9.9.9"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let want: Vec<_> = addrs.iter().map(|a| rib.lookup(*a)).collect();
+        let mut out = Vec::new();
+        rib.lookup_batch(&addrs, &mut out);
+        assert_eq!(out, want, "trie path");
+        rib.freeze();
+        rib.lookup_batch(&addrs, &mut out);
+        assert_eq!(out, want, "frozen path");
+    }
+
+    #[test]
+    fn mutations_invalidate_the_snapshot() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.freeze();
+        assert!(rib.is_frozen());
+        // Announce drops the snapshot and the new route is visible.
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        assert!(!rib.is_frozen());
+        let (p, _) = rib.lookup("17.5.1.1".parse().unwrap()).unwrap();
+        assert_eq!(p, net("17.5.0.0/16"));
+        rib.freeze();
+        // Withdraw drops it too.
+        rib.withdraw(&net("17.5.0.0/16"));
+        assert!(!rib.is_frozen());
+        let (p, _) = rib.lookup("17.5.1.1".parse().unwrap()).unwrap();
+        assert_eq!(p, net("17.0.0.0/8"));
+    }
+
+    #[test]
+    fn memoized_lookup_invalidated_on_withdraw() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        let mut memo = LookupMemo::new();
+        let addr: IpAddr = "17.1.1.1".parse().unwrap();
+        // Prime the memo with a leaf match (the /8 has no descendants).
+        assert_eq!(rib.lookup_memoized(addr, &mut memo), rib.lookup(addr));
+        assert!(rib.lookup_memoized(addr, &mut memo).is_some());
+        // Withdraw the prefix: the memoised path must stop matching even
+        // though the cached entry still contains the address.
+        rib.withdraw(&net("17.0.0.0/8"));
+        assert_eq!(rib.lookup_memoized(addr, &mut memo), None);
+    }
+
+    #[test]
+    fn memoized_lookup_invalidated_on_announce() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        let mut memo = LookupMemo::new();
+        let addr: IpAddr = "17.5.1.1".parse().unwrap();
+        assert!(rib.lookup_memoized(addr, &mut memo).is_some());
+        // A more specific announcement must supersede the memoised /8.
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        assert_eq!(
+            rib.lookup_memoized(addr, &mut memo),
+            Some((net("17.5.0.0/16"), Asn(64512)))
+        );
+    }
+
+    #[test]
+    fn memoized_lookup_matches_plain_lookup_when_frozen() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        rib.announce(net("23.32.0.0/11"), Asn::AKAMAI_EG);
+        rib.freeze();
+        let mut memo = LookupMemo::new();
+        for addr in ["17.5.0.1", "17.5.0.2", "17.6.0.1", "8.8.8.8", "23.33.0.1"] {
+            let addr: IpAddr = addr.parse().unwrap();
+            assert_eq!(
+                rib.lookup_memoized(addr, &mut memo),
+                rib.lookup(addr),
+                "{addr}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Groups the client ASes observed in an ECS scan by which ingress operator
 //! serves them (Akamai-only / Apple-only / both), then joins each group
 //! with the per-AS user populations — the paper's answer to "who actually
-//! serves the users?".
+//! serves the users?". The scan report's per-address operator attribution
+//! comes out of the RIB's compiled-LPM batch path (one
+//! [`Rib::lookup_batch`](tectonic_bgp::Rib::lookup_batch) per reply burst),
+//! which is result-identical to per-address longest-prefix matches.
 
 use std::collections::BTreeMap;
 

@@ -25,7 +25,7 @@ use tectonic_dns::{
     decode_message, encode_message, DomainName, EcsOption, Message, MessageEncoder, PatchedQuery,
     QType, QueryTemplate, Rcode,
 };
-use tectonic_net::{Asn, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimTime};
+use tectonic_net::{Asn, IpNet, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimTime};
 
 /// Scanner configuration.
 #[derive(Debug, Clone)]
@@ -164,8 +164,9 @@ pub struct EcsScanner {
 ///
 /// Holding these across the whole subnet loop is what makes the hot path
 /// allocation-free: each query is patched in place in a pre-encoded
-/// template, the reply lands in a reused buffer, and the RIB lookups for
-/// consecutive addresses hit a one-entry memo.
+/// template, the reply lands in a reused buffer, a reply's answers are
+/// attributed with one batched RIB lookup, and the client-AS lookups for
+/// consecutive subnets hit a one-entry memo.
 struct ScanScratch {
     /// The next query's ID (wraps; seeded to match the historical scanner).
     query_id: u16,
@@ -178,8 +179,11 @@ struct ScanScratch {
     query_buf: BytesMut,
     /// Reply buffer the server encodes into.
     reply: BytesMut,
-    /// Memo for ingress-address attribution lookups (answers repeat).
-    answer_memo: LookupMemo,
+    /// Ingress-address batch for one reply's answers, attributed with a
+    /// single [`Rib::lookup_batch`] call per burst.
+    addr_batch: Vec<IpAddr>,
+    /// Attribution results for `addr_batch` (reused across replies).
+    batch_out: Vec<Option<(IpNet, Asn)>>,
     /// Memo for client-AS lookups — subnets arrive in ascending order, so
     /// consecutive /24s almost always share the announced client prefix.
     client_memo: LookupMemo,
@@ -198,7 +202,8 @@ impl ScanScratch {
             encoder: MessageEncoder::new(),
             query_buf: BytesMut::new(),
             reply: BytesMut::new(),
-            answer_memo: LookupMemo::new(),
+            addr_batch: Vec::new(),
+            batch_out: Vec::new(),
             client_memo: LookupMemo::new(),
         }
     }
@@ -541,15 +546,18 @@ impl EcsScanner {
                     1
                 }
             };
-            for addr in &answers {
+            scratch.addr_batch.clear();
+            scratch
+                .addr_batch
+                .extend(answers.iter().map(|a| IpAddr::V4(*a)));
+            rib.lookup_batch(&scratch.addr_batch, &mut scratch.batch_out);
+            for (addr, hit) in answers.iter().zip(&scratch.batch_out) {
                 report.discovered.insert(*addr);
                 *report.subnets_served.entry(*addr).or_insert(0) += scope_credit;
-                if let Some((prefix, asn)) =
-                    rib.lookup_memoized(IpAddr::V4(*addr), &mut scratch.answer_memo)
-                {
-                    report.by_ingress_as.entry(asn).or_default().insert(*addr);
+                if let Some((prefix, asn)) = hit {
+                    report.by_ingress_as.entry(*asn).or_default().insert(*addr);
                     report.ingress_prefixes.insert(prefix.to_string());
-                    seen_ops.insert(asn);
+                    seen_ops.insert(*asn);
                 }
             }
             if let Some((_, client_asn)) =

@@ -84,24 +84,21 @@ pub struct CdfSeries {
 #[derive(Debug)]
 pub struct EgressAnalysis<'a> {
     list: &'a EgressList,
-    rib: &'a Rib,
-    /// Subnet → operator attribution via the RIB.
-    attribution: Vec<Option<Asn>>,
+    /// Subnet → (covering BGP prefix, operator) attribution via the RIB.
+    /// Computed once up front so no analysis method has to re-query the
+    /// routing table — `table3` in particular reuses the stored prefix.
+    attribution: Vec<Option<(IpNet, Asn)>>,
 }
 
 impl<'a> EgressAnalysis<'a> {
     /// Prepares the analysis (attributes every subnet once).
-    pub fn new(list: &'a EgressList, rib: &'a Rib) -> EgressAnalysis<'a> {
+    pub fn new(list: &'a EgressList, rib: &Rib) -> EgressAnalysis<'a> {
         let attribution = list
             .entries()
             .iter()
-            .map(|e| rib.lookup_net(&e.subnet).map(|(_, asn)| asn))
+            .map(|e| rib.lookup_net(&e.subnet))
             .collect();
-        EgressAnalysis {
-            list,
-            rib,
-            attribution,
-        }
+        EgressAnalysis { list, attribution }
     }
 
     fn operators(&self) -> [Asn; 4] {
@@ -113,7 +110,7 @@ impl<'a> EgressAnalysis<'a> {
             .entries()
             .iter()
             .zip(&self.attribution)
-            .filter(move |(_, a)| **a == Some(asn))
+            .filter(move |(_, a)| matches!(a, Some((_, origin)) if *origin == asn))
             .map(|(e, _)| e)
     }
 
@@ -129,21 +126,23 @@ impl<'a> EgressAnalysis<'a> {
                 let mut v4_prefixes: BTreeSet<String> = BTreeSet::new();
                 let mut v6_prefixes: BTreeSet<String> = BTreeSet::new();
                 let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
-                for e in self.entries_of(*asn) {
+                for (e, attr) in self.list.entries().iter().zip(&self.attribution) {
+                    let Some((prefix, origin)) = attr else {
+                        continue;
+                    };
+                    if origin != asn {
+                        continue;
+                    }
                     countries.insert(e.cc);
                     match &e.subnet {
                         IpNet::V4(n) => {
                             v4_subnets += 1;
                             v4_addresses += n.addr_count();
-                            if let Some((p, _)) = self.rib.lookup_net(&e.subnet) {
-                                v4_prefixes.insert(p.to_string());
-                            }
+                            v4_prefixes.insert(prefix.to_string());
                         }
                         IpNet::V6(_) => {
                             v6_subnets += 1;
-                            if let Some((p, _)) = self.rib.lookup_net(&e.subnet) {
-                                v6_prefixes.insert(p.to_string());
-                            }
+                            v6_prefixes.insert(prefix.to_string());
                         }
                     }
                 }
@@ -232,8 +231,8 @@ impl<'a> EgressAnalysis<'a> {
     /// Cloudflare).
     pub fn uniquely_covered_countries(&self) -> Vec<(CountryCode, Asn)> {
         let mut coverage: BTreeMap<CountryCode, BTreeSet<Asn>> = BTreeMap::new();
-        for (e, asn) in self.list.entries().iter().zip(&self.attribution) {
-            if let Some(asn) = asn {
+        for (e, attr) in self.list.entries().iter().zip(&self.attribution) {
+            if let Some((_, asn)) = attr {
                 coverage.entry(e.cc).or_default().insert(*asn);
             }
         }
@@ -255,8 +254,8 @@ impl<'a> EgressAnalysis<'a> {
             .entries()
             .iter()
             .zip(&self.attribution)
-            .filter_map(|(e, asn)| {
-                let asn = (*asn)?;
+            .filter_map(|(e, attr)| {
+                let (_, asn) = (*attr)?;
                 let city = e.city.as_deref()?;
                 let (lat, lon) = by_name.get(city)?;
                 Some(GeoPoint {

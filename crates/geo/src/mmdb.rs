@@ -10,7 +10,7 @@
 use std::net::IpAddr;
 
 use serde::{Deserialize, Serialize};
-use tectonic_net::PrefixTrie;
+use tectonic_net::{FrozenLpm, PrefixTrie};
 
 use crate::country::CountryCode;
 use crate::egress::EgressList;
@@ -27,9 +27,15 @@ pub struct Location {
 }
 
 /// A longest-prefix-match geolocation database.
+///
+/// The trie is the ingest-side structure; [`freeze`](GeoDb::freeze) compiles
+/// it into a [`FrozenLpm`] for the query-heavy analyses. Inserting after a
+/// freeze drops the snapshot, so lookups are always correct — freezing is
+/// purely a fast path.
 #[derive(Debug, Default)]
 pub struct GeoDb {
     trie: PrefixTrie<Location>,
+    frozen: Option<FrozenLpm<Location>>,
 }
 
 impl GeoDb {
@@ -48,9 +54,20 @@ impl GeoDb {
         self.trie.is_empty()
     }
 
-    /// Inserts a mapping.
+    /// Inserts a mapping. Drops any compiled snapshot.
     pub fn insert(&mut self, net: impl Into<tectonic_net::IpNet>, loc: Location) {
+        self.frozen = None;
         self.trie.insert(net, loc);
+    }
+
+    /// Compiles the current mappings for steady-state lookups.
+    pub fn freeze(&mut self) {
+        self.frozen = Some(self.trie.freeze());
+    }
+
+    /// `true` when a compiled snapshot is live.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
     }
 
     /// Builds the database by adopting an egress list's represented
@@ -67,12 +84,16 @@ impl GeoDb {
                 },
             );
         }
+        db.freeze();
         db
     }
 
     /// Looks up an address.
     pub fn lookup(&self, addr: IpAddr) -> Option<&Location> {
-        self.trie.longest_match(addr).map(|(_, loc)| loc)
+        match &self.frozen {
+            Some(lpm) => lpm.longest_match(addr).map(|(_, loc)| loc),
+            None => self.trie.longest_match(addr).map(|(_, loc)| loc),
+        }
     }
 }
 
@@ -124,6 +145,38 @@ mod tests {
         let db = GeoDb::from_egress_list(&sample_list());
         assert!(db.lookup("8.8.8.8".parse().unwrap()).is_none());
         assert!(db.lookup("2001:db8::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn insert_after_freeze_invalidates_and_stays_correct() {
+        let mut db = GeoDb::from_egress_list(&sample_list());
+        assert!(db.is_frozen());
+        db.insert(
+            "172.224.0.0/24".parse::<IpNet>().unwrap(),
+            Location {
+                cc: CountryCode::literal("GB"),
+                region: "GB-R00".into(),
+                city: None,
+            },
+        );
+        assert!(!db.is_frozen());
+        // More-specific /27 from the egress list still wins...
+        let loc = db.lookup("172.224.0.5".parse().unwrap()).unwrap();
+        assert_eq!(loc.cc, CountryCode::US);
+        // ...and the new covering /24 answers the gap between the /27s.
+        let loc = db.lookup("172.224.0.200".parse().unwrap()).unwrap();
+        assert_eq!(loc.cc, CountryCode::literal("GB"));
+        // Re-freezing gives the same answers from the compiled table.
+        db.freeze();
+        assert!(db.is_frozen());
+        assert_eq!(
+            db.lookup("172.224.0.200".parse().unwrap()).unwrap().cc,
+            CountryCode::literal("GB")
+        );
+        assert_eq!(
+            db.lookup("172.224.0.40".parse().unwrap()).unwrap().cc,
+            CountryCode::DE
+        );
     }
 
     #[test]

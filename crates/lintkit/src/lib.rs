@@ -93,6 +93,7 @@ impl Config {
             strict_index: vec![
                 "crates/dns/src/wire.rs".to_string(),
                 "crates/geo/src/csv.rs".to_string(),
+                "crates/net/src/lpm.rs".to_string(),
                 "crates/quic/src/packet.rs".to_string(),
                 "crates/quic/src/varint.rs".to_string(),
             ],
@@ -100,6 +101,9 @@ impl Config {
             entry_points: vec![
                 // The multi-hour ECS scan drive loop.
                 "core::ecs_scan::scan_subnets".to_string(),
+                // Batched longest-prefix matching under the scan's
+                // per-reply attribution.
+                "net::lpm::lookup_batch".to_string(),
                 // DNS wire decoding of hostile reply bytes.
                 "dns::wire::decode_message".to_string(),
                 // The published egress CSV (lossy parse path).

@@ -10,6 +10,9 @@
 //!   with parsing, containment, splitting and iteration,
 //! * [`trie`] — a binary prefix trie with longest-prefix-match lookup, the
 //!   backbone of the BGP RIB and every subnet-indexed dataset,
+//! * [`lpm`] — [`FrozenLpm`], the compiled, immutable flat-layout snapshot
+//!   of a trie ([`PrefixTrie::freeze`]) that the steady-state lookup paths
+//!   run on,
 //! * [`asn`] — autonomous-system numbers and the well-known ASes from the
 //!   paper (Apple, Akamai&#8239;PR, Akamai&#8239;EG, Cloudflare, Fastly),
 //! * [`rng`] — a deterministic, splittable simulation RNG so every experiment
@@ -26,6 +29,7 @@
 pub mod asn;
 pub mod clock;
 pub mod error;
+pub mod lpm;
 pub mod prefix;
 pub mod rng;
 pub mod trie;
@@ -33,6 +37,7 @@ pub mod trie;
 pub use asn::Asn;
 pub use clock::{Epoch, SimClock, SimDuration, SimTime};
 pub use error::NetError;
+pub use lpm::FrozenLpm;
 pub use prefix::{IpNet, Ipv4Net, Ipv6Net};
 pub use rng::SimRng;
 pub use trie::PrefixTrie;

@@ -1,0 +1,735 @@
+//! A compiled, immutable longest-prefix-match engine.
+//!
+//! [`FrozenLpm`] is the steady-state counterpart of [`PrefixTrie`]: the trie
+//! stays the build-side structure (incremental inserts, withdrawals), and
+//! [`PrefixTrie::freeze`] compiles its current contents into a flat
+//! multi-bit-stride table in the LC-trie / tree-bitmap tradition —
+//! a contiguous node array addressed by `u32` indices instead of per-node
+//! `Box` pointers, with all values in one arena. A lookup consumes 8 or 16
+//! address bits per step, so an IPv4 match costs at most three dependent
+//! memory accesses (IPv6: sixteen) instead of up to 32 (128) pointer
+//! chases, and the node array is cache-resident for realistic table sizes.
+//!
+//! Every query API is result-identical to the trie it was frozen from:
+//! [`longest_match`](FrozenLpm::longest_match), [`exact`](FrozenLpm::exact),
+//! [`covering`](FrozenLpm::covering) and
+//! [`longest_match_net`](FrozenLpm::longest_match_net) agree with their
+//! [`PrefixTrie`] namesakes on every input (property-tested in
+//! `tests/prop_prefix_trie.rs`). [`lookup_batch`](FrozenLpm::lookup_batch)
+//! resolves a burst of addresses in interleaved lock-step so the dependent
+//! load chains of four lookups overlap in the memory pipeline.
+
+use std::net::IpAddr;
+
+use crate::prefix::IpNet;
+use crate::trie::PrefixTrie;
+
+/// Sentinel for "no node / no value" in the `u32` index space.
+const NONE: u32 = u32::MAX;
+
+/// The root stride switches from 8 to 16 bits once a family holds this many
+/// prefixes: a 64 Ki-entry root costs 512 KiB, which only pays for itself on
+/// RIB-sized tables.
+const WIDE_ROOT_MIN: usize = 4096;
+
+/// One multi-bit node: a block of `1 << stride` entries in the shared entry
+/// arena, plus the value stored exactly at the node's base depth (a prefix
+/// whose length equals the number of bits consumed to reach the node).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// First entry of this node's block in `FrozenLpm::entries`.
+    entries_off: u32,
+    /// Value index for a prefix of length exactly `base`, or `NONE`.
+    value: u32,
+    /// Bits consumed before this node (depth of its base).
+    base: u8,
+    /// Bits this node consumes (entry block is `1 << stride` long).
+    stride: u8,
+}
+
+/// One entry: the child node for the chunk, and the most specific stored
+/// prefix whose length falls inside this node and which covers the chunk.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    child: u32,
+    value: u32,
+}
+
+const EMPTY_ENTRY: Entry = Entry {
+    child: NONE,
+    value: NONE,
+};
+
+/// A compiled prefix key: bits left-aligned in a `u128` (IPv4 shifted into
+/// the top 32 bits, exactly like the trie's internal key), the prefix
+/// length, and the value-arena index.
+#[derive(Debug, Clone, Copy)]
+struct KeyRec {
+    bits: u128,
+    len: u8,
+    value: u32,
+}
+
+fn mask_bits(bits: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        bits & (u128::MAX << (128 - len as u32))
+    }
+}
+
+fn addr_bits(addr: &IpAddr) -> (u128, bool) {
+    match addr {
+        IpAddr::V4(a) => ((u32::from(*a) as u128) << 96, true),
+        IpAddr::V6(a) => (u128::from(*a), false),
+    }
+}
+
+fn net_bits(net: &IpNet) -> (u128, u8, bool) {
+    match net {
+        IpNet::V4(n) => {
+            let (bits, len) = n.bits();
+            ((bits as u128) << 96, len, true)
+        }
+        IpNet::V6(n) => {
+            let (bits, len) = n.bits();
+            (bits, len, false)
+        }
+    }
+}
+
+/// An immutable, flat-layout longest-prefix-match snapshot of a
+/// [`PrefixTrie`].
+///
+/// Built with [`PrefixTrie::freeze`]; see the module docs for the layout.
+/// The snapshot owns clones of the trie's values, so the trie remains free
+/// to mutate afterwards — consumers re-freeze when they need the changes.
+///
+/// ```
+/// use tectonic_net::{IpNet, PrefixTrie};
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("17.0.0.0/8".parse::<IpNet>().unwrap(), "apple");
+/// trie.insert("17.5.0.0/16".parse::<IpNet>().unwrap(), "apple-dc");
+/// let lpm = trie.freeze();
+/// let (prefix, value) = lpm.longest_match("17.5.1.2".parse().unwrap()).unwrap();
+/// assert_eq!(prefix.to_string(), "17.5.0.0/16");
+/// assert_eq!(*value, "apple-dc");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrozenLpm<V> {
+    nodes: Vec<Node>,
+    entries: Vec<Entry>,
+    /// Value arena: every stored `(prefix, value)` pair exactly once.
+    values: Vec<(IpNet, V)>,
+    /// `leaf[i]` — no stored prefix is strictly more specific than
+    /// `values[i].0`, so its match is reusable for any address it contains.
+    leaf: Vec<bool>,
+    /// Per-family keys sorted by `(bits, len)`, for the exact-membership
+    /// queries (`exact`, `covering`, `longest_match_net`).
+    keys_v4: Vec<KeyRec>,
+    keys_v6: Vec<KeyRec>,
+    /// Distinct prefix lengths per family, ascending — bounds the probe
+    /// loops of `covering` / `longest_match_net`.
+    lens_v4: Vec<u8>,
+    lens_v6: Vec<u8>,
+    root_v4: u32,
+    root_v6: u32,
+}
+
+impl<V: Clone> PrefixTrie<V> {
+    /// Compiles the trie's current contents into a [`FrozenLpm`] snapshot.
+    ///
+    /// The trie stays usable (and mutable) as the build-side structure; the
+    /// snapshot does not track later inserts or removals.
+    pub fn freeze(&self) -> FrozenLpm<V> {
+        FrozenLpm::from_pairs(self.iter().map(|(n, v)| (n, v.clone())))
+    }
+}
+
+impl<V> FrozenLpm<V> {
+    /// Compiles an explicit `(prefix, value)` list. Later duplicates of the
+    /// same prefix replace earlier ones, matching repeated trie inserts.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (IpNet, V)>) -> FrozenLpm<V> {
+        // Sort once by (family, bits, len, arrival); equal prefixes then sit
+        // adjacent with the latest last, so duplicate resolution is a linear
+        // sweep and a paper-scale freeze stays O(n log n).
+        struct Raw<V> {
+            v4: bool,
+            bits: u128,
+            len: u8,
+            seq: usize,
+            net: IpNet,
+            value: V,
+        }
+        let mut raw: Vec<Raw<V>> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (net, value))| {
+                let (bits, len, v4) = net_bits(&net);
+                Raw {
+                    v4,
+                    bits,
+                    len,
+                    seq,
+                    net,
+                    value,
+                }
+            })
+            .collect();
+        raw.sort_by_key(|a| (a.v4, a.bits, a.len, a.seq));
+
+        let mut values: Vec<(IpNet, V)> = Vec::with_capacity(raw.len());
+        let mut keys_v4: Vec<KeyRec> = Vec::new();
+        let mut keys_v6: Vec<KeyRec> = Vec::new();
+        let mut raw = raw.into_iter().peekable();
+        while let Some(r) = raw.next() {
+            // A later duplicate of the same prefix replaces this one
+            // (trie-insert semantics): keep only the last of each run.
+            let superseded = matches!(
+                raw.peek(),
+                Some(n) if n.v4 == r.v4 && n.bits == r.bits && n.len == r.len
+            );
+            if superseded {
+                continue;
+            }
+            let idx = values.len() as u32;
+            values.push((r.net, r.value));
+            let keys = if r.v4 { &mut keys_v4 } else { &mut keys_v6 };
+            keys.push(KeyRec {
+                bits: r.bits,
+                len: r.len,
+                value: idx,
+            });
+        }
+        // The (family, bits, len) sort above leaves each family's keys in
+        // exactly the (bits, len) order the query paths rely on.
+
+        // A prefix is a leaf when its sorted successor is not contained in
+        // it. Keys are sorted by (bits, len) and canonical (host bits
+        // zero), so every strict descendant of a prefix sorts directly
+        // after it — checking the immediate successor suffices.
+        let mut leaf = vec![true; values.len()];
+        for fam in [&keys_v4, &keys_v6] {
+            for pair in fam.windows(2) {
+                if let [cur, next] = pair {
+                    if next.len > cur.len && mask_bits(next.bits, cur.len) == cur.bits {
+                        if let Some(flag) = leaf.get_mut(cur.value as usize) {
+                            *flag = false;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut nodes = Vec::new();
+        let mut entries = Vec::new();
+        let root_v4 = build_node(&mut nodes, &mut entries, &keys_v4, 0);
+        let root_v6 = build_node(&mut nodes, &mut entries, &keys_v6, 0);
+        let lens_v4 = distinct_lens(&keys_v4);
+        let lens_v6 = distinct_lens(&keys_v6);
+        FrozenLpm {
+            nodes,
+            entries,
+            values,
+            leaf,
+            keys_v4,
+            keys_v6,
+            lens_v4,
+            lens_v6,
+            root_v4,
+            root_v6,
+        }
+    }
+
+    /// Number of stored prefixes (both families).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Walks the compiled table for left-aligned address bits, returning
+    /// the value-arena index of the most specific match (or `NONE`).
+    #[inline]
+    fn lookup_idx(&self, bits: u128, v4: bool) -> u32 {
+        let mut idx = if v4 { self.root_v4 } else { self.root_v6 };
+        let mut best = NONE;
+        while let Some(node) = self.nodes.get(idx as usize) {
+            if node.value != NONE {
+                best = node.value;
+            }
+            let shift = 128u32.saturating_sub(node.base as u32 + node.stride as u32);
+            let chunk = ((bits >> shift) as usize) & ((1usize << node.stride) - 1);
+            match self.entries.get(node.entries_off as usize + chunk) {
+                Some(e) => {
+                    if e.value != NONE {
+                        best = e.value;
+                    }
+                    idx = e.child;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Longest-prefix match for an address — identical to
+    /// [`PrefixTrie::longest_match`] on the frozen contents.
+    pub fn longest_match(&self, addr: IpAddr) -> Option<(IpNet, &V)> {
+        let (bits, v4) = addr_bits(&addr);
+        let best = self.lookup_idx(bits, v4);
+        self.values.get(best as usize).map(|(n, v)| (*n, v))
+    }
+
+    /// Alias for [`longest_match`](FrozenLpm::longest_match) — the
+    /// route-lookup verb used by the RIB.
+    #[inline]
+    pub fn lookup(&self, addr: IpAddr) -> Option<(IpNet, &V)> {
+        self.longest_match(addr)
+    }
+
+    /// [`longest_match`](FrozenLpm::longest_match) plus a *leaf* flag for
+    /// memoised lookups, mirroring [`PrefixTrie::longest_match_leaf`].
+    ///
+    /// The frozen flag is exact where the trie's is conservative: it is
+    /// `true` iff no stored prefix is strictly more specific than the
+    /// match, the precise condition under which the answer is reusable for
+    /// every address the matched prefix contains. (The trie reports `false`
+    /// for matches above unpruned interior nodes; both flags are safe, the
+    /// frozen one just memoises more.)
+    pub fn longest_match_leaf(&self, addr: IpAddr) -> Option<(IpNet, &V, bool)> {
+        let (bits, v4) = addr_bits(&addr);
+        let best = self.lookup_idx(bits, v4);
+        let leaf = self.leaf.get(best as usize).copied().unwrap_or(false);
+        self.values.get(best as usize).map(|(n, v)| (*n, v, leaf))
+    }
+
+    /// Resolves a burst of addresses in one call, writing one
+    /// `Option<(prefix, &value)>` per input address (`out` is cleared
+    /// first). Results are exactly `addrs.iter().map(|a| lookup(*a))`.
+    ///
+    /// The walk is level-synchronous: every pass advances all still-live
+    /// lookups one node, so within a pass the node/entry loads of different
+    /// addresses are independent and overlap in the memory pipeline instead
+    /// of serialising down one walk at a time — which is where a batch
+    /// beats N single calls on tables larger than the cache.
+    pub fn lookup_batch<'a>(&'a self, addrs: &[IpAddr], out: &mut Vec<Option<(IpNet, &'a V)>>) {
+        self.lookup_batch_map(addrs, out, |m| m);
+    }
+
+    /// [`lookup_batch`](FrozenLpm::lookup_batch) with an inline projection:
+    /// each raw match is passed through `f` before landing in `out`, so
+    /// callers that store a derived type (the RIB keeps `(prefix, origin)`)
+    /// reuse their typed buffer with no intermediate allocation.
+    pub fn lookup_batch_map<'a, T>(
+        &'a self,
+        addrs: &[IpAddr],
+        out: &mut Vec<T>,
+        mut f: impl FnMut(Option<(IpNet, &'a V)>) -> T,
+    ) {
+        out.clear();
+        out.reserve(addrs.len());
+        // Per-lane walk state: (address bits, current node, best value).
+        // Lanes that still have a child to follow are kept in `active`,
+        // compacted each pass so finished walks cost nothing on deeper
+        // levels.
+        let mut lanes: Vec<(u128, u32, u32)> = addrs
+            .iter()
+            .map(|a| {
+                let (b, v4) = addr_bits(a);
+                (b, if v4 { self.root_v4 } else { self.root_v6 }, NONE)
+            })
+            .collect();
+        let mut active: Vec<u32> = (0..lanes.len() as u32).collect();
+        let mut next: Vec<u32> = Vec::with_capacity(active.len());
+        while !active.is_empty() {
+            next.clear();
+            for &k in &active {
+                let Some(lane) = lanes.get_mut(k as usize) else {
+                    continue;
+                };
+                let Some(node) = self.nodes.get(lane.1 as usize) else {
+                    continue;
+                };
+                let mut found = node.value;
+                let shift = 128u32.saturating_sub(node.base as u32 + node.stride as u32);
+                let chunk = ((lane.0 >> shift) as usize) & ((1usize << node.stride) - 1);
+                let child = match self.entries.get(node.entries_off as usize + chunk) {
+                    Some(e) => {
+                        if e.value != NONE {
+                            found = e.value;
+                        }
+                        e.child
+                    }
+                    None => NONE,
+                };
+                if found != NONE {
+                    lane.2 = found;
+                }
+                lane.1 = child;
+                if (child as usize) < self.nodes.len() {
+                    next.push(k);
+                }
+            }
+            core::mem::swap(&mut active, &mut next);
+        }
+        for lane in &lanes {
+            out.push(f(self.values.get(lane.2 as usize).map(|(n, v)| (*n, v))));
+        }
+    }
+
+    fn keys(&self, v4: bool) -> &[KeyRec] {
+        if v4 {
+            &self.keys_v4
+        } else {
+            &self.keys_v6
+        }
+    }
+
+    fn lens(&self, v4: bool) -> &[u8] {
+        if v4 {
+            &self.lens_v4
+        } else {
+            &self.lens_v6
+        }
+    }
+
+    fn find_key(&self, bits: u128, len: u8, v4: bool) -> Option<&KeyRec> {
+        let keys = self.keys(v4);
+        keys.binary_search_by(|k| (k.bits, k.len).cmp(&(bits, len)))
+            .ok()
+            .and_then(|at| keys.get(at))
+    }
+
+    /// Exact-prefix lookup — identical to [`PrefixTrie::exact`].
+    pub fn exact(&self, net: &IpNet) -> Option<&V> {
+        let (bits, len, v4) = net_bits(net);
+        let key = self.find_key(bits, len, v4)?;
+        self.values.get(key.value as usize).map(|(_, v)| v)
+    }
+
+    /// Whether the exact prefix is stored.
+    pub fn contains(&self, net: &IpNet) -> bool {
+        self.exact(net).is_some()
+    }
+
+    /// All stored prefixes containing `addr`, shortest first — identical to
+    /// [`PrefixTrie::covering`]. Probes only the prefix lengths that occur
+    /// in the table, one binary search each.
+    pub fn covering(&self, addr: IpAddr) -> Vec<(IpNet, &V)> {
+        let (bits, v4) = addr_bits(&addr);
+        let width: u8 = if v4 { 32 } else { 128 };
+        let mut out = Vec::new();
+        for len in self.lens(v4).iter().copied() {
+            if len > width {
+                break;
+            }
+            if let Some(key) = self.find_key(mask_bits(bits, len), len, v4) {
+                if let Some((n, v)) = self.values.get(key.value as usize) {
+                    out.push((*n, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The most specific stored prefix fully containing `net` (possibly
+    /// `net` itself) — identical to [`PrefixTrie::longest_match_net`].
+    pub fn longest_match_net(&self, net: &IpNet) -> Option<(IpNet, &V)> {
+        let (bits, len, v4) = net_bits(net);
+        for l in self.lens(v4).iter().rev().copied() {
+            if l > len {
+                continue;
+            }
+            if let Some(key) = self.find_key(mask_bits(bits, l), l, v4) {
+                return self.values.get(key.value as usize).map(|(n, v)| (*n, v));
+            }
+        }
+        None
+    }
+
+    /// Iterates over all stored `(prefix, value)` pairs, IPv4 first, in
+    /// ascending bit order.
+    pub fn iter(&self) -> impl Iterator<Item = (IpNet, &V)> {
+        self.keys_v4
+            .iter()
+            .chain(self.keys_v6.iter())
+            .filter_map(|k| self.values.get(k.value as usize))
+            .map(|(n, v)| (*n, v))
+    }
+}
+
+fn distinct_lens(keys: &[KeyRec]) -> Vec<u8> {
+    let mut lens: Vec<u8> = keys.iter().map(|k| k.len).collect();
+    lens.sort_unstable();
+    lens.dedup();
+    lens
+}
+
+/// Recursively compiles one node from the (sorted) keys that live at or
+/// below `base`. Returns the node index, or `NONE` for an empty key set.
+fn build_node(nodes: &mut Vec<Node>, entries: &mut Vec<Entry>, keys: &[KeyRec], base: u8) -> u32 {
+    if keys.is_empty() {
+        return NONE;
+    }
+    let stride: u8 = if base == 0 && keys.len() >= WIDE_ROOT_MIN {
+        16
+    } else {
+        8
+    };
+    let limit = base + stride;
+    let mut block = vec![EMPTY_ENTRY; 1usize << stride];
+    let shift = 128u32.saturating_sub(limit as u32);
+    let mut node_value = NONE;
+
+    // Expand the prefixes that terminate inside this node into the entry
+    // block. Shorter prefixes first, so more specific ones overwrite — the
+    // entry then holds the most specific in-node match for its chunk.
+    let mut in_node: Vec<&KeyRec> = keys.iter().filter(|k| k.len <= limit).collect();
+    in_node.sort_by_key(|k| k.len);
+    for key in in_node {
+        if key.len == base {
+            node_value = key.value;
+            continue;
+        }
+        let lo = ((key.bits >> shift) as usize) & ((1usize << stride) - 1);
+        let count = 1usize << (limit - key.len);
+        for entry in block.iter_mut().skip(lo).take(count) {
+            entry.value = key.value;
+        }
+    }
+
+    // Group the deeper prefixes by their chunk (contiguous runs, since the
+    // keys are sorted by bits) and recurse.
+    let deeper: Vec<KeyRec> = keys.iter().filter(|k| k.len > limit).copied().collect();
+    let mut start = 0usize;
+    while let Some(first) = deeper.get(start) {
+        let chunk = ((first.bits >> shift) as usize) & ((1usize << stride) - 1);
+        let mut end = start + 1;
+        while let Some(k) = deeper.get(end) {
+            let c = ((k.bits >> shift) as usize) & ((1usize << stride) - 1);
+            if c != chunk {
+                break;
+            }
+            end += 1;
+        }
+        if let Some(run) = deeper.get(start..end) {
+            let child = build_node(nodes, entries, run, limit);
+            if let Some(entry) = block.get_mut(chunk) {
+                entry.child = child;
+            }
+        }
+        start = end;
+    }
+
+    let entries_off = entries.len() as u32;
+    entries.extend(block);
+    let idx = nodes.len() as u32;
+    nodes.push(Node {
+        entries_off,
+        value: node_value,
+        base,
+        stride,
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> IpNet {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> PrefixTrie<&'static str> {
+        let mut t = PrefixTrie::new();
+        t.insert(net("0.0.0.0/0"), "default");
+        t.insert(net("17.0.0.0/8"), "apple8");
+        t.insert(net("17.5.0.0/16"), "apple16");
+        t.insert(net("23.32.0.0/11"), "akamai");
+        t.insert(net("2620:149::/32"), "apple6");
+        t.insert(net("2620:149:a::/48"), "apple6-dc");
+        t.insert(net("198.51.100.7/32"), "host");
+        t
+    }
+
+    #[test]
+    fn matches_trie_on_longest_match() {
+        let t = sample();
+        let lpm = t.freeze();
+        for a in [
+            "17.5.1.2",
+            "17.9.9.9",
+            "8.8.8.8",
+            "23.33.0.1",
+            "198.51.100.7",
+            "198.51.100.8",
+            "2620:149::1",
+            "2620:149:a::1",
+            "2001:db8::1",
+        ] {
+            let a = addr(a);
+            assert_eq!(
+                lpm.longest_match(a).map(|(n, v)| (n, *v)),
+                t.longest_match(a).map(|(n, v)| (n, *v)),
+                "{a}"
+            );
+            assert_eq!(
+                lpm.lookup(a).map(|(n, _)| n),
+                lpm.longest_match(a).map(|(n, _)| n)
+            );
+        }
+    }
+
+    #[test]
+    fn no_v6_default_means_v6_miss() {
+        let t = sample();
+        let lpm = t.freeze();
+        assert!(lpm.longest_match(addr("2001:db8::1")).is_none());
+        assert_eq!(lpm.longest_match(addr("8.8.8.8")).unwrap().1, &"default");
+    }
+
+    #[test]
+    fn exact_and_covering_match_trie() {
+        let t = sample();
+        let lpm = t.freeze();
+        for n in ["17.0.0.0/8", "17.5.0.0/16", "17.0.0.0/16", "::/0"] {
+            let n = net(n);
+            assert_eq!(lpm.exact(&n), t.exact(&n), "{n}");
+            assert_eq!(lpm.contains(&n), t.contains(&n));
+        }
+        for a in ["17.5.1.2", "8.8.8.8", "2620:149:a::1", "2001:db8::1"] {
+            let a = addr(a);
+            let got: Vec<_> = lpm.covering(a).into_iter().map(|(n, v)| (n, *v)).collect();
+            let want: Vec<_> = t.covering(a).into_iter().map(|(n, v)| (n, *v)).collect();
+            assert_eq!(got, want, "{a}");
+        }
+    }
+
+    #[test]
+    fn longest_match_net_matches_trie() {
+        let t = sample();
+        let lpm = t.freeze();
+        for n in [
+            "17.5.3.0/24",
+            "17.6.0.0/16",
+            "17.0.0.0/8",
+            "16.0.0.0/8",
+            "2620:149:a:b::/64",
+            "2620:149::/32",
+            "2000::/3",
+        ] {
+            let n = net(n);
+            assert_eq!(
+                lpm.longest_match_net(&n).map(|(c, v)| (c, *v)),
+                t.longest_match_net(&n).map(|(c, v)| (c, *v)),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_equals_map_of_single_lookups() {
+        let t = sample();
+        let lpm = t.freeze();
+        let addrs: Vec<IpAddr> = [
+            "17.5.1.2",
+            "8.8.8.8",
+            "23.33.0.1",
+            "2620:149::1",
+            "2001:db8::1",
+            "17.9.9.9",
+            "198.51.100.7",
+        ]
+        .iter()
+        .map(|s| addr(s))
+        .collect();
+        let mut out = Vec::new();
+        lpm.lookup_batch(&addrs, &mut out);
+        assert_eq!(out.len(), addrs.len());
+        for (a, got) in addrs.iter().zip(&out) {
+            assert_eq!(
+                got.map(|(n, v)| (n, *v)),
+                lpm.longest_match(*a).map(|(n, v)| (n, *v)),
+                "{a}"
+            );
+        }
+        // The output buffer is reused across calls.
+        lpm.lookup_batch(&addrs[..2], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn leaf_flag_is_exact() {
+        let t = sample();
+        let lpm = t.freeze();
+        let (n, _, leaf) = lpm.longest_match_leaf(addr("17.5.1.2")).unwrap();
+        assert_eq!(n, net("17.5.0.0/16"));
+        assert!(leaf);
+        let (n, _, leaf) = lpm.longest_match_leaf(addr("17.9.9.9")).unwrap();
+        assert_eq!(n, net("17.0.0.0/8"));
+        assert!(!leaf, "/8 holds a more specific /16");
+        let (n, _, leaf) = lpm.longest_match_leaf(addr("8.8.8.8")).unwrap();
+        assert_eq!(n, net("0.0.0.0/0"));
+        assert!(!leaf, "default route covers everything else");
+    }
+
+    #[test]
+    fn from_pairs_later_duplicates_win() {
+        let lpm = FrozenLpm::from_pairs([(net("10.0.0.0/8"), 1), (net("10.0.0.0/8"), 2)]);
+        assert_eq!(lpm.len(), 1);
+        assert_eq!(lpm.exact(&net("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn empty_freeze_answers_nothing() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        let lpm = t.freeze();
+        assert!(lpm.is_empty());
+        assert_eq!(lpm.len(), 0);
+        assert!(lpm.longest_match(addr("1.2.3.4")).is_none());
+        assert!(lpm.covering(addr("::1")).is_empty());
+        let mut out = Vec::new();
+        lpm.lookup_batch(&[addr("1.2.3.4"), addr("::1")], &mut out);
+        assert_eq!(out, vec![None, None]);
+    }
+
+    #[test]
+    fn wide_root_engages_on_large_tables() {
+        // Cross the WIDE_ROOT_MIN threshold and verify lookups still agree.
+        let mut t = PrefixTrie::new();
+        for i in 0..5000u32 {
+            let a = std::net::Ipv4Addr::from(0x0A00_0000 | (i << 8));
+            t.insert(crate::prefix::Ipv4Net::clamped(a, 24), i);
+        }
+        let lpm = t.freeze();
+        assert_eq!(lpm.len(), 5000);
+        for i in (0..5000u32).step_by(97) {
+            let a = IpAddr::V4(std::net::Ipv4Addr::from(0x0A00_0001 | (i << 8)));
+            assert_eq!(
+                lpm.longest_match(a).map(|(n, v)| (n, *v)),
+                t.longest_match(a).map(|(n, v)| (n, *v))
+            );
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let t = sample();
+        let lpm = t.freeze();
+        let mut got: Vec<String> = lpm.iter().map(|(n, _)| n.to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = t.iter().map(|(n, _)| n.to_string()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

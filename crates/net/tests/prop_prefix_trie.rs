@@ -7,7 +7,7 @@
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use proptest::prelude::*;
-use tectonic_net::{IpNet, Ipv4Net, Ipv6Net, PrefixTrie};
+use tectonic_net::{FrozenLpm, IpNet, Ipv4Net, Ipv6Net, PrefixTrie};
 
 fn arb_v4net() -> impl Strategy<Value = Ipv4Net> {
     (any::<u32>(), 0u8..=32)
@@ -166,6 +166,92 @@ proptest! {
         uniq.dedup();
         let _ = expect;
         prop_assert_eq!(cov.len(), uniq.len());
+    }
+
+    #[test]
+    fn frozen_equals_trie_on_every_query_api(
+        nets in prop::collection::vec(arb_ipnet(), 1..60),
+        dups in prop::collection::vec(0usize..60, 0..10),
+        addrs in prop::collection::vec(arb_addr(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, n) in nets.iter().enumerate() {
+            trie.insert(*n, i);
+        }
+        // Duplicate inserts overwrite; the snapshot must carry the last value.
+        for (j, d) in dups.iter().enumerate() {
+            if let Some(n) = nets.get(*d) {
+                trie.insert(*n, 1000 + j);
+            }
+        }
+        let frozen = trie.freeze();
+        prop_assert_eq!(frozen.len(), trie.len());
+        // lookup_batch ≡ map(lookup) ≡ the trie, element for element.
+        let mut out = Vec::new();
+        frozen.lookup_batch(&addrs, &mut out);
+        prop_assert_eq!(out.len(), addrs.len());
+        for (addr, batched) in addrs.iter().zip(&out) {
+            let want = trie.longest_match(*addr).map(|(n, v)| (n, *v));
+            prop_assert_eq!(frozen.longest_match(*addr).map(|(n, v)| (n, *v)), want);
+            prop_assert_eq!(frozen.lookup(*addr).map(|(n, v)| (n, *v)), want);
+            prop_assert_eq!(batched.map(|(n, v)| (n, *v)), want);
+            let fc: Vec<(IpNet, usize)> =
+                frozen.covering(*addr).into_iter().map(|(n, v)| (n, *v)).collect();
+            let tc: Vec<(IpNet, usize)> =
+                trie.covering(*addr).into_iter().map(|(n, v)| (n, *v)).collect();
+            prop_assert_eq!(fc, tc);
+        }
+        for n in &nets {
+            prop_assert_eq!(frozen.exact(n).copied(), trie.exact(n).copied());
+            prop_assert_eq!(frozen.contains(n), trie.contains(n));
+        }
+    }
+
+    #[test]
+    fn frozen_default_routes_do_not_alias_families(
+        nets in prop::collection::vec(arb_ipnet(), 0..30),
+        v4 in any::<u32>(),
+        v6 in any::<u128>(),
+    ) {
+        // A /0 default in each family must answer only its own family even
+        // though both keys share the u128 bit space internally.
+        let mut trie = PrefixTrie::new();
+        for (i, n) in nets.iter().enumerate() {
+            trie.insert(*n, i + 2);
+        }
+        trie.insert(Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0).unwrap(), 0usize);
+        trie.insert(Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0).unwrap(), 1usize);
+        let frozen = trie.freeze();
+        let a4 = IpAddr::V4(Ipv4Addr::from(v4));
+        let a6 = IpAddr::V6(Ipv6Addr::from(v6));
+        let (net4, _) = frozen.longest_match(a4).expect("v4 default catches all v4");
+        prop_assert!(net4.is_v4());
+        let (net6, _) = frozen.longest_match(a6).expect("v6 default catches all v6");
+        prop_assert!(!net6.is_v4());
+        for addr in [a4, a6] {
+            prop_assert_eq!(
+                frozen.longest_match(addr).map(|(n, v)| (n, *v)),
+                trie.longest_match(addr).map(|(n, v)| (n, *v))
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_from_pairs_equals_freeze(
+        nets in prop::collection::vec(arb_ipnet(), 1..40),
+        addrs in prop::collection::vec(arb_addr(), 1..20),
+    ) {
+        let trie: PrefixTrie<usize> =
+            nets.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let via_freeze = trie.freeze();
+        let via_pairs = FrozenLpm::from_pairs(nets.iter().enumerate().map(|(i, n)| (*n, i)));
+        prop_assert_eq!(via_freeze.len(), via_pairs.len());
+        for addr in addrs {
+            prop_assert_eq!(
+                via_freeze.longest_match(addr).map(|(n, v)| (n, *v)),
+                via_pairs.longest_match(addr).map(|(n, v)| (n, *v))
+            );
+        }
     }
 
     #[test]

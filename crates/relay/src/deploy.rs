@@ -159,6 +159,10 @@ impl Deployment {
         for p in (0..unused.v6).filter_map(|i| unused.v6_pool.nth_subnet(48, i as u128).ok()) {
             rib.announce(p, Asn::AKAMAI_PR);
         }
+        // The table is fully loaded and never mutated again: compile it so
+        // every steady-state consumer (scanner, analyses, correlation)
+        // looks up through the flat engine instead of the pointer trie.
+        rib.freeze();
 
         // --- AS topology: AkamaiPR hangs off AkamaiEG alone (§6).
         let mut topology = AsTopology::new();
@@ -245,6 +249,9 @@ impl Deployment {
                 mask.register_source_cc(Ipv4Net::slash24_of(addr), country.code);
             }
         }
+        // All sources are registered; compile the source-cc table for the
+        // per-query lookups the answerer does from here on.
+        mask.seal();
         let mut zone = Zone::new(DomainName::literal("icloud.com"));
         zone.add_address(
             DomainName::literal("www.icloud.com"),

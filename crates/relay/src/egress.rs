@@ -53,18 +53,20 @@ impl EgressSelector {
     pub fn build(list: &EgressList, footprints: &[OperatorFootprint], seed: u64) -> EgressSelector {
         let mut pools: HashMap<(Asn, CountryCode), Vec<IpNet>> = HashMap::new();
         let mut global_pools: HashMap<Asn, Vec<IpNet>> = HashMap::new();
-        // Index the footprints once; per-entry attribution is then a
-        // longest-prefix match instead of a linear scan (the full list has
-        // ~240 k subnets against ~1.5 k prefixes).
-        let mut index: PrefixTrie<Asn> = PrefixTrie::new();
+        // Index the footprints once and compile the index; per-entry
+        // attribution is then a flat longest-prefix match instead of a
+        // linear scan (the full list has ~240 k subnets against ~1.5 k
+        // prefixes).
+        let mut trie: PrefixTrie<Asn> = PrefixTrie::new();
         for f in footprints {
             for p in &f.bgp_v4 {
-                index.insert(*p, f.asn);
+                trie.insert(*p, f.asn);
             }
             for p in &f.bgp_v6 {
-                index.insert(*p, f.asn);
+                trie.insert(*p, f.asn);
             }
         }
+        let index = trie.freeze();
         for entry in list.entries() {
             let Some((_, op)) = index.longest_match_net(&entry.subnet) else {
                 continue;

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
-use tectonic_net::{Asn, Epoch, Ipv4Net, Ipv6Net, PrefixTrie};
+use tectonic_net::{Asn, Epoch, FrozenLpm, Ipv4Net, Ipv6Net, PrefixTrie};
 
 use tectonic_geo::country::{all_countries, CountryCode};
 use tectonic_quic::IngressQuicBehavior;
@@ -35,8 +35,9 @@ pub struct FleetPool {
 #[derive(Debug)]
 pub struct IngressFleets {
     pools: HashMap<(Domain, Asn), FleetPool>,
-    /// Maps relay prefixes back to their operator.
-    reverse: PrefixTrie<Asn>,
+    /// Maps relay prefixes back to their operator. Fleets never change
+    /// after `build`, so only the compiled form is kept.
+    reverse: FrozenLpm<Asn>,
     /// Per-epoch fleet sizes come from the config.
     config_sizes: HashMap<(Domain, Asn), [[usize; 4]; 2]>,
     quic: IngressQuicBehavior,
@@ -109,7 +110,7 @@ impl IngressFleets {
             .collect();
         IngressFleets {
             pools,
-            reverse,
+            reverse: reverse.freeze(),
             config_sizes,
             quic: IngressQuicBehavior::default(),
             cc_cumweights,

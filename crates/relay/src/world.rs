@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 
 use serde::{Deserialize, Serialize};
-use tectonic_net::{Asn, Ipv4Net, PrefixTrie, SimRng};
+use tectonic_net::{Asn, FrozenLpm, Ipv4Net, PrefixTrie, SimRng};
 
 use tectonic_geo::country::{all_countries, CountryCode};
 
@@ -123,8 +123,10 @@ fn range_to_cidrs(start: u64, count: u64) -> Vec<Ipv4Net> {
 pub struct ClientWorld {
     ases: Vec<ClientAs>,
     by_asn: HashMap<Asn, usize>,
-    /// Maps announced client CIDRs to indices into `ases`.
-    trie: PrefixTrie<usize>,
+    /// Maps announced client CIDRs to indices into `ases`. The world is
+    /// immutable once generated, so the index is built as a trie and kept
+    /// only in compiled form.
+    lpm: FrozenLpm<usize>,
     apple_share_in_both: f64,
     split_seed: u64,
 }
@@ -239,7 +241,7 @@ impl ClientWorld {
         ClientWorld {
             ases,
             by_asn,
-            trie,
+            lpm: trie.freeze(),
             apple_share_in_both: config.both_apple_subnet_share,
             split_seed: gen_rng.next_u64_raw(),
         }
@@ -257,14 +259,14 @@ impl ClientWorld {
 
     /// The client AS owning an address, if any.
     pub fn as_of_addr(&self, addr: IpAddr) -> Option<&ClientAs> {
-        self.trie
+        self.lpm
             .longest_match(addr)
             .and_then(|(_, i)| self.ases.get(*i))
     }
 
     /// The announced client CIDR covering `addr`, if any.
     pub fn covering_prefix(&self, addr: IpAddr) -> Option<Ipv4Net> {
-        self.trie
+        self.lpm
             .longest_match(addr)
             .and_then(|(net, _)| net.as_v4().copied())
     }

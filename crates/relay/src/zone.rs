@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use tectonic_dns::zone::{EcsAnswer, EcsAnswerer, QueryInfo};
 use tectonic_dns::{DomainName, EcsOption, QType, Question, RData};
-use tectonic_net::{Asn, Epoch, Ipv4Net, PrefixTrie, SimTime};
+use tectonic_net::{Asn, Epoch, FrozenLpm, Ipv4Net, PrefixTrie, SimTime};
 
 use tectonic_geo::country::CountryCode;
 
@@ -51,8 +51,12 @@ pub struct MaskZone {
     fleets: Arc<IngressFleets>,
     world: Arc<ClientWorld>,
     /// Extra address→country mappings for sources outside the client world
-    /// (public-resolver anycast sites).
+    /// (public-resolver anycast sites). The trie is the registration-side
+    /// structure; [`seal`](MaskZone::seal) compiles it for the per-query
+    /// lookups.
     extra_cc: PrefixTrie<CountryCode>,
+    /// Compiled `extra_cc`; dropped by further registrations.
+    extra_cc_frozen: Option<FrozenLpm<CountryCode>>,
     max_records: usize,
     seed: u64,
 }
@@ -69,6 +73,7 @@ impl MaskZone {
             fleets,
             world,
             extra_cc: PrefixTrie::new(),
+            extra_cc_frozen: None,
             max_records: max_records.max(1),
             seed,
         }
@@ -77,7 +82,15 @@ impl MaskZone {
     /// Registers an out-of-world source range as located in `cc`
     /// (public-resolver anycast sites near the querying probes).
     pub fn register_source_cc(&mut self, net: impl Into<tectonic_net::IpNet>, cc: CountryCode) {
+        self.extra_cc_frozen = None;
         self.extra_cc.insert(net, cc);
+    }
+
+    /// Compiles the registered source ranges. Call once registration is
+    /// done (the deployment does, before installing the zone); lookups fall
+    /// back to the trie while unsealed, so sealing is purely a fast path.
+    pub fn seal(&mut self) {
+        self.extra_cc_frozen = Some(self.extra_cc.freeze());
     }
 
     fn domain_of(&self, name: &DomainName) -> Option<Domain> {
@@ -112,7 +125,10 @@ impl MaskZone {
                 return Some(client_as.cc);
             }
         }
-        self.extra_cc.longest_match(src).map(|(_, cc)| *cc)
+        match &self.extra_cc_frozen {
+            Some(lpm) => lpm.longest_match(src).map(|(_, cc)| *cc),
+            None => self.extra_cc.longest_match(src).map(|(_, cc)| *cc),
+        }
     }
 
     /// The operator that serves this client subnet.

@@ -16,6 +16,9 @@
 //!   to stdout (or PATH).
 //! * `lint --json PATH` — write the machine-readable findings report
 //!   (rule/file/line/message) for CI artifacts.
+//! * `bench-report` — run the LPM ablation bench with the shim's
+//!   `BENCH_JSON` line output enabled and distil it into `BENCH_lpm.json`
+//!   (bench name → ns/op, median), the artifact CI uploads.
 //!
 //! The same pass runs as a tier-1 test (`crates/lintkit/tests/
 //! workspace_gate.rs`) and as a CI job, so `xtask lint` passing locally
@@ -83,7 +86,8 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: cargo run -p xtask -- lint \
-             [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH]"
+             [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH]\n\
+             \x20      cargo run -p xtask -- bench-report [--out PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -95,11 +99,120 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "bench-report" => bench_report(&args[1..]),
         other => {
-            eprintln!("unknown subcommand `{other}`; expected `lint`");
+            eprintln!("unknown subcommand `{other}`; expected `lint` or `bench-report`");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the LPM ablation bench and condenses the shim's `BENCH_JSON` lines
+/// into a flat bench-name → ns/op (median) report.
+fn bench_report(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut out_path = root.join("BENCH_lpm.json");
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--out" {
+            i += 1;
+            match args.get(i) {
+                Some(p) => out_path = PathBuf::from(p),
+                None => {
+                    eprintln!("xtask bench-report: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p) = arg.strip_prefix("--out=") {
+            out_path = PathBuf::from(p);
+        } else {
+            eprintln!("xtask bench-report: unknown option `{arg}`");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    let lines_path = root.join("target").join("bench-lpm-lines.jsonl");
+    let _ = fs::remove_file(&lines_path);
+    let status = std::process::Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args([
+            "bench",
+            "-p",
+            "tectonic-bench",
+            "--bench",
+            "ablation_rib_lpm",
+        ])
+        .env("BENCH_JSON", &lines_path)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask bench-report: cargo bench failed: {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask bench-report: running cargo bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let lines = match fs::read_to_string(&lines_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "xtask bench-report: no BENCH_JSON output at {}: {e}",
+                lines_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for line in lines.lines().filter(|l| !l.trim().is_empty()) {
+        let (Some(bench), Some(median)) = (json_str(line, "bench"), json_num(line, "median_ns"))
+        else {
+            eprintln!("xtask bench-report: unparseable line: {line}");
+            return ExitCode::FAILURE;
+        };
+        rows.push((bench.to_string(), median));
+    }
+    if rows.is_empty() {
+        eprintln!("xtask bench-report: bench produced no measurements");
+        return ExitCode::FAILURE;
+    }
+    let body = rows
+        .iter()
+        .map(|(name, ns)| format!("  \"{name}\": {ns:.1}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    if let Err(e) = fs::write(&out_path, format!("{{\n{body}\n}}\n")) {
+        eprintln!("xtask bench-report: writing {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask bench-report: wrote {} ({} benches, ns/op medians)",
+        out_path.display(),
+        rows.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Extracts a string field from one flat `BENCH_JSON` line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = field_value(line, key)?;
+    rest.strip_prefix('"')?.split('"').next()
+}
+
+/// Extracts a numeric field from one flat `BENCH_JSON` line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let rest = field_value(line, key)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    Some(&line[start..])
 }
 
 fn lint(opts: &LintOpts) -> ExitCode {

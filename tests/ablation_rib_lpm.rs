@@ -1,0 +1,42 @@
+//! Ablation gate for the compiled-LPM RIB path: the [`FrozenLpm`] snapshot
+//! must be invisible in the paper artefacts. Table 2 (client attribution),
+//! Table 3 (egress subnets) and the §5 prefix-overlap audit have to render
+//! **byte-identically** with the snapshot enabled and disabled — the same
+//! contract the DNS wire fast path honours via `use_fast_path`.
+
+use tectonic::core::attribution::Table2;
+use tectonic::core::correlation::CorrelationReport;
+use tectonic::core::ecs_scan::EcsScanner;
+use tectonic::core::egress_analysis::EgressAnalysis;
+use tectonic::core::report::{render_correlation, render_table2, render_table3};
+use tectonic::net::{Epoch, SimClock};
+use tectonic::relay::{Deployment, DeploymentConfig, Domain};
+
+/// Renders the three artefacts with the RIB's frozen snapshot on or off.
+fn artefacts(frozen: bool) -> (String, String, String) {
+    let mut d = Deployment::build(21, DeploymentConfig::scaled(1024));
+    d.rib.set_frozen_enabled(frozen);
+    assert_eq!(d.rib.is_frozen(), frozen);
+    let auth = d.auth_server_unlimited();
+    let scanner = EcsScanner::default();
+    let mut clock = SimClock::new(Epoch::Apr2022.start());
+    let report = scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
+    let table2 = render_table2(&Table2::build(&report, &d.aspop));
+    let analysis = EgressAnalysis::new(&d.egress_list, &d.rib);
+    let table3 = render_table3(&analysis.table3());
+    let correlation = render_correlation(&CorrelationReport::audit(&d, Epoch::Apr2022));
+    (table2, table3, correlation)
+}
+
+#[test]
+fn frozen_rib_is_invisible_in_paper_artefacts() {
+    let (t2_on, t3_on, r5_on) = artefacts(true);
+    let (t2_off, t3_off, r5_off) = artefacts(false);
+    assert!(!t2_on.is_empty() && !t3_on.is_empty() && !r5_on.is_empty());
+    assert_eq!(t2_on, t2_off, "Table 2 must render byte-identically");
+    assert_eq!(t3_on, t3_off, "Table 3 must render byte-identically");
+    assert_eq!(
+        r5_on, r5_off,
+        "prefix-overlap audit must render byte-identically"
+    );
+}
