@@ -57,8 +57,24 @@ impl AtlasSetup {
         seed: u64,
     ) -> Vec<ProbeResult> {
         let auth = deployment.auth_server_unlimited();
+        self.run_mask_campaign_with(&auth, domain, qtype, epoch, seed)
+    }
+
+    /// Like [`run_mask_campaign`](AtlasSetup::run_mask_campaign), but
+    /// against a caller-supplied authoritative server — the hook the chaos
+    /// harness uses to interpose a fault-injecting wrapper on the
+    /// probe-to-auth path. Passing `deployment.auth_server_unlimited()`
+    /// reproduces `run_mask_campaign` exactly.
+    pub fn run_mask_campaign_with(
+        &self,
+        auth: &dyn tectonic_dns::server::NameServer,
+        domain: Domain,
+        qtype: QType,
+        epoch: Epoch,
+        seed: u64,
+    ) -> Vec<ProbeResult> {
         let campaign = DnsCampaign::mask(domain.name(), qtype);
-        campaign.run(&self.probes, &auth, epoch.start(), &SimRng::new(seed))
+        campaign.run(&self.probes, auth, epoch.start(), &SimRng::new(seed))
     }
 
     /// Runs the control campaign (an unrelated, always-resolvable domain).

@@ -219,6 +219,8 @@ mod tests {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            retries: 0,
+            exhausted: 0,
             decode_errors: 0,
             duration: tectonic_net::SimDuration::ZERO,
         };

@@ -119,8 +119,15 @@ pub struct EcsScanReport {
     pub skipped_by_scope: u64,
     /// Subnets skipped as unrouted.
     pub skipped_unrouted: u64,
-    /// Rate-limit retries performed.
+    /// Dropped replies observed (rate limiting or injected loss). Every
+    /// drop is either retried (`retries`) or abandons its subnet
+    /// (`exhausted`): `rate_limited == retries + exhausted` always holds.
     pub rate_limited: u64,
+    /// Drops that were answered with a backed-off retry.
+    pub retries: u64,
+    /// Subnets abandoned after the retry budget ran out — each counted
+    /// exactly once, on the drop that exhausted the budget.
+    pub exhausted: u64,
     /// Replies that failed DNS wire decoding (truncated or garbage bytes).
     /// Such records are skipped and counted — one malformed reply must
     /// never abort a multi-hour scan.
@@ -322,8 +329,10 @@ impl EcsScanner {
                     report.rate_limited += 1;
                     attempts += 1;
                     if attempts > self.config.max_retries {
+                        report.exhausted += 1;
                         return None;
                     }
+                    report.retries += 1;
                     clock.advance(self.config.retry_backoff);
                 }
             }
@@ -357,6 +366,8 @@ impl EcsScanner {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            retries: 0,
+            exhausted: 0,
             decode_errors: 0,
             duration: SimDuration::ZERO,
         };
@@ -442,6 +453,8 @@ impl EcsScanner {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            retries: 0,
+            exhausted: 0,
             decode_errors: 0,
             duration: SimDuration::ZERO,
         };
@@ -467,6 +480,8 @@ impl EcsScanner {
             merged.skipped_by_scope += r.skipped_by_scope;
             merged.skipped_unrouted += r.skipped_unrouted;
             merged.rate_limited += r.rate_limited;
+            merged.retries += r.retries;
+            merged.exhausted += r.exhausted;
             merged.decode_errors += r.decode_errors;
             merged.duration = merged.duration.max(r.duration);
         }
@@ -497,6 +512,8 @@ impl EcsScanner {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            retries: 0,
+            exhausted: 0,
             decode_errors: 0,
             duration: SimDuration::ZERO,
         };
@@ -849,12 +866,31 @@ mod failure_tests {
         let report = scanner.scan(Domain::MaskQuic.name(), &BlackHole, &d.rib, &mut clock);
         assert_eq!(report.total(), 0);
         assert!(report.rate_limited > 0);
-        // Every candidate burned through its retry budget.
-        assert_eq!(
-            report.queries_sent,
-            report.rate_limited + (report.queries_sent - report.rate_limited)
-        );
+        // Every query was dropped: the drop ledger covers them all.
+        assert_eq!(report.queries_sent, report.rate_limited);
         assert!(report.per_client_as.is_empty());
+    }
+
+    #[test]
+    fn exhausted_budget_counts_each_candidate_exactly_once() {
+        let d = Deployment::build(1, DeploymentConfig::scaled(4096));
+        let budget = 3u64;
+        let scanner = EcsScanner::new(EcsScanConfig {
+            max_retries: budget as u32,
+            ..EcsScanConfig::default()
+        });
+        let candidates = scanner.candidate_subnets(&d.rib).len() as u64;
+        assert!(candidates > 0);
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let report = scanner.scan(Domain::MaskQuic.name(), &BlackHole, &d.rib, &mut clock);
+        // Against a drop-everything server each candidate spends its whole
+        // retry budget and is then abandoned exactly once — no
+        // double-counting between the retry and exhaustion ledgers.
+        assert_eq!(report.retries, budget * candidates);
+        assert_eq!(report.exhausted, candidates);
+        assert_eq!(report.rate_limited, report.retries + report.exhausted);
+        assert_eq!(report.queries_sent, report.rate_limited);
+        assert_eq!(report.queries_sent, (budget + 1) * candidates);
     }
 
     /// A server that answers garbage bytes.

@@ -15,6 +15,10 @@ pub struct QuicProbeReport {
     pub probed: usize,
     /// Standard-Initial probes that received no answer.
     pub standard_timeouts: usize,
+    /// Probes whose datagrams never reached the ingress at all (injected
+    /// network blackhole, not the ingress's deliberate Initial-drop
+    /// policy). Always zero outside fault-injection runs.
+    pub blackholed: usize,
     /// Forced-negotiation probes answered with Version Negotiation.
     pub negotiations: usize,
     /// The version sets observed, deduplicated (expected: exactly one —
@@ -29,16 +33,35 @@ impl QuicProbeReport {
     /// mirrors the real scan's per-address structure so per-node
     /// divergence would be caught.
     pub fn probe(deployment: &Deployment, sample: usize) -> QuicProbeReport {
+        QuicProbeReport::probe_with(deployment, sample, &mut || false)
+    }
+
+    /// Like [`probe`](QuicProbeReport::probe), but asks `blackholed`
+    /// before each probe whether the network eats this exchange outright
+    /// (fault injection). A blackholed probe counts as a standard-Initial
+    /// timeout — indistinguishable on the wire from the ingress's own
+    /// silent drop — and never reaches the negotiation step.
+    pub fn probe_with(
+        deployment: &Deployment,
+        sample: usize,
+        blackholed: &mut dyn FnMut() -> bool,
+    ) -> QuicProbeReport {
         let behavior = deployment.fleets.quic_behavior();
         let prober = QuicProber;
         let mut report = QuicProbeReport {
             probed: 0,
             standard_timeouts: 0,
+            blackholed: 0,
             negotiations: 0,
             version_sets: Vec::new(),
         };
         for _ in 0..sample.max(1) {
             report.probed += 1;
+            if blackholed() {
+                report.blackholed += 1;
+                report.standard_timeouts += 1;
+                continue;
+            }
             let (standard, negotiated) = prober.probe_ingress(behavior);
             if standard == ProbeOutcome::Timeout {
                 report.standard_timeouts += 1;

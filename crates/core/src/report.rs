@@ -445,6 +445,7 @@ mod tests {
         let q = QuicProbeReport {
             probed: 10,
             standard_timeouts: 10,
+            blackholed: 0,
             negotiations: 10,
             version_sets: vec![vec![1, 0xff00_001d]],
         };
@@ -490,6 +491,8 @@ mod tests {
             skipped_by_scope: 0,
             skipped_unrouted: 0,
             rate_limited: 0,
+            retries: 0,
+            exhausted: 0,
             decode_errors: 0,
             duration: SimDuration::ZERO,
         };

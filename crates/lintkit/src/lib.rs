@@ -96,6 +96,7 @@ impl Config {
                 "crates/net/src/lpm.rs".to_string(),
                 "crates/quic/src/packet.rs".to_string(),
                 "crates/quic/src/varint.rs".to_string(),
+                "crates/simnet/src/channel.rs".to_string(),
             ],
             skip_crates: vec!["xtask".to_string()],
             entry_points: vec![
@@ -114,6 +115,8 @@ impl Config {
                 "relay::client::request".to_string(),
                 "relay::client::request_pair".to_string(),
                 "relay::client::odoh_resolve".to_string(),
+                // The fault-injection delivery hot path (chaos harness).
+                "simnet::channel::deliver".to_string(),
             ],
             graph_skip_crates: vec!["lintkit".to_string()],
         }

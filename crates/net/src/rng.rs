@@ -25,9 +25,16 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// A deterministic xoshiro256++ generator with labelled forking.
+///
+/// The four state words are named fields rather than an array so the
+/// generator stays index-free: `SimRng` sits on panic-reachability-audited
+/// hot paths (the ECS scan loop, the fault-injection channel).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    s: [u64; 4],
+    s0: u64,
+    s1: u64,
+    s2: u64,
+    s3: u64,
 }
 
 impl SimRng {
@@ -35,13 +42,12 @@ impl SimRng {
     /// so nearby seeds produce unrelated streams.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
-        Self { s }
+        Self {
+            s0: splitmix64(&mut sm),
+            s1: splitmix64(&mut sm),
+            s2: splitmix64(&mut sm),
+            s3: splitmix64(&mut sm),
+        }
     }
 
     /// Derives an independent child generator identified by `label`.
@@ -55,29 +61,29 @@ impl SimRng {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         // Mix the label hash with the current state without advancing it.
-        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ h;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
-        SimRng { s }
+        let mut sm = self.s0 ^ self.s1.rotate_left(17) ^ h;
+        SimRng {
+            s0: splitmix64(&mut sm),
+            s1: splitmix64(&mut sm),
+            s2: splitmix64(&mut sm),
+            s3: splitmix64(&mut sm),
+        }
     }
 
     /// Next raw 64-bit output (xoshiro256++).
     pub fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
+        let result = self
+            .s0
+            .wrapping_add(self.s3)
             .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+            .wrapping_add(self.s0);
+        let t = self.s1 << 17;
+        self.s2 ^= self.s0;
+        self.s3 ^= self.s1;
+        self.s1 ^= self.s2;
+        self.s0 ^= self.s3;
+        self.s2 ^= t;
+        self.s3 = self.s3.rotate_left(45);
         result
     }
 

@@ -19,6 +19,10 @@
 //! * `bench-report` — run the LPM ablation bench with the shim's
 //!   `BENCH_JSON` line output enabled and distil it into `BENCH_lpm.json`
 //!   (bench name → ns/op, median), the artifact CI uploads.
+//! * `chaos` — run the fault-injection scenario matrix in-process:
+//!   `--scenario NAME --seed N` for one cell, `--all --seeds K` for the
+//!   whole registry, `--out PATH` for a JSON invariant report. Exits
+//!   non-zero if any scenario violates its invariants (see DESIGN.md §10).
 //!
 //! The same pass runs as a tier-1 test (`crates/lintkit/tests/
 //! workspace_gate.rs`) and as a CI job, so `xtask lint` passing locally
@@ -87,7 +91,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: cargo run -p xtask -- lint \
              [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH]\n\
-             \x20      cargo run -p xtask -- bench-report [--out PATH]"
+             \x20      cargo run -p xtask -- bench-report [--out PATH]\n\
+             \x20      cargo run -p xtask -- chaos (--scenario NAME | --all) \
+             [--seed N] [--seeds K] [--out PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -100,10 +106,141 @@ fn main() -> ExitCode {
             }
         },
         "bench-report" => bench_report(&args[1..]),
+        "chaos" => chaos(&args[1..]),
         other => {
-            eprintln!("unknown subcommand `{other}`; expected `lint` or `bench-report`");
+            eprintln!("unknown subcommand `{other}`; expected `lint`, `bench-report`, or `chaos`");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Runs the chaos scenario matrix in-process and prints one line per
+/// scenario-seed cell plus a final summary; exits non-zero on any
+/// violated invariant.
+fn chaos(args: &[String]) -> ExitCode {
+    use tectonic::chaos::{check_invariants, run_pipeline, ChaosConfig, ChaosRun};
+    use tectonic::simnet::scenarios;
+
+    let mut scenario: Option<String> = None;
+    let mut all = false;
+    let mut seed: u64 = 1;
+    let mut seeds: u64 = 3;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut take = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            if arg == "--scenario" {
+                scenario = Some(take("--scenario")?);
+            } else if let Some(v) = arg.strip_prefix("--scenario=") {
+                scenario = Some(v.to_string());
+            } else if arg == "--all" {
+                all = true;
+            } else if arg == "--seed" {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            } else if arg == "--seeds" {
+                seeds = take("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            } else if let Some(v) = arg.strip_prefix("--seeds=") {
+                seeds = v.parse().map_err(|e| format!("--seeds: {e}"))?;
+            } else if arg == "--out" {
+                out = Some(PathBuf::from(take("--out")?));
+            } else if let Some(v) = arg.strip_prefix("--out=") {
+                out = Some(PathBuf::from(v));
+            } else {
+                return Err(format!("unknown option `{arg}`"));
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("xtask chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    let (names, run_seeds): (Vec<String>, Vec<u64>) = if all {
+        (
+            scenarios::ALL.iter().map(|s| s.to_string()).collect(),
+            (1..=seeds.max(1)).collect(),
+        )
+    } else if let Some(name) = scenario {
+        (vec![name], vec![seed])
+    } else {
+        eprintln!("xtask chaos: pass --scenario NAME or --all");
+        return ExitCode::FAILURE;
+    };
+
+    let config = ChaosConfig::default();
+    let mut goldens: Vec<(u64, ChaosRun)> = Vec::new();
+    let golden_for = |s: u64, goldens: &mut Vec<(u64, ChaosRun)>| -> usize {
+        if let Some(pos) = goldens.iter().position(|(gs, _)| *gs == s) {
+            return pos;
+        }
+        goldens.push((s, run_pipeline(s, None, &config)));
+        goldens.len() - 1
+    };
+    let mut report_lines: Vec<String> = Vec::new();
+    let mut total_runs = 0u64;
+    let mut total_violations = 0u64;
+    for name in &names {
+        let Some(plan) = scenarios::by_name(name) else {
+            eprintln!(
+                "xtask chaos: unknown scenario `{name}` (known: {})",
+                scenarios::ALL.join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+        for &s in &run_seeds {
+            let golden_idx = golden_for(s, &mut goldens);
+            let run = run_pipeline(s, Some(&plan), &config);
+            let violations = check_invariants(name, &run, &goldens[golden_idx].1);
+            total_runs += 1;
+            total_violations += violations.len() as u64;
+            if violations.is_empty() {
+                println!("chaos: scenario {name} seed {s}: OK (all invariants hold)");
+            } else {
+                println!(
+                    "chaos: scenario {name} seed {s}: {} invariant violation(s)",
+                    violations.len()
+                );
+                for v in &violations {
+                    println!("chaos:   invariant violated: {v}");
+                }
+            }
+            report_lines.push(format!(
+                "  {{\"scenario\": \"{name}\", \"seed\": {s}, \"violations\": [{}]}}",
+                violations
+                    .iter()
+                    .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    println!("chaos: {total_runs} scenario-runs, {total_violations} invariant violation(s)");
+    if let Some(path) = out {
+        let body = format!("[\n{}\n]\n", report_lines.join(",\n"));
+        if let Err(e) = fs::write(&path, body) {
+            eprintln!("xtask chaos: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("chaos: wrote invariant report to {}", path.display());
+    }
+    if total_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -131,10 +131,13 @@ fn cmd_scan(args: &Args) {
         report.ingress_prefixes.len(),
     );
     println!(
-        "{} queries sent, {} skipped by scope, {} rate-limit retries, {} decode errors, {} simulated hours",
+        "{} queries sent, {} skipped by scope, {} dropped ({} retried, {} exhausted), \
+         {} decode errors, {} simulated hours",
         report.queries_sent,
         report.skipped_by_scope,
         report.rate_limited,
+        report.retries,
+        report.exhausted,
         report.decode_errors,
         report.duration.as_secs() / 3600,
     );

@@ -15,11 +15,18 @@
 //! * [`relay`] — the simulated iCloud Private Relay deployment
 //! * [`atlas`] — the simulated RIPE-Atlas-like probe platform
 //! * [`core`] — the paper's measurement toolchain and analyses
+//! * [`simnet`] — deterministic fault injection between clients and servers
+//!
+//! On top of the re-exports, [`chaos`] wires the fault layer through the
+//! full paper pipeline and checks the per-scenario invariants (see
+//! `DESIGN.md` §10).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
 #![forbid(unsafe_code)]
+
+pub mod chaos;
 
 pub use tectonic_atlas as atlas;
 pub use tectonic_bgp as bgp;
@@ -29,3 +36,4 @@ pub use tectonic_geo as geo;
 pub use tectonic_net as net;
 pub use tectonic_quic as quic;
 pub use tectonic_relay as relay;
+pub use tectonic_simnet as simnet;

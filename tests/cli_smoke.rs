@@ -1,4 +1,5 @@
-//! Smoke tests for the `tectonic` CLI binary.
+//! Smoke tests for the `tectonic` CLI binary and the `xtask chaos`
+//! driver.
 
 use std::process::Command;
 
@@ -7,6 +8,21 @@ fn run(args: &[&str]) -> (String, String, bool) {
         .args(args)
         .output()
         .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+fn run_xtask(args: &[&str]) -> (String, String, bool) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "-q", "-p", "xtask", "--"])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("xtask runs");
     (
         String::from_utf8_lossy(&output.stdout).into_owned(),
         String::from_utf8_lossy(&output.stderr).into_owned(),
@@ -56,6 +72,38 @@ fn qoe_subcommand_prints_comparison() {
     assert!(ok);
     assert!(stdout.contains("QoE impact"));
     assert!(stdout.contains("median overhead"));
+}
+
+#[test]
+fn chaos_scenario_prints_invariant_summary() {
+    let (stdout, stderr, ok) = run_xtask(&["chaos", "--scenario", "baseline", "--seed", "1"]);
+    assert!(ok, "chaos baseline failed:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("chaos: scenario baseline seed 1: OK"),
+        "per-cell verdict line missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("invariant"),
+        "invariant summary missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("chaos: 1 scenario-runs, 0 invariant violation(s)"),
+        "summary line missing: {stdout}"
+    );
+}
+
+#[test]
+fn chaos_broken_fixture_exits_nonzero() {
+    let (stdout, stderr, ok) = run_xtask(&["chaos", "--scenario", "broken-fixture", "--seed", "1"]);
+    assert!(!ok, "broken fixture must fail:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("invariant violated"),
+        "violation detail missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("1 invariant violation(s)"),
+        "violation count missing: {stdout}"
+    );
 }
 
 #[test]
