@@ -103,6 +103,54 @@ impl DnsCampaign {
         }
     }
 
+    /// The campaign's flake-stream root for a given campaign generator.
+    ///
+    /// Each probe's transient-timeout draw comes from an independent fork
+    /// of this root keyed by probe id (see [`DnsCampaign::run_probe`]), so
+    /// a probe's outcome depends only on `(seed, probe.id)` — never on how
+    /// many probes ran before it or on which shard of the discrete-event
+    /// engine it landed.
+    pub fn flake_base(rng: &SimRng) -> SimRng {
+        rng.fork("campaign-flakes")
+    }
+
+    /// Runs the campaign for one probe at simulated time `now`.
+    pub fn run_probe(
+        &self,
+        probe: &Probe,
+        auth: &dyn NameServer,
+        now: SimTime,
+        flake_base: &SimRng,
+    ) -> ProbeResult {
+        let mut flake_rng = flake_base.fork_indexed("probe-flake", u64::from(probe.id));
+        let outcome = if flake_rng.chance(probe.flaky) {
+            MeasurementOutcome::Timeout
+        } else {
+            let resolver = probe.resolver(self.policy_suffixes.clone());
+            match resolver.resolve(
+                std::net::IpAddr::V4(probe.addr),
+                &self.qname,
+                self.qtype,
+                auth,
+                now,
+            ) {
+                ResolutionOutcome::Timeout => MeasurementOutcome::Timeout,
+                ResolutionOutcome::Answered(msg) => MeasurementOutcome::Response {
+                    rcode: msg.rcode,
+                    answers_v4: msg.a_answers(),
+                    answers_v6: msg.aaaa_answers(),
+                },
+            }
+        };
+        ProbeResult {
+            probe_id: probe.id,
+            asn: probe.asn,
+            cc: probe.cc,
+            resolver_kind: Some(probe.resolver_kind),
+            outcome,
+        }
+    }
+
     /// Runs the campaign: every probe resolves through its own resolver
     /// against `auth` at simulated time `now`.
     pub fn run(
@@ -112,37 +160,10 @@ impl DnsCampaign {
         now: SimTime,
         rng: &SimRng,
     ) -> Vec<ProbeResult> {
-        let mut flake_rng = rng.fork("campaign-flakes");
+        let flake_base = DnsCampaign::flake_base(rng);
         probes
             .iter()
-            .map(|probe| {
-                let outcome = if flake_rng.chance(probe.flaky) {
-                    MeasurementOutcome::Timeout
-                } else {
-                    let resolver = probe.resolver(self.policy_suffixes.clone());
-                    match resolver.resolve(
-                        std::net::IpAddr::V4(probe.addr),
-                        &self.qname,
-                        self.qtype,
-                        auth,
-                        now,
-                    ) {
-                        ResolutionOutcome::Timeout => MeasurementOutcome::Timeout,
-                        ResolutionOutcome::Answered(msg) => MeasurementOutcome::Response {
-                            rcode: msg.rcode,
-                            answers_v4: msg.a_answers(),
-                            answers_v6: msg.aaaa_answers(),
-                        },
-                    }
-                };
-                ProbeResult {
-                    probe_id: probe.id,
-                    asn: probe.asn,
-                    cc: probe.cc,
-                    resolver_kind: Some(probe.resolver_kind),
-                    outcome,
-                }
-            })
+            .map(|probe| self.run_probe(probe, auth, now, &flake_base))
             .collect()
     }
 }
@@ -246,6 +267,24 @@ mod tests {
         let a = campaign.run(&probes, &auth(), SimTime(0), &SimRng::new(9));
         let b = campaign.run(&probes, &auth(), SimTime(0), &SimRng::new(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_outcomes_are_order_independent() {
+        let probes: Vec<Probe> = (0..60)
+            .map(|i| probe(i, ResolverPolicy::Normal, 0.4))
+            .collect();
+        let mut reversed = probes.clone();
+        reversed.reverse();
+        let campaign = DnsCampaign::mask("mask.icloud.com".parse().unwrap(), QType::A);
+        let auth = auth();
+        let seed = SimRng::new(5);
+        let forward = campaign.run(&probes, &auth, SimTime(0), &seed);
+        let mut backward = campaign.run(&reversed, &auth, SimTime(0), &seed);
+        backward.reverse();
+        // Each probe's flake draw is keyed by its id, so execution order
+        // (and by extension engine sharding) cannot change any outcome.
+        assert_eq!(forward, backward);
     }
 
     #[test]

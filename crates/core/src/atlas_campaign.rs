@@ -15,8 +15,10 @@ use tectonic_atlas::measurement::{DnsCampaign, MeasurementOutcome, ProbeResult};
 use tectonic_atlas::population::{generate, PopulationConfig, ProbeSite};
 use tectonic_atlas::Probe;
 use tectonic_dns::resolver::ResolverKind;
+use tectonic_dns::server::NameServer;
 use tectonic_dns::QType;
-use tectonic_net::{Asn, Epoch, SimRng};
+use tectonic_engine::{Engine, EngineConfig, ShardCtx, ShardModel};
+use tectonic_net::{Asn, Epoch, SimRng, SimTime};
 use tectonic_relay::deploy::anycast_source;
 use tectonic_relay::{Deployment, Domain};
 
@@ -77,6 +79,55 @@ impl AtlasSetup {
         campaign.run(&self.probes, auth, epoch.start(), &SimRng::new(seed))
     }
 
+    /// Like [`run_mask_campaign_with`](AtlasSetup::run_mask_campaign_with),
+    /// but on the sharded discrete-event engine.
+    ///
+    /// Probes are dealt to shards in contiguous index ranges and each probe
+    /// is one scheduled event at the epoch start. A probe's transient-flake
+    /// draw is keyed by `(seed, probe.id)` (see
+    /// [`DnsCampaign::run_probe`]), so the merged result vector is
+    /// byte-equal to the serial campaign for every shard and worker count.
+    /// `auths` is indexed `shard % auths.len()` — the chaos harness passes
+    /// one fault-injecting wrapper per shard so shards never share a
+    /// channel lock.
+    pub fn run_mask_campaign_engine(
+        &self,
+        auths: &[&(dyn NameServer + Sync)],
+        domain: Domain,
+        qtype: QType,
+        epoch: Epoch,
+        seed: u64,
+        engine: &EngineConfig,
+    ) -> Vec<ProbeResult> {
+        let campaign = DnsCampaign::mask(domain.name(), qtype);
+        run_campaign_engine(&campaign, &self.probes, auths, epoch.start(), seed, engine)
+    }
+
+    /// Engine variant of
+    /// [`run_control_campaign`](AtlasSetup::run_control_campaign); same
+    /// sharding and equivalence contract as
+    /// [`run_mask_campaign_engine`](AtlasSetup::run_mask_campaign_engine).
+    pub fn run_control_campaign_engine(
+        &self,
+        control_auths: &[&(dyn NameServer + Sync)],
+        epoch: Epoch,
+        seed: u64,
+        engine: &EngineConfig,
+    ) -> Vec<ProbeResult> {
+        let campaign = DnsCampaign::control(
+            tectonic_dns::DomainName::literal("control.atlas-measurements.net"),
+            QType::A,
+        );
+        run_campaign_engine(
+            &campaign,
+            &self.probes,
+            control_auths,
+            epoch.start(),
+            seed,
+            engine,
+        )
+    }
+
     /// Runs the control campaign (an unrelated, always-resolvable domain).
     pub fn run_control_campaign(
         &self,
@@ -124,6 +175,79 @@ impl AtlasSetup {
             .map(|p| p.asn)
             .collect::<BTreeSet<Asn>>()
             .len()
+    }
+}
+
+/// Runs `campaign` over `probes` on the discrete-event engine: contiguous
+/// probe ranges per shard, one event per probe, all at `now` (the serial
+/// campaign measures every probe at the same instant). Shard outputs
+/// concatenate in shard-index order, which is probe order.
+fn run_campaign_engine(
+    campaign: &DnsCampaign,
+    probes: &[Probe],
+    auths: &[&(dyn NameServer + Sync)],
+    now: SimTime,
+    seed: u64,
+    engine: &EngineConfig,
+) -> Vec<ProbeResult> {
+    let Some(&first_auth) = auths.first() else {
+        return Vec::new();
+    };
+    let shards = engine.shards.max(1);
+    let per_shard = probes.len().div_ceil(shards).max(1);
+    // Same derivation as the serial DnsCampaign::run, so per-probe flake
+    // streams are identical.
+    let flake_base = DnsCampaign::flake_base(&SimRng::new(seed));
+    let models: Vec<ProbeShard<'_>> = probes
+        .chunks(per_shard)
+        .enumerate()
+        .map(|(s, chunk)| ProbeShard {
+            campaign,
+            auth: auths.get(s % auths.len()).copied().unwrap_or(first_auth),
+            flake_base: &flake_base,
+            probes: chunk.iter(),
+            results: Vec::with_capacity(chunk.len()),
+        })
+        .collect();
+    let mut eng = Engine::new(engine, models, &SimRng::new(seed));
+    for (s, chunk) in probes.chunks(per_shard).enumerate() {
+        for _ in chunk {
+            eng.seed(s, now, ());
+        }
+    }
+    let mut merged = Vec::with_capacity(probes.len());
+    for out in eng.run() {
+        merged.extend(out);
+    }
+    merged
+}
+
+/// One engine shard of a DNS campaign: a contiguous probe range, one event
+/// per probe. Events within a shard arrive in seed (= probe) order, so a
+/// cursor over the range suffices — the event carries no payload.
+struct ProbeShard<'a> {
+    campaign: &'a DnsCampaign,
+    auth: &'a (dyn NameServer + Sync),
+    flake_base: &'a SimRng,
+    probes: std::slice::Iter<'a, Probe>,
+    results: Vec<ProbeResult>,
+}
+
+impl ShardModel for ProbeShard<'_> {
+    type Event = ();
+    type Out = Vec<ProbeResult>;
+
+    fn handle(&mut self, now: SimTime, _event: (), _ctx: &mut ShardCtx<()>) {
+        if let Some(probe) = self.probes.next() {
+            self.results.push(
+                self.campaign
+                    .run_probe(probe, self.auth, now, self.flake_base),
+            );
+        }
+    }
+
+    fn finish(self) -> Self::Out {
+        self.results
     }
 }
 
@@ -259,6 +383,31 @@ mod tests {
         let mix = atlas.resolver_mix();
         assert!(mix.contains_key("GooglePublic"));
         assert!(atlas.resolver_as_count() > 10);
+    }
+
+    #[test]
+    fn engine_campaign_matches_serial_for_all_worker_counts() {
+        let (d, atlas) = setup();
+        let auth = d.auth_server_unlimited();
+        let serial =
+            atlas.run_mask_campaign_with(&auth, Domain::MaskQuic, QType::A, Epoch::Apr2022, 7);
+        for (shards, workers) in [(1, 1), (5, 1), (5, 4), (8, 8)] {
+            let engine = atlas.run_mask_campaign_engine(
+                &[&auth],
+                Domain::MaskQuic,
+                QType::A,
+                Epoch::Apr2022,
+                7,
+                &EngineConfig::new(shards, workers),
+            );
+            assert_eq!(engine, serial, "shards={shards} workers={workers}");
+        }
+        // Control path too, including per-shard auth fan-out.
+        let serial_control = atlas.run_control_campaign(&auth, Epoch::Apr2022, 8);
+        let auths: Vec<&(dyn NameServer + Sync)> = vec![&auth, &auth, &auth];
+        let engine_control =
+            atlas.run_control_campaign_engine(&auths, Epoch::Apr2022, 8, &EngineConfig::new(6, 3));
+        assert_eq!(engine_control, serial_control);
     }
 
     #[test]

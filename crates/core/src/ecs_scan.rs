@@ -25,7 +25,8 @@ use tectonic_dns::{
     decode_message, encode_message, DomainName, EcsOption, Message, MessageEncoder, PatchedQuery,
     QType, QueryTemplate, Rcode,
 };
-use tectonic_net::{Asn, IpNet, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimTime};
+use tectonic_engine::{Engine, EngineConfig, ShardCtx, ShardModel};
+use tectonic_net::{Asn, IpNet, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimRng, SimTime};
 
 /// Scanner configuration.
 #[derive(Debug, Clone)]
@@ -133,10 +134,77 @@ pub struct EcsScanReport {
     /// never abort a multi-hour scan.
     pub decode_errors: u64,
     /// Simulated wall-clock duration of the scan.
+    ///
+    /// For merged reports ([`EcsScanner::scan_parallel`],
+    /// [`EcsScanner::scan_engine`]) this is the **slowest worker's**
+    /// duration: shards run concurrently over the same simulated window, so
+    /// the scan is finished when the last shard is. All other fields merge
+    /// as unions (sets) or sums (counters), which makes `duration` the one
+    /// field where a sharded report can legitimately differ from the serial
+    /// scan's.
     pub duration: SimDuration,
 }
 
 impl EcsScanReport {
+    /// An all-zero report for `domain`.
+    fn empty(domain: DomainName) -> EcsScanReport {
+        EcsScanReport {
+            domain,
+            discovered: BTreeSet::new(),
+            by_ingress_as: BTreeMap::new(),
+            per_client_as: BTreeMap::new(),
+            ingress_prefixes: BTreeSet::new(),
+            subnets_served: BTreeMap::new(),
+            queries_sent: 0,
+            skipped_by_scope: 0,
+            skipped_unrouted: 0,
+            rate_limited: 0,
+            retries: 0,
+            exhausted: 0,
+            decode_errors: 0,
+            duration: SimDuration::ZERO,
+        }
+    }
+
+    /// Folds `other` into `self`: sets union, counters sum, `duration`
+    /// takes the maximum (see the field docs — the merged scan is as slow
+    /// as its slowest worker).
+    fn absorb(&mut self, other: EcsScanReport) {
+        self.discovered.extend(other.discovered.iter().copied());
+        for (asn, addrs) in other.by_ingress_as {
+            self.by_ingress_as
+                .entry(asn)
+                .or_default()
+                .extend(addrs.iter().copied());
+        }
+        for (asn, serving) in other.per_client_as {
+            let e = self.per_client_as.entry(asn).or_default();
+            e.apple_subnets += serving.apple_subnets;
+            e.akamai_subnets += serving.akamai_subnets;
+        }
+        self.ingress_prefixes.extend(other.ingress_prefixes);
+        for (addr, served) in other.subnets_served {
+            *self.subnets_served.entry(addr).or_insert(0) += served;
+        }
+        self.queries_sent += other.queries_sent;
+        self.skipped_by_scope += other.skipped_by_scope;
+        self.skipped_unrouted += other.skipped_unrouted;
+        self.rate_limited += other.rate_limited;
+        self.retries += other.retries;
+        self.exhausted += other.exhausted;
+        self.decode_errors += other.decode_errors;
+        self.duration = self.duration.max(other.duration);
+    }
+
+    /// Merges per-worker reports in shard-index order.
+    fn merged(domain: DomainName, reports: impl IntoIterator<Item = EcsScanReport>) -> Self {
+        let mut merged = EcsScanReport::empty(domain);
+        for r in reports {
+            merged.absorb(r);
+        }
+        merged
+    }
+
     /// Ingress address count for one operator.
     pub fn count_for(&self, asn: Asn) -> usize {
         self.by_ingress_as.get(&asn).map(BTreeSet::len).unwrap_or(0)
@@ -196,6 +264,16 @@ struct ScanScratch {
     client_memo: LookupMemo,
 }
 
+/// What one ECS query attempt produced.
+enum AttemptOutcome {
+    /// A decodable DNS response (any rcode).
+    Answered(Message),
+    /// A reply that failed wire decoding.
+    Undecodable,
+    /// No reply — rate limiting or injected loss.
+    Dropped,
+}
+
 impl ScanScratch {
     fn new(config: &EcsScanConfig, domain: &DomainName) -> ScanScratch {
         let patched = config
@@ -233,21 +311,7 @@ impl EcsScanner {
     pub fn candidate_subnets(&self, rib: &Rib) -> Vec<Ipv4Net> {
         if self.config.skip_unrouted {
             let mut subnets = Vec::new();
-            let mut prefixes: Vec<Ipv4Net> = rib
-                .iter()
-                .filter_map(|(net, _)| net.as_v4().copied())
-                .collect();
-            prefixes.sort();
-            // Drop prefixes nested inside an earlier (shorter) one so each
-            // /24 appears once.
-            let mut last: Option<Ipv4Net> = None;
-            for p in prefixes {
-                if let Some(l) = last {
-                    if l.contains_net(&p) {
-                        continue;
-                    }
-                }
-                last = Some(p);
+            for p in EcsScanner::top_level_prefixes(rib) {
                 if p.len() > 24 {
                     subnets.push(Ipv4Net::slash24_of(p.network()));
                 } else if let Ok(subs) = p.subnets(24) {
@@ -282,13 +346,50 @@ impl EcsScanner {
         self.scan_subnets(domain, &subnets, auth, rib, clock)
     }
 
-    /// Sends one ECS query (with retries on rate-limit drops).
+    /// Sends exactly one ECS query at simulated time `now` and classifies
+    /// the reply. No clock or ledger side effects: both the serial retry
+    /// loop and the event-driven engine shards build their timing and
+    /// counters around this single-attempt kernel, which is what keeps the
+    /// two paths byte-equivalent.
     ///
     /// On the fast path the query is the scratch template with five bytes
     /// patched; otherwise it is rebuilt through the reusable encoder. The
     /// reply is written into the scratch buffer via
     /// [`NameServer::handle_query_into`] — the steady state allocates only
     /// inside message *decoding*.
+    fn attempt_query(
+        &self,
+        domain: &DomainName,
+        subnet: Ipv4Net,
+        auth: &dyn NameServer,
+        now: SimTime,
+        scratch: &mut ScanScratch,
+    ) -> AttemptOutcome {
+        scratch.query_id = scratch.query_id.wrapping_add(1);
+        let id = scratch.query_id;
+        let wire: &[u8] = match &mut scratch.patched {
+            Some(patched) => patched.patch(id, subnet),
+            None => {
+                let mut query = Message::query(id, domain.clone(), QType::A);
+                query.ensure_edns().set_ecs(EcsOption::for_v4_net(subnet));
+                scratch.encoder.encode_into(&query, &mut scratch.query_buf);
+                &scratch.query_buf
+            }
+        };
+        let ctx = QueryContext {
+            src: IpAddr::V4(self.config.source),
+            now,
+        };
+        match auth.handle_query_into(wire, &ctx, &mut scratch.reply) {
+            ReplyOutcome::Written => match decode_message(&scratch.reply) {
+                Ok(response) => AttemptOutcome::Answered(response),
+                Err(_) => AttemptOutcome::Undecodable,
+            },
+            ReplyOutcome::Dropped => AttemptOutcome::Dropped,
+        }
+    }
+
+    /// Sends one ECS query with retries on rate-limit drops (serial path).
     fn query_subnet(
         &self,
         domain: &DomainName,
@@ -300,32 +401,16 @@ impl EcsScanner {
     ) -> Option<Message> {
         let mut attempts = 0;
         loop {
-            scratch.query_id = scratch.query_id.wrapping_add(1);
-            let id = scratch.query_id;
-            let wire: &[u8] = match &mut scratch.patched {
-                Some(patched) => patched.patch(id, subnet),
-                None => {
-                    let mut query = Message::query(id, domain.clone(), QType::A);
-                    query.ensure_edns().set_ecs(EcsOption::for_v4_net(subnet));
-                    scratch.encoder.encode_into(&query, &mut scratch.query_buf);
-                    &scratch.query_buf
-                }
-            };
-            let ctx = QueryContext {
-                src: IpAddr::V4(self.config.source),
-                now: clock.now(),
-            };
+            let now = clock.now();
             report.queries_sent += 1;
             clock.advance(self.config.query_pacing);
-            match auth.handle_query_into(wire, &ctx, &mut scratch.reply) {
-                ReplyOutcome::Written => match decode_message(&scratch.reply) {
-                    Ok(response) => return Some(response),
-                    Err(_) => {
-                        report.decode_errors += 1;
-                        return None;
-                    }
-                },
-                ReplyOutcome::Dropped => {
+            match self.attempt_query(domain, subnet, auth, now, scratch) {
+                AttemptOutcome::Answered(response) => return Some(response),
+                AttemptOutcome::Undecodable => {
+                    report.decode_errors += 1;
+                    return None;
+                }
+                AttemptOutcome::Dropped => {
                     report.rate_limited += 1;
                     attempts += 1;
                     if attempts > self.config.max_retries {
@@ -337,6 +422,90 @@ impl EcsScanner {
                 }
             }
         }
+    }
+
+    /// Records one successful response into the report: scope bookkeeping,
+    /// ingress attribution, and per-client-AS serving credit. Shared by the
+    /// serial loop and the engine shards.
+    ///
+    /// Returns the scope net newly inserted into `known_scopes`, if any —
+    /// the engine uses it to announce the scope to sibling shards.
+    fn process_response(
+        &self,
+        subnet: Ipv4Net,
+        response: &Message,
+        rib: &Rib,
+        scratch: &mut ScanScratch,
+        known_scopes: &mut PrefixTrie<()>,
+        report: &mut EcsScanReport,
+    ) -> Option<Ipv4Net> {
+        if response.rcode != Rcode::NoError {
+            return None;
+        }
+        let mut inserted_scope = None;
+        if let Some(scope) = response
+            .edns
+            .as_ref()
+            .and_then(|o| o.ecs())
+            .map(|e| e.scope_len)
+        {
+            if self.config.respect_scopes && scope < 24 {
+                if let Ok(scope_net) = Ipv4Net::new(subnet.network(), scope) {
+                    known_scopes.insert(scope_net, ());
+                    inserted_scope = Some(scope_net);
+                }
+            }
+        }
+        let answers = response.a_answers();
+        let mut seen_ops: BTreeSet<Asn> = BTreeSet::new();
+        let scope_credit = {
+            let scope = response
+                .edns
+                .as_ref()
+                .and_then(|o| o.ecs())
+                .map(|e| e.scope_len)
+                .unwrap_or(24);
+            if self.config.respect_scopes && scope < 24 {
+                1u64 << (24 - scope.min(24))
+            } else {
+                1
+            }
+        };
+        scratch.addr_batch.clear();
+        scratch
+            .addr_batch
+            .extend(answers.iter().map(|a| IpAddr::V4(*a)));
+        rib.lookup_batch(&scratch.addr_batch, &mut scratch.batch_out);
+        for (addr, hit) in answers.iter().zip(&scratch.batch_out) {
+            report.discovered.insert(*addr);
+            *report.subnets_served.entry(*addr).or_insert(0) += scope_credit;
+            if let Some((prefix, asn)) = hit {
+                report.by_ingress_as.entry(*asn).or_default().insert(*addr);
+                report.ingress_prefixes.insert(prefix.to_string());
+                seen_ops.insert(*asn);
+            }
+        }
+        if let Some((_, client_asn)) =
+            rib.lookup_memoized(IpAddr::V4(subnet.network()), &mut scratch.client_memo)
+        {
+            if !Asn::INGRESS_OPERATORS.contains(&client_asn)
+                && !Asn::EGRESS_OPERATORS.contains(&client_asn)
+            {
+                // A scope wider than /24 makes this one answer stand for
+                // every /24 inside it — credit them all, since the
+                // scanner will skip them (the paper reports Table 2 at
+                // full /24 granularity).
+                let entry = report.per_client_as.entry(client_asn).or_default();
+                for op in seen_ops {
+                    match op {
+                        Asn::APPLE => entry.apple_subnets += scope_credit,
+                        Asn::AKAMAI_PR => entry.akamai_subnets += scope_credit,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        inserted_scope
     }
 
     /// Attempts ECS enumeration over IPv6 (AAAA queries) and reports why
@@ -355,22 +524,7 @@ impl EcsScanner {
         let mut answers = BTreeSet::new();
         let mut queries = 0u64;
         let mut query_id = 0u16;
-        let mut report_stub = EcsScanReport {
-            domain: domain.clone(),
-            discovered: BTreeSet::new(),
-            by_ingress_as: BTreeMap::new(),
-            per_client_as: BTreeMap::new(),
-            ingress_prefixes: BTreeSet::new(),
-            subnets_served: BTreeMap::new(),
-            queries_sent: 0,
-            skipped_by_scope: 0,
-            skipped_unrouted: 0,
-            rate_limited: 0,
-            retries: 0,
-            exhausted: 0,
-            decode_errors: 0,
-            duration: SimDuration::ZERO,
-        };
+        let mut report_stub = EcsScanReport::empty(domain.clone());
         for subnet in sample_subnets {
             query_id = query_id.wrapping_add(1);
             let mut query = Message::query(query_id, domain.clone(), QType::AAAA);
@@ -400,10 +554,29 @@ impl EcsScanner {
         }
     }
 
+    /// The source address shard `k` queries from: `source + k`, checked —
+    /// a base near the top of the v4 space falls back to the base address
+    /// itself (a shared rate-limit bucket is merely slower, never wrong)
+    /// instead of wrapping past 255.255.255.255.
+    fn shard_source(base: Ipv4Addr, shard: usize) -> Ipv4Addr {
+        u32::try_from(shard)
+            .ok()
+            .and_then(|k| u32::from(base).checked_add(k))
+            .map(Ipv4Addr::from)
+            .unwrap_or(base)
+    }
+
     /// Runs the scan sharded across `workers` source addresses using
-    /// scoped threads (the parallel-scan ablation). Each worker
-    /// gets its own source address (`source + k`) and clock; the reported
-    /// duration is the slowest worker's.
+    /// scoped threads (the legacy parallel-scan ablation — superseded by
+    /// [`EcsScanner::scan_engine`]). Each worker gets its own source
+    /// address (`source + k`, checked) and clock; the merged report's
+    /// `duration` is the slowest worker's.
+    ///
+    /// Subnets are dealt round-robin, so a scope discovered by one worker
+    /// is invisible to the others: scope honouring degrades to per-worker
+    /// (still correct, just fewer skips). The engine scan fixes this by
+    /// aligning shards with announcement boundaries and routing scope
+    /// announcements as events.
     pub fn scan_parallel(
         &self,
         domain: DomainName,
@@ -423,10 +596,7 @@ impl EcsScanner {
                 .enumerate()
                 .map(|(w, shard)| {
                     let mut config = self.config.clone();
-                    let base = u32::from(config.source);
-                    config.source = Ipv4Addr::from(base + w as u32);
-                    // Scope honouring needs a global view; per-worker scopes
-                    // are still correct, just less effective.
+                    config.source = EcsScanner::shard_source(config.source, w);
                     let domain = domain.clone();
                     scope.spawn(move || {
                         let scanner = EcsScanner::new(config);
@@ -441,51 +611,7 @@ impl EcsScanner {
                 .map(|h| h.join().expect("worker"))
                 .collect()
         });
-        // Merge.
-        let mut merged = EcsScanReport {
-            domain,
-            discovered: BTreeSet::new(),
-            by_ingress_as: BTreeMap::new(),
-            per_client_as: BTreeMap::new(),
-            ingress_prefixes: BTreeSet::new(),
-            subnets_served: BTreeMap::new(),
-            queries_sent: 0,
-            skipped_by_scope: 0,
-            skipped_unrouted: 0,
-            rate_limited: 0,
-            retries: 0,
-            exhausted: 0,
-            decode_errors: 0,
-            duration: SimDuration::ZERO,
-        };
-        for r in reports {
-            merged.discovered.extend(r.discovered.iter().copied());
-            for (asn, addrs) in r.by_ingress_as {
-                merged
-                    .by_ingress_as
-                    .entry(asn)
-                    .or_default()
-                    .extend(addrs.iter().copied());
-            }
-            for (asn, serving) in r.per_client_as {
-                let e = merged.per_client_as.entry(asn).or_default();
-                e.apple_subnets += serving.apple_subnets;
-                e.akamai_subnets += serving.akamai_subnets;
-            }
-            merged.ingress_prefixes.extend(r.ingress_prefixes);
-            for (addr, served) in r.subnets_served {
-                *merged.subnets_served.entry(addr).or_insert(0) += served;
-            }
-            merged.queries_sent += r.queries_sent;
-            merged.skipped_by_scope += r.skipped_by_scope;
-            merged.skipped_unrouted += r.skipped_unrouted;
-            merged.rate_limited += r.rate_limited;
-            merged.retries += r.retries;
-            merged.exhausted += r.exhausted;
-            merged.decode_errors += r.decode_errors;
-            merged.duration = merged.duration.max(r.duration);
-        }
-        merged
+        EcsScanReport::merged(domain, reports)
     }
 
     /// Scans an explicit subnet list.
@@ -501,22 +627,7 @@ impl EcsScanner {
         clock: &mut SimClock,
     ) -> EcsScanReport {
         let start = clock.now();
-        let mut report = EcsScanReport {
-            domain: domain.clone(),
-            discovered: BTreeSet::new(),
-            by_ingress_as: BTreeMap::new(),
-            per_client_as: BTreeMap::new(),
-            ingress_prefixes: BTreeSet::new(),
-            subnets_served: BTreeMap::new(),
-            queries_sent: 0,
-            skipped_by_scope: 0,
-            skipped_unrouted: 0,
-            rate_limited: 0,
-            retries: 0,
-            exhausted: 0,
-            decode_errors: 0,
-            duration: SimDuration::ZERO,
-        };
+        let mut report = EcsScanReport::empty(domain.clone());
         let mut known_scopes: PrefixTrie<()> = PrefixTrie::new();
         let mut scratch = ScanScratch::new(&self.config, &domain);
         for subnet in subnets {
@@ -533,84 +644,373 @@ impl EcsScanner {
             else {
                 continue;
             };
-            if response.rcode != Rcode::NoError {
-                continue;
-            }
-            if let Some(scope) = response
-                .edns
-                .as_ref()
-                .and_then(|o| o.ecs())
-                .map(|e| e.scope_len)
-            {
-                if self.config.respect_scopes && scope < 24 {
-                    if let Ok(scope_net) = Ipv4Net::new(subnet.network(), scope) {
-                        known_scopes.insert(scope_net, ());
-                    }
-                }
-            }
-            let answers = response.a_answers();
-            let mut seen_ops: BTreeSet<Asn> = BTreeSet::new();
-            let scope_credit = {
-                let scope = response
-                    .edns
-                    .as_ref()
-                    .and_then(|o| o.ecs())
-                    .map(|e| e.scope_len)
-                    .unwrap_or(24);
-                if self.config.respect_scopes && scope < 24 {
-                    1u64 << (24 - scope.min(24))
-                } else {
-                    1
-                }
-            };
-            scratch.addr_batch.clear();
-            scratch
-                .addr_batch
-                .extend(answers.iter().map(|a| IpAddr::V4(*a)));
-            rib.lookup_batch(&scratch.addr_batch, &mut scratch.batch_out);
-            for (addr, hit) in answers.iter().zip(&scratch.batch_out) {
-                report.discovered.insert(*addr);
-                *report.subnets_served.entry(*addr).or_insert(0) += scope_credit;
-                if let Some((prefix, asn)) = hit {
-                    report.by_ingress_as.entry(*asn).or_default().insert(*addr);
-                    report.ingress_prefixes.insert(prefix.to_string());
-                    seen_ops.insert(*asn);
-                }
-            }
-            if let Some((_, client_asn)) =
-                rib.lookup_memoized(IpAddr::V4(subnet.network()), &mut scratch.client_memo)
-            {
-                if !Asn::INGRESS_OPERATORS.contains(&client_asn)
-                    && !Asn::EGRESS_OPERATORS.contains(&client_asn)
-                {
-                    // A scope wider than /24 makes this one answer stand for
-                    // every /24 inside it — credit them all, since the
-                    // scanner will skip them (the paper reports Table 2 at
-                    // full /24 granularity).
-                    let scope = response
-                        .edns
-                        .as_ref()
-                        .and_then(|o| o.ecs())
-                        .map(|e| e.scope_len)
-                        .unwrap_or(24);
-                    let credit = if self.config.respect_scopes && scope < 24 {
-                        1u64 << (24 - scope.min(24))
-                    } else {
-                        1
-                    };
-                    let entry = report.per_client_as.entry(client_asn).or_default();
-                    for op in seen_ops {
-                        match op {
-                            Asn::APPLE => entry.apple_subnets += credit,
-                            Asn::AKAMAI_PR => entry.akamai_subnets += credit,
-                            _ => {}
-                        }
-                    }
-                }
-            }
+            let _ = self.process_response(
+                *subnet,
+                &response,
+                rib,
+                &mut scratch,
+                &mut known_scopes,
+                &mut report,
+            );
         }
         report.duration = clock.now() - start;
         report
+    }
+
+    /// The announced prefixes after nested-prefix elimination, sorted —
+    /// the address-space partition the candidate /24 list is generated
+    /// from, and therefore the natural shard-boundary domain.
+    fn top_level_prefixes(rib: &Rib) -> Vec<Ipv4Net> {
+        let mut prefixes: Vec<Ipv4Net> = rib
+            .iter()
+            .filter_map(|(net, _)| net.as_v4().copied())
+            .collect();
+        prefixes.sort();
+        // Drop prefixes nested inside an earlier (shorter) one so each
+        // /24 appears once.
+        let mut top: Vec<Ipv4Net> = Vec::new();
+        for p in prefixes {
+            if let Some(l) = top.last() {
+                if l.contains_net(&p) {
+                    continue;
+                }
+            }
+            top.push(p);
+        }
+        top
+    }
+
+    /// Runs a full scan of `domain` on the sharded discrete-event engine.
+    ///
+    /// Equivalent to [`EcsScanner::scan`] — field-for-field, except
+    /// `duration`, which is the slowest shard's (see the field docs) and
+    /// collapses to exact equality at `shards == 1`. The equivalence is
+    /// structural, not statistical: shard boundaries are aligned with
+    /// top-level announcement boundaries, and every ECS scope a server can
+    /// return is contained in the top-level announced prefix of the subnet
+    /// that elicited it, so each shard reproduces exactly the serial scan's
+    /// skip decisions for its slice of the address space. Worker count
+    /// never affects any output bit.
+    ///
+    /// All shards query through the one `auth`; use
+    /// [`EcsScanner::scan_engine_sharded`] to give each shard its own
+    /// server (per-shard rate-limit buckets, per-shard fault channels).
+    pub fn scan_engine(
+        &self,
+        domain: DomainName,
+        auth: &(dyn NameServer + Sync),
+        rib: &Rib,
+        start: SimTime,
+        engine: &EngineConfig,
+    ) -> EcsScanReport {
+        self.scan_engine_sharded(domain, &[auth], rib, start, engine)
+    }
+
+    /// [`EcsScanner::scan_engine`] with explicit per-shard servers.
+    ///
+    /// `servers` is indexed by `shard % servers.len()`: pass one server to
+    /// share it (it must tolerate concurrent queries), or `engine.shards`
+    /// servers for fully independent per-shard state.
+    pub fn scan_engine_sharded(
+        &self,
+        domain: DomainName,
+        servers: &[&(dyn NameServer + Sync)],
+        rib: &Rib,
+        start: SimTime,
+        engine: &EngineConfig,
+    ) -> EcsScanReport {
+        let subnets = self.candidate_subnets(rib);
+        let prefixes = EcsScanner::top_level_prefixes(rib);
+        self.run_engine_scan(domain, &subnets, &prefixes, servers, rib, start, engine)
+    }
+
+    /// Engine scan over an explicit subnet list (benchmarks, targeted
+    /// sweeps). With no announcement structure to align shards to, the
+    /// list is cut into plain contiguous slices; scopes that cross a cut
+    /// travel as events, so skipping is deterministic for a fixed shard
+    /// count but — unlike [`EcsScanner::scan_engine`] — may differ from
+    /// the serial scan's (an in-flight shard can query a subnet before a
+    /// sibling's scope announcement arrives).
+    pub fn scan_subnets_engine(
+        &self,
+        domain: DomainName,
+        subnets: &[Ipv4Net],
+        servers: &[&(dyn NameServer + Sync)],
+        rib: &Rib,
+        start: SimTime,
+        engine: &EngineConfig,
+    ) -> EcsScanReport {
+        self.run_engine_scan(domain, subnets, &[], servers, rib, start, engine)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_engine_scan(
+        &self,
+        domain: DomainName,
+        subnets: &[Ipv4Net],
+        prefixes: &[Ipv4Net],
+        servers: &[&(dyn NameServer + Sync)],
+        rib: &Rib,
+        start: SimTime,
+        engine: &EngineConfig,
+    ) -> EcsScanReport {
+        let Some(&first_server) = servers.first() else {
+            return EcsScanReport::empty(domain);
+        };
+        let segments = shard_segments(subnets, prefixes, engine.shards);
+        let models: Vec<ScanShard<'_>> = segments
+            .iter()
+            .enumerate()
+            .map(|(i, seg)| {
+                let mut config = self.config.clone();
+                config.source = EcsScanner::shard_source(config.source, i);
+                let scratch = ScanScratch::new(&config, &domain);
+                ScanShard {
+                    scanner: EcsScanner::new(config),
+                    domain: domain.clone(),
+                    auth: servers
+                        .get(i % servers.len())
+                        .copied()
+                        .unwrap_or(first_server),
+                    rib,
+                    owned: prefixes.get(seg.prefixes.clone()).unwrap_or(&[]),
+                    subnets: subnets.get(seg.subnets.clone()).unwrap_or(&[]),
+                    idx: 0,
+                    attempts: 0,
+                    start,
+                    scratch,
+                    known_scopes: PrefixTrie::new(),
+                    report: EcsScanReport::empty(domain.clone()),
+                }
+            })
+            .collect();
+        // The scan draws no shard randomness; the engine seed is fixed.
+        let mut eng = Engine::new(engine, models, &SimRng::new(0xEC5));
+        for (i, seg) in segments.iter().enumerate() {
+            if !seg.subnets.is_empty() {
+                eng.seed(i, start, ScanEvent::Attempt);
+            }
+        }
+        EcsScanReport::merged(domain, eng.run())
+    }
+}
+
+/// One shard's slice of the candidate list and of the top-level prefixes
+/// whose /24s it owns.
+struct ShardSegment {
+    subnets: std::ops::Range<usize>,
+    prefixes: std::ops::Range<usize>,
+}
+
+/// Cuts the candidate list into `shards` contiguous, balanced segments
+/// whose boundaries never split a top-level announced prefix.
+///
+/// Candidate subnets are generated in address order from the sorted
+/// top-level prefixes, so each prefix's /24s form one contiguous run; a
+/// subnet not fully contained in any top-level prefix (the lone /24
+/// emitted for a longer-than-/24 announcement) forms its own cuttable
+/// singleton group. Cut points are chosen as the smallest group boundary
+/// at or past each ideal `len * k / shards` split.
+fn shard_segments(subnets: &[Ipv4Net], prefixes: &[Ipv4Net], shards: usize) -> Vec<ShardSegment> {
+    let shards = shards.max(1);
+    // Group boundaries: (subnet index, owner prefix index at that point).
+    let mut boundaries: Vec<(usize, usize)> = Vec::new();
+    let mut pi = 0usize;
+    let mut last_owner = usize::MAX;
+    for (i, s) in subnets.iter().enumerate() {
+        while let Some(p) = prefixes.get(pi) {
+            if p.contains_net(s) {
+                break;
+            }
+            if p.network() <= s.network() {
+                // This prefix's address range lies entirely before `s`
+                // (top-level prefixes are disjoint and sorted).
+                pi += 1;
+            } else {
+                break;
+            }
+        }
+        let owner = match prefixes.get(pi) {
+            Some(p) if p.contains_net(s) => pi,
+            _ => usize::MAX, // uncontained: its own singleton group
+        };
+        if i == 0 || owner == usize::MAX || owner != last_owner {
+            boundaries.push((i, owner));
+        }
+        last_owner = owner;
+    }
+    boundaries.push((subnets.len(), usize::MAX));
+
+    let mut segments = Vec::with_capacity(shards);
+    let mut cursor = 0usize; // index into `boundaries`
+    for k in 1..=shards {
+        let target = subnets.len() * k / shards;
+        let lo = boundaries
+            .get(cursor)
+            .map(|(i, _)| *i)
+            .unwrap_or(subnets.len());
+        let mut end = cursor;
+        while boundaries
+            .get(end + 1)
+            .is_some_and(|(i, _)| *i <= target || k == shards)
+        {
+            end += 1;
+        }
+        // `end` is now the last boundary at or before the target (or the
+        // final boundary for the last shard).
+        let hi = boundaries.get(end).map(|(i, _)| *i).unwrap_or(lo);
+        let owners: Vec<usize> = boundaries
+            .get(cursor..end)
+            .unwrap_or(&[])
+            .iter()
+            .map(|(_, o)| *o)
+            .filter(|o| *o != usize::MAX)
+            .collect();
+        let prange = match (owners.first(), owners.last()) {
+            (Some(first), Some(last)) => *first..*last + 1,
+            _ => 0..0,
+        };
+        segments.push(ShardSegment {
+            subnets: lo..hi,
+            prefixes: prange,
+        });
+        cursor = end;
+    }
+    segments
+}
+
+/// Events routed through the engine scan.
+#[derive(Clone)]
+enum ScanEvent {
+    /// Advance this shard's cursor: skip covered subnets, then query one.
+    Attempt,
+    /// A sibling shard announced a server-returned ECS scope.
+    Scope(Ipv4Net),
+}
+
+/// One engine shard: a scanner with a per-shard source address, a
+/// contiguous slice of the candidate list, and a fully local stat sled
+/// (report, scope trie, scratch buffers). The only cross-shard traffic is
+/// [`ScanEvent::Scope`] announcements.
+struct ScanShard<'a> {
+    scanner: EcsScanner,
+    domain: DomainName,
+    auth: &'a (dyn NameServer + Sync),
+    rib: &'a Rib,
+    /// Top-level prefixes wholly owned by this shard: a scope contained in
+    /// one of them cannot cover any sibling's subnet, so it is not
+    /// announced.
+    owned: &'a [Ipv4Net],
+    subnets: &'a [Ipv4Net],
+    idx: usize,
+    attempts: u32,
+    start: SimTime,
+    scratch: ScanScratch,
+    known_scopes: PrefixTrie<()>,
+    report: EcsScanReport,
+}
+
+impl ScanShard<'_> {
+    /// Schedules the next attempt, or closes the shard's ledger when the
+    /// slice is exhausted. `at` is when the current query's pacing ends —
+    /// mirroring the serial scan, whose duration runs to the end of the
+    /// last query's pacing window (trailing scope-skips are free).
+    fn advance(&mut self, at: SimTime, ctx: &mut ShardCtx<ScanEvent>) {
+        if self.idx < self.subnets.len() {
+            ctx.schedule(at, ScanEvent::Attempt);
+        } else {
+            self.report.duration = at - self.start;
+        }
+    }
+
+    fn attempt(&mut self, now: SimTime, ctx: &mut ShardCtx<ScanEvent>) {
+        // Skip scope-covered subnets at the cursor (same order, and — for
+        // announcement-aligned shards — provably the same decisions as the
+        // serial loop).
+        while let Some(subnet) = self.subnets.get(self.idx) {
+            if self.scanner.config.respect_scopes
+                && self
+                    .known_scopes
+                    .longest_match(IpAddr::V4(subnet.network()))
+                    .is_some()
+            {
+                self.report.skipped_by_scope += 1;
+                self.idx += 1;
+            } else {
+                break;
+            }
+        }
+        let Some(&subnet) = self.subnets.get(self.idx) else {
+            self.report.duration = now - self.start;
+            return;
+        };
+        self.report.queries_sent += 1;
+        let next = now + self.scanner.config.query_pacing;
+        match self
+            .scanner
+            .attempt_query(&self.domain, subnet, self.auth, now, &mut self.scratch)
+        {
+            AttemptOutcome::Answered(response) => {
+                self.attempts = 0;
+                self.idx += 1;
+                let inserted = self.scanner.process_response(
+                    subnet,
+                    &response,
+                    self.rib,
+                    &mut self.scratch,
+                    &mut self.known_scopes,
+                    &mut self.report,
+                );
+                if let Some(scope_net) = inserted {
+                    // Cross-shard state travels as events only: announce
+                    // the scope unless it is contained in a prefix this
+                    // shard wholly owns (then no sibling can be covered).
+                    if !self.owned.iter().any(|p| p.contains_net(&scope_net)) {
+                        ctx.broadcast(now, ScanEvent::Scope(scope_net));
+                    }
+                }
+                self.advance(next, ctx);
+            }
+            AttemptOutcome::Undecodable => {
+                self.report.decode_errors += 1;
+                self.attempts = 0;
+                self.idx += 1;
+                self.advance(next, ctx);
+            }
+            AttemptOutcome::Dropped => {
+                self.report.rate_limited += 1;
+                self.attempts += 1;
+                if self.attempts > self.scanner.config.max_retries {
+                    self.report.exhausted += 1;
+                    self.attempts = 0;
+                    self.idx += 1;
+                    self.advance(next, ctx);
+                } else {
+                    self.report.retries += 1;
+                    ctx.schedule(next + self.scanner.config.retry_backoff, ScanEvent::Attempt);
+                }
+            }
+        }
+    }
+}
+
+impl ShardModel for ScanShard<'_> {
+    type Event = ScanEvent;
+    type Out = EcsScanReport;
+
+    fn handle(&mut self, now: SimTime, event: ScanEvent, ctx: &mut ShardCtx<ScanEvent>) {
+        match event {
+            ScanEvent::Attempt => self.attempt(now, ctx),
+            ScanEvent::Scope(net) => {
+                if self.scanner.config.respect_scopes {
+                    self.known_scopes.insert(net, ());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> EcsScanReport {
+        self.report
     }
 }
 
@@ -789,6 +1189,167 @@ mod tests {
         let rg = general.scan(Domain::MaskQuic.name(), &auth_g, &d.rib, &mut clock_g);
         assert_eq!(rf, rg);
         assert!(rf.rate_limited > 0, "rate limiter never triggered");
+    }
+
+    /// Field-by-field equality modulo `duration` (merged reports keep the
+    /// slowest shard's duration; everything else must match exactly).
+    fn assert_eq_modulo_duration(a: &EcsScanReport, b: &EcsScanReport) {
+        let mut a = a.clone();
+        let mut b = b.clone();
+        a.duration = SimDuration::ZERO;
+        b.duration = SimDuration::ZERO;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_scan_matches_serial_exactly() {
+        let d = deployment();
+        let auth = d.auth_server_unlimited();
+        let scanner = EcsScanner::default();
+        let mut clock = SimClock::new(Epoch::Apr2022.start());
+        let serial = scanner.scan(Domain::MaskQuic.name(), &auth, &d.rib, &mut clock);
+        // One shard: byte-identical, duration included.
+        let one = scanner.scan_engine(
+            Domain::MaskQuic.name(),
+            &auth,
+            &d.rib,
+            Epoch::Apr2022.start(),
+            &EngineConfig::new(1, 1),
+        );
+        assert_eq!(serial, one);
+        assert!(serial.total() > 0 && serial.skipped_by_scope > 0);
+        // Many shards: identical modulo duration (announcement-aligned
+        // shards reproduce the serial skip decisions), for any workers.
+        for workers in [1, 4, 8] {
+            let sharded = scanner.scan_engine(
+                Domain::MaskQuic.name(),
+                &auth,
+                &d.rib,
+                Epoch::Apr2022.start(),
+                &EngineConfig::new(8, workers),
+            );
+            assert_eq_modulo_duration(&serial, &sharded);
+        }
+    }
+
+    #[test]
+    fn engine_scan_is_worker_invariant_under_rate_limiting() {
+        let d = deployment();
+        let scanner = EcsScanner::default();
+        let engine8 = |workers: usize| {
+            // Fresh per-shard servers: the rate limiter's bucket is
+            // stateful, so each run gets its own set.
+            let auths: Vec<_> = (0..8).map(|_| d.auth_server()).collect();
+            let refs: Vec<&(dyn NameServer + Sync)> = auths
+                .iter()
+                .map(|a| a as &(dyn NameServer + Sync))
+                .collect();
+            scanner.scan_engine_sharded(
+                Domain::MaskQuic.name(),
+                &refs,
+                &d.rib,
+                Epoch::Apr2022.start(),
+                &EngineConfig::new(8, workers),
+            )
+        };
+        let w1 = engine8(1);
+        let w4 = engine8(4);
+        assert_eq!(w1, w4, "worker count leaked into a rate-limited scan");
+        assert!(w1.rate_limited > 0, "rate limiter never triggered");
+    }
+
+    #[test]
+    fn explicit_list_engine_propagates_scopes_deterministically() {
+        let d = deployment();
+        let auth = d.auth_server_unlimited();
+        let scanner = EcsScanner::default();
+        let subnets = scanner.candidate_subnets(&d.rib);
+        let run = |workers: usize| {
+            scanner.scan_subnets_engine(
+                Domain::MaskQuic.name(),
+                &subnets,
+                &[&auth],
+                &d.rib,
+                Epoch::Apr2022.start(),
+                &EngineConfig::new(8, workers),
+            )
+        };
+        let w1 = run(1);
+        let w4 = run(4);
+        // Unaligned cuts: serial equality is not promised, determinism is.
+        assert_eq!(w1, w4);
+        // Scope events do land: local skipping plus announcements still
+        // suppress a meaningful share of queries.
+        assert!(w1.skipped_by_scope > 0);
+        let serial_run = {
+            let mut clock = SimClock::new(Epoch::Apr2022.start());
+            scanner.scan_subnets(Domain::MaskQuic.name(), &subnets, &auth, &d.rib, &mut clock)
+        };
+        assert_eq!(w1.discovered, serial_run.discovered);
+        assert_eq!(w1.by_ingress_as, serial_run.by_ingress_as);
+    }
+
+    #[test]
+    fn shard_segments_align_with_prefix_boundaries() {
+        let d = deployment();
+        let scanner = EcsScanner::default();
+        let subnets = scanner.candidate_subnets(&d.rib);
+        let prefixes = EcsScanner::top_level_prefixes(&d.rib);
+        for shards in [1, 3, 8, 64] {
+            let segments = shard_segments(&subnets, &prefixes, shards);
+            assert_eq!(segments.len(), shards);
+            let mut covered = 0usize;
+            for seg in &segments {
+                assert_eq!(seg.subnets.start, covered, "segments not contiguous");
+                covered = seg.subnets.end;
+                // No top-level prefix may straddle a segment boundary: the
+                // first subnet of a segment is never strictly inside the
+                // same prefix as the last subnet of the previous one.
+                if let (Some(first), Some(prev)) = (
+                    subnets.get(seg.subnets.start),
+                    seg.subnets
+                        .start
+                        .checked_sub(1)
+                        .and_then(|i| subnets.get(i)),
+                ) {
+                    let shared = prefixes
+                        .iter()
+                        .find(|p| p.contains_net(first) && p.contains_net(prev));
+                    assert!(shared.is_none(), "prefix {shared:?} straddles a cut");
+                }
+                // Owned prefixes really are owned: every subnet of an owned
+                // prefix lies inside the segment.
+                for p in prefixes.get(seg.prefixes.clone()).unwrap_or(&[]) {
+                    for (i, s) in subnets.iter().enumerate() {
+                        if p.contains_net(s) {
+                            assert!(
+                                seg.subnets.contains(&i),
+                                "owned prefix {p} has subnet outside the segment"
+                            );
+                        }
+                    }
+                }
+            }
+            assert_eq!(covered, subnets.len());
+        }
+    }
+
+    #[test]
+    fn shard_source_is_checked() {
+        let base = Ipv4Addr::new(255, 255, 255, 250);
+        assert_eq!(
+            EcsScanner::shard_source(base, 3),
+            Ipv4Addr::new(255, 255, 255, 253)
+        );
+        // Would wrap past 255.255.255.255: falls back to the base.
+        assert_eq!(EcsScanner::shard_source(base, 9), base);
+        assert_eq!(EcsScanner::shard_source(base, usize::MAX), base);
+        let low = Ipv4Addr::new(138, 246, 253, 10);
+        assert_eq!(EcsScanner::shard_source(low, 0), low);
+        assert_eq!(
+            EcsScanner::shard_source(low, 255),
+            Ipv4Addr::new(138, 246, 254, 9)
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 use tectonic_dns::server::NameServer;
-use tectonic_net::{Asn, SimDuration, SimTime};
+use tectonic_engine::{Engine, EngineConfig, ShardCtx, ShardModel};
+use tectonic_net::{Asn, SimDuration, SimRng, SimTime};
 use tectonic_relay::client::{ClientRequest, Device};
 
 /// Scan schedule configuration.
@@ -108,6 +109,75 @@ impl RelayScanSeries {
         RelayScanSeries { rounds, failures }
     }
 
+    /// Runs the scan on the sharded discrete-event engine.
+    ///
+    /// Rounds are dealt to shards in contiguous index ranges (so the
+    /// merged log stays in round order) and each round is one scheduled
+    /// event at its legacy wall-clock instant. Connection ids are assigned
+    /// per round — round `i` uses `first_connection_id + 2i + 1` (Safari)
+    /// and `+ 2i + 2` (curl) — so for a failure-free series on a fresh
+    /// device (pass `first_connection_id = 0`) the output is byte-equal to
+    /// [`RelayScanSeries::run`]; a caller continuing an existing device
+    /// passes the number of connections it has already made.
+    ///
+    /// `servers` is indexed `shard % servers.len()`, like
+    /// [`crate::ecs_scan::EcsScanner::scan_engine_sharded`]. Rounds are
+    /// time-staggered, so a conservative lookahead would serialise the
+    /// shards; since rounds share no cross-shard events, the engine runs
+    /// with a lookahead covering the whole schedule, letting every shard
+    /// process its range in one window.
+    pub fn run_engine(
+        device: &Device,
+        servers: &[&(dyn NameServer + Sync)],
+        config: &RelayScanConfig,
+        start: SimTime,
+        first_connection_id: u64,
+        engine: &EngineConfig,
+    ) -> RelayScanSeries {
+        let Some(&first_server) = servers.first() else {
+            return RelayScanSeries {
+                rounds: Vec::new(),
+                failures: 0,
+            };
+        };
+        let rounds = config.rounds();
+        let shards = engine.shards.max(1) as u64;
+        let per_shard = rounds.div_ceil(shards.max(1)).max(1);
+        let models: Vec<RoundShard<'_>> = (0..shards)
+            .map(|s| RoundShard {
+                device,
+                auth: servers
+                    .get((s as usize) % servers.len())
+                    .copied()
+                    .unwrap_or(first_server),
+                start,
+                first_connection_id,
+                rounds: Vec::new(),
+                failures: 0,
+            })
+            .collect();
+        // No cross-shard events: one window must span the whole schedule.
+        let config_wide = EngineConfig {
+            lookahead: config.duration + config.interval,
+            ..engine.clone()
+        };
+        let mut eng = Engine::new(&config_wide, models, &SimRng::new(0x5CA9));
+        for i in 0..rounds {
+            let shard = (i / per_shard).min(shards - 1) as usize;
+            let at = start + SimDuration::from_millis(config.interval.as_millis() * i);
+            eng.seed(shard, at, i);
+        }
+        let mut merged = RelayScanSeries {
+            rounds: Vec::new(),
+            failures: 0,
+        };
+        for (rounds, failures) in eng.run() {
+            merged.rounds.extend(rounds);
+            merged.failures += failures;
+        }
+        merged
+    }
+
     /// The Figure 3 series: `(relative_secs, operator)` per round, based on
     /// the curl request (the paper plots one series per scan).
     pub fn operator_series(&self) -> Vec<(u64, Asn)> {
@@ -137,6 +207,42 @@ impl RelayScanSeries {
     /// Flattens the curl request log (for the rotation statistics).
     pub fn curl_requests(&self) -> Vec<&LoggedRequest> {
         self.rounds.iter().map(|r| &r.curl).collect()
+    }
+}
+
+/// One engine shard of the relay scan: a contiguous range of rounds, each
+/// an event carrying its round index.
+struct RoundShard<'a> {
+    device: &'a Device,
+    auth: &'a (dyn NameServer + Sync),
+    start: SimTime,
+    first_connection_id: u64,
+    rounds: Vec<ScanRound>,
+    failures: u64,
+}
+
+impl ShardModel for RoundShard<'_> {
+    type Event = u64;
+    type Out = (Vec<ScanRound>, u64);
+
+    fn handle(&mut self, now: SimTime, round: u64, _ctx: &mut ShardCtx<u64>) {
+        let safari_id = self.first_connection_id + 2 * round + 1;
+        let curl_id = safari_id + 1;
+        match self
+            .device
+            .request_pair_with_ids(self.auth, now, safari_id, curl_id)
+        {
+            Ok((safari, curl)) => self.rounds.push(ScanRound {
+                relative_secs: (now - self.start).as_secs(),
+                safari: LoggedRequest::from_request(&safari),
+                curl: LoggedRequest::from_request(&curl),
+            }),
+            Err(_) => self.failures += 1,
+        }
+    }
+
+    fn finish(self) -> Self::Out {
+        (self.rounds, self.failures)
     }
 }
 
@@ -212,6 +318,59 @@ mod tests {
     fn schedules_have_paper_shape() {
         assert_eq!(RelayScanConfig::operator_series().rounds(), 288);
         assert_eq!(RelayScanConfig::rotation_series().rounds(), 5760);
+    }
+
+    #[test]
+    fn engine_series_matches_legacy_and_is_worker_invariant() {
+        let (d, legacy) = series(DnsMode::Open);
+        // Fresh device per run: the legacy series consumed the original
+        // device's connection counter.
+        for (shards, workers) in [(1, 1), (6, 1), (6, 3), (6, 8)] {
+            let device = d.device_in_country(CountryCode::DE, DnsMode::Open);
+            let auth = d.auth_server_unlimited();
+            let s = RelayScanSeries::run_engine(
+                &device,
+                &[&auth],
+                &RelayScanConfig::operator_series(),
+                Epoch::May2022.start(),
+                0,
+                &EngineConfig::new(shards, workers),
+            );
+            assert_eq!(s, legacy, "shards={shards} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn engine_series_connection_id_base_continues_a_device() {
+        let d = Deployment::build(66, DeploymentConfig::scaled(512));
+        let auth = d.auth_server_unlimited();
+        let config = RelayScanConfig::operator_series();
+        // Legacy: one device runs two back-to-back series on its counter.
+        let device = d.device_in_country(CountryCode::DE, DnsMode::Open);
+        let first = RelayScanSeries::run(&device, &auth, &config, Epoch::May2022.start());
+        let second_start = Epoch::May2022.start() + config.duration;
+        let second = RelayScanSeries::run(&device, &auth, &config, second_start);
+        // Engine: a fresh device, second series continuing at the first's
+        // connection count (two ids per completed round).
+        let fresh = d.device_in_country(CountryCode::DE, DnsMode::Open);
+        let engine_first = RelayScanSeries::run_engine(
+            &fresh,
+            &[&auth],
+            &config,
+            Epoch::May2022.start(),
+            0,
+            &EngineConfig::new(4, 2),
+        );
+        let engine_second = RelayScanSeries::run_engine(
+            &fresh,
+            &[&auth],
+            &config,
+            second_start,
+            2 * config.rounds(),
+            &EngineConfig::new(4, 2),
+        );
+        assert_eq!(engine_first, first);
+        assert_eq!(engine_second, second);
     }
 
     #[test]

@@ -92,6 +92,9 @@ impl Config {
             root: root.to_path_buf(),
             strict_index: vec![
                 "crates/dns/src/wire.rs".to_string(),
+                // The discrete-event scheduler: event order is the whole
+                // determinism contract, so no slice indexing anywhere.
+                "crates/engine/src/sched.rs".to_string(),
                 "crates/geo/src/csv.rs".to_string(),
                 "crates/net/src/lpm.rs".to_string(),
                 "crates/quic/src/packet.rs".to_string(),
@@ -117,6 +120,10 @@ impl Config {
                 "relay::client::odoh_resolve".to_string(),
                 // The fault-injection delivery hot path (chaos harness).
                 "simnet::channel::deliver".to_string(),
+                // The sharded discrete-event engine: scheduler loop and
+                // every shard-facing surface must be panic-free — a panic
+                // in one worker poisons the whole scan.
+                "engine::sched::*".to_string(),
             ],
             graph_skip_crates: vec!["lintkit".to_string()],
         }

@@ -213,11 +213,50 @@ impl Device {
         if !self.fleets.is_ingress(IpAddr::V4(ingress)) {
             return Err(ConnectError::NotAnIngress(IpAddr::V4(ingress)));
         }
+        // The counter advances only for requests that reach connection
+        // establishment — a failed resolution consumes no id.
         let connection_id = {
             let mut counter = self.connection_counter.lock();
             *counter += 1;
             *counter
         };
+        self.connect(agent, now, ingress, connection_id)
+    }
+
+    /// [`Device::request`] with an explicit connection id, bypassing the
+    /// device's internal counter.
+    ///
+    /// The discrete-event engine runs a device's rounds across shards, so
+    /// callers assign each round's ids up front (round `i` of a fresh
+    /// device uses ids `2i + 1` and `2i + 2` via
+    /// [`Device::request_pair_with_ids`]) instead of racing a shared
+    /// counter. The id feeds egress selection only; for a device whose
+    /// requests all succeed this reproduces the counter's sequence
+    /// exactly. (Under failures the counter path skips ids for failed
+    /// resolutions while explicit ids stay fixed per round — deterministic
+    /// either way, but not bit-equal to each other.)
+    pub fn request_with_id(
+        &self,
+        agent: RequestAgent,
+        auth: &dyn NameServer,
+        now: SimTime,
+        connection_id: u64,
+    ) -> Result<ClientRequest, ConnectError> {
+        let ingress = self.resolve_ingress(auth, now)?;
+        if !self.fleets.is_ingress(IpAddr::V4(ingress)) {
+            return Err(ConnectError::NotAnIngress(IpAddr::V4(ingress)));
+        }
+        self.connect(agent, now, ingress, connection_id)
+    }
+
+    /// Establishes the tunnel for an already-resolved ingress.
+    fn connect(
+        &self,
+        agent: RequestAgent,
+        now: SimTime,
+        ingress: Ipv4Addr,
+        connection_id: u64,
+    ) -> Result<ClientRequest, ConnectError> {
         let egress = self
             .selector
             .select(self.client_key(), self.cc, now, connection_id, false)
@@ -260,6 +299,21 @@ impl Device {
     ) -> Result<(ClientRequest, ClientRequest), ConnectError> {
         let safari = self.request(RequestAgent::Safari, auth, now)?;
         let curl = self.request(RequestAgent::Curl, auth, now)?;
+        Ok((safari, curl))
+    }
+
+    /// [`Device::request_pair`] with explicit connection ids (see
+    /// [`Device::request_with_id`]): Safari takes `safari_id`, curl takes
+    /// `curl_id`.
+    pub fn request_pair_with_ids(
+        &self,
+        auth: &dyn NameServer,
+        now: SimTime,
+        safari_id: u64,
+        curl_id: u64,
+    ) -> Result<(ClientRequest, ClientRequest), ConnectError> {
+        let safari = self.request_with_id(RequestAgent::Safari, auth, now, safari_id)?;
+        let curl = self.request_with_id(RequestAgent::Curl, auth, now, curl_id)?;
         Ok((safari, curl))
     }
 

@@ -88,6 +88,24 @@ impl LinkStats {
     pub fn undecodable(&self) -> u64 {
         self.truncated + self.corrupted
     }
+
+    /// Adds another ledger into this one, field by field — how the chaos
+    /// harness folds the per-shard channels of an engine run into the one
+    /// ledger the invariants reconcile against.
+    pub fn absorb(&mut self, other: &LinkStats) {
+        self.deliveries += other.deliveries;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.burst_dropped += other.burst_dropped;
+        self.blackhole_dropped += other.blackhole_dropped;
+        self.truncated += other.truncated;
+        self.corrupted += other.corrupted;
+        self.rcode_rewritten += other.rcode_rewritten;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.jitter_events += other.jitter_events;
+        self.jitter_ms_total += other.jitter_ms_total;
+    }
 }
 
 /// The six per-link ledgers, one field per [`Link`] so access never
@@ -370,15 +388,22 @@ fn reply_is_noerror(bytes: &[u8]) -> bool {
 /// inner server sees, and the delivery decision drops or mutates the reply
 /// bytes. Organic drops by the inner server (its own rate limiter) bypass
 /// the channel entirely, so the fault ledger counts injected faults only.
+///
+/// The inner server must be `Sync`: the chaos harness shares one wrapper
+/// per engine shard across the engine's scoped worker threads.
 pub struct FaultedServer<'a> {
     channel: &'a FaultedChannel,
     link: Link,
-    inner: &'a dyn NameServer,
+    inner: &'a (dyn NameServer + Sync),
 }
 
 impl<'a> FaultedServer<'a> {
     /// Wraps `inner` so its replies traverse `link` of `channel`.
-    pub fn new(channel: &'a FaultedChannel, link: Link, inner: &'a dyn NameServer) -> Self {
+    pub fn new(
+        channel: &'a FaultedChannel,
+        link: Link,
+        inner: &'a (dyn NameServer + Sync),
+    ) -> Self {
         FaultedServer {
             channel,
             link,

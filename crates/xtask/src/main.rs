@@ -16,9 +16,11 @@
 //!   to stdout (or PATH).
 //! * `lint --json PATH` — write the machine-readable findings report
 //!   (rule/file/line/message) for CI artifacts.
-//! * `bench-report` — run the LPM ablation bench with the shim's
-//!   `BENCH_JSON` line output enabled and distil it into `BENCH_lpm.json`
-//!   (bench name → ns/op, median), the artifact CI uploads.
+//! * `bench-report [--suite lpm|scan|all]` — run an ablation bench with
+//!   the shim's `BENCH_JSON` line output enabled and distil it into
+//!   `BENCH_lpm.json` / `BENCH_scan.json` (bench name → ns/op, median),
+//!   the artifacts CI uploads. The scan suite appends derived
+//!   `speedup_engine_w8_*` ratios. Default suite: `lpm`.
 //! * `chaos` — run the fault-injection scenario matrix in-process:
 //!   `--scenario NAME --seed N` for one cell, `--all --seeds K` for the
 //!   whole registry, `--out PATH` for a JSON invariant report. Exits
@@ -91,7 +93,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: cargo run -p xtask -- lint \
              [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH]\n\
-             \x20      cargo run -p xtask -- bench-report [--out PATH]\n\
+             \x20      cargo run -p xtask -- bench-report [--suite lpm|scan|all] [--out PATH]\n\
              \x20      cargo run -p xtask -- chaos (--scenario NAME | --all) \
              [--seed N] [--seeds K] [--out PATH]"
         );
@@ -244,93 +246,150 @@ fn chaos(args: &[String]) -> ExitCode {
     }
 }
 
-/// Runs the LPM ablation bench and condenses the shim's `BENCH_JSON` lines
-/// into a flat bench-name → ns/op (median) report.
+/// One `bench-report` suite: which bench target to run and which report
+/// file its medians land in.
+struct BenchSuite {
+    name: &'static str,
+    bench: &'static str,
+    report: &'static str,
+}
+
+const BENCH_SUITES: [BenchSuite; 2] = [
+    BenchSuite {
+        name: "lpm",
+        bench: "ablation_rib_lpm",
+        report: "BENCH_lpm.json",
+    },
+    BenchSuite {
+        name: "scan",
+        bench: "ablation_scan_engine",
+        report: "BENCH_scan.json",
+    },
+];
+
+/// Runs one or more ablation benches and condenses the shim's
+/// `BENCH_JSON` lines into flat bench-name → ns/op (median) reports.
+/// `--suite lpm` (the default, matching the original behaviour), `--suite
+/// scan`, or `--suite all`; the scan suite appends derived
+/// `speedup_engine_w8_*` ratios (serial median / engine-8-worker median).
 fn bench_report(args: &[String]) -> ExitCode {
     let root = workspace_root();
-    let mut out_path = root.join("BENCH_lpm.json");
+    let mut out_path: Option<PathBuf> = None;
+    let mut suite = "lpm".to_string();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
         if arg == "--out" {
             i += 1;
             match args.get(i) {
-                Some(p) => out_path = PathBuf::from(p),
+                Some(p) => out_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("xtask bench-report: --out needs a path");
                     return ExitCode::FAILURE;
                 }
             }
         } else if let Some(p) = arg.strip_prefix("--out=") {
-            out_path = PathBuf::from(p);
+            out_path = Some(PathBuf::from(p));
+        } else if arg == "--suite" {
+            i += 1;
+            match args.get(i) {
+                Some(s) => suite = s.clone(),
+                None => {
+                    eprintln!("xtask bench-report: --suite needs a name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(s) = arg.strip_prefix("--suite=") {
+            suite = s.to_string();
         } else {
             eprintln!("xtask bench-report: unknown option `{arg}`");
             return ExitCode::FAILURE;
         }
         i += 1;
     }
-    let lines_path = root.join("target").join("bench-lpm-lines.jsonl");
-    let _ = fs::remove_file(&lines_path);
-    let status = std::process::Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
-        .args([
-            "bench",
-            "-p",
-            "tectonic-bench",
-            "--bench",
-            "ablation_rib_lpm",
-        ])
-        .env("BENCH_JSON", &lines_path)
-        .current_dir(&root)
-        .status();
-    match status {
-        Ok(s) if s.success() => {}
-        Ok(s) => {
-            eprintln!("xtask bench-report: cargo bench failed: {s}");
-            return ExitCode::FAILURE;
+    let selected: Vec<&BenchSuite> = if suite == "all" {
+        BENCH_SUITES.iter().collect()
+    } else {
+        match BENCH_SUITES.iter().find(|s| s.name == suite) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("xtask bench-report: unknown suite `{suite}` (known: lpm, scan, all)");
+                return ExitCode::FAILURE;
+            }
         }
-        Err(e) => {
-            eprintln!("xtask bench-report: running cargo bench: {e}");
+    };
+    if out_path.is_some() && selected.len() > 1 {
+        eprintln!("xtask bench-report: --out only works with a single suite");
+        return ExitCode::FAILURE;
+    }
+    for s in selected {
+        let out = out_path.clone().unwrap_or_else(|| root.join(s.report));
+        if let Err(e) = run_bench_suite(&root, s, &out) {
+            eprintln!("xtask bench-report: {e}");
             return ExitCode::FAILURE;
         }
     }
-    let lines = match fs::read_to_string(&lines_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!(
-                "xtask bench-report: no BENCH_JSON output at {}: {e}",
-                lines_path.display()
-            );
-            return ExitCode::FAILURE;
-        }
-    };
+    ExitCode::SUCCESS
+}
+
+fn run_bench_suite(root: &PathBuf, suite: &BenchSuite, out_path: &PathBuf) -> Result<(), String> {
+    let lines_path = root
+        .join("target")
+        .join(format!("bench-{}-lines.jsonl", suite.name));
+    let _ = fs::remove_file(&lines_path);
+    let status = std::process::Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(["bench", "-p", "tectonic-bench", "--bench", suite.bench])
+        .env("BENCH_JSON", &lines_path)
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => return Err(format!("cargo bench failed: {s}")),
+        Err(e) => return Err(format!("running cargo bench: {e}")),
+    }
+    let lines = fs::read_to_string(&lines_path)
+        .map_err(|e| format!("no BENCH_JSON output at {}: {e}", lines_path.display()))?;
     let mut rows: Vec<(String, f64)> = Vec::new();
     for line in lines.lines().filter(|l| !l.trim().is_empty()) {
         let (Some(bench), Some(median)) = (json_str(line, "bench"), json_num(line, "median_ns"))
         else {
-            eprintln!("xtask bench-report: unparseable line: {line}");
-            return ExitCode::FAILURE;
+            return Err(format!("unparseable line: {line}"));
         };
         rows.push((bench.to_string(), median));
     }
     if rows.is_empty() {
-        eprintln!("xtask bench-report: bench produced no measurements");
-        return ExitCode::FAILURE;
+        return Err("bench produced no measurements".to_string());
+    }
+    // The scan suite's headline numbers: wall-clock ratio of the serial
+    // scanner over the 8-worker engine, per deployment size.
+    if suite.name == "scan" {
+        let mut derived: Vec<(String, f64)> = Vec::new();
+        let median = |name: &str| rows.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns);
+        for size in ["small", "large"] {
+            if let (Some(serial), Some(engine)) = (
+                median(&format!("serial_{size}")),
+                median(&format!("engine_w8_{size}")),
+            ) {
+                if engine > 0.0 {
+                    derived.push((format!("speedup_engine_w8_{size}"), serial / engine));
+                }
+            }
+        }
+        rows.extend(derived);
     }
     let body = rows
         .iter()
         .map(|(name, ns)| format!("  \"{name}\": {ns:.1}"))
         .collect::<Vec<_>>()
         .join(",\n");
-    if let Err(e) = fs::write(&out_path, format!("{{\n{body}\n}}\n")) {
-        eprintln!("xtask bench-report: writing {}: {e}", out_path.display());
-        return ExitCode::FAILURE;
-    }
+    fs::write(out_path, format!("{{\n{body}\n}}\n"))
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
     println!(
-        "xtask bench-report: wrote {} ({} benches, ns/op medians)",
+        "xtask bench-report: wrote {} ({} entries, ns/op medians)",
         out_path.display(),
         rows.len()
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// Extracts a string field from one flat `BENCH_JSON` line.

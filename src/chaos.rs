@@ -35,6 +35,7 @@ use crate::core::relay_scan::{RelayScanConfig, RelayScanSeries};
 use crate::core::report;
 use crate::core::rotation::RotationReport;
 use crate::dns::{AuthoritativeServer, DomainName, NameServer, QType, RData, Record, Zone};
+use crate::engine::EngineConfig;
 use crate::geo::CountryCode;
 use crate::net::{Asn, Epoch, IpNet, SimClock, SimDuration};
 use crate::relay::{Deployment, DeploymentConfig, DnsMode, Domain};
@@ -53,6 +54,12 @@ pub struct ChaosConfig {
     pub probes: usize,
     /// QUIC probing sample size.
     pub quic_sample: usize,
+    /// When set, the ECS scans, Atlas campaigns, and open-DNS relay series
+    /// run on the sharded discrete-event engine with this configuration;
+    /// `None` (the default) is the legacy serial path, byte-for-byte.
+    /// Engine runs are worker-invariant: the same seed produces the same
+    /// [`ChaosRun`] for every `workers` value.
+    pub engine: Option<EngineConfig>,
 }
 
 impl Default for ChaosConfig {
@@ -61,6 +68,7 @@ impl Default for ChaosConfig {
             scale: 4096,
             probes: 400,
             quic_sample: 40,
+            engine: None,
         }
     }
 }
@@ -144,6 +152,24 @@ fn sum_scan_counters(metrics: &mut ChaosMetrics, report: &EcsScanReport) {
     metrics.table1_totals.push(report.total());
 }
 
+/// The engine-stage server list: one faulted wrapper per shard, or the
+/// bare auth when no faults are active (golden engine runs). The engine
+/// indexes it `shard % len`, so with one wrapper per shard each shard
+/// talks to its own channel and never contends on a ledger lock.
+fn engine_servers<'a>(
+    wraps: &'a [FaultedServer<'a>],
+    fallback: &'a (dyn NameServer + Sync),
+) -> Vec<&'a (dyn NameServer + Sync)> {
+    if wraps.is_empty() {
+        vec![fallback]
+    } else {
+        wraps
+            .iter()
+            .map(|w| w as &(dyn NameServer + Sync))
+            .collect()
+    }
+}
+
 fn table3_subnet_total(analysis: &EgressAnalysis<'_>) -> u64 {
     analysis
         .table3()
@@ -158,6 +184,20 @@ fn table3_subnet_total(analysis: &EgressAnalysis<'_>) -> u64 {
 /// threads every link through a [`FaultedChannel`] seeded from `seed`.
 pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -> ChaosRun {
     let channel = plan.map(|p| FaultedChannel::new(p.clone(), seed));
+    // One extra fault channel per engine shard: each shard's RNG stream
+    // must depend only on (seed, shard index) — never on worker
+    // interleaving — so engine runs are worker-invariant, and shards never
+    // share a channel lock. The main `channel` keeps serving the serial
+    // stages (control survey, QUIC, BGP feed).
+    let shard_channels: Vec<FaultedChannel> = match (plan, config.engine.as_ref()) {
+        (Some(p), Some(e)) => (0..e.shards.max(1))
+            .map(|s| {
+                let salt = (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                FaultedChannel::new(p.clone(), seed ^ salt)
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
     let mut deployment = Deployment::build(seed, DeploymentConfig::scaled(config.scale));
     let auth = deployment.auth_server_unlimited();
     let scanner = EcsScanner::default();
@@ -196,9 +236,22 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         Some(wrapped) => wrapped,
         None => &auth,
     };
-    let scan = |domain: Domain, epoch: Epoch| {
-        let mut clock = SimClock::new(epoch.start());
-        scanner.scan(domain.name(), scan_auth, &deployment.rib, &mut clock)
+    let scan_shards: Vec<FaultedServer<'_>> = shard_channels
+        .iter()
+        .map(|c| FaultedServer::new(c, Link::ScanAuth, &auth))
+        .collect();
+    let scan = |domain: Domain, epoch: Epoch| match config.engine.as_ref() {
+        None => {
+            let mut clock = SimClock::new(epoch.start());
+            scanner.scan(domain.name(), scan_auth, &deployment.rib, &mut clock)
+        }
+        Some(e) => scanner.scan_engine_sharded(
+            domain.name(),
+            &engine_servers(&scan_shards, &auth),
+            &deployment.rib,
+            epoch.start(),
+            e,
+        ),
     };
     let jan = scan(Domain::MaskQuic, Epoch::Jan2022);
     let april = scan(Domain::MaskQuic, Epoch::Apr2022);
@@ -235,14 +288,35 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         Some(wrapped) => wrapped,
         None => &auth,
     };
-    let a_results =
-        atlas.run_mask_campaign_with(atlas_auth, Domain::MaskQuic, QType::A, Epoch::Apr2022, 1);
-    let atlas_a_stats = channel
-        .as_ref()
-        .map(|c| c.stats_for(Link::AtlasAuth))
-        .unwrap_or_default();
-    let aaaa_results =
-        atlas.run_mask_campaign_with(atlas_auth, Domain::MaskQuic, QType::AAAA, Epoch::Apr2022, 2);
+    let atlas_shards: Vec<FaultedServer<'_>> = shard_channels
+        .iter()
+        .map(|c| FaultedServer::new(c, Link::AtlasAuth, &auth))
+        .collect();
+    let mask_campaign = |qtype: QType, seed: u64| match config.engine.as_ref() {
+        None => {
+            atlas.run_mask_campaign_with(atlas_auth, Domain::MaskQuic, qtype, Epoch::Apr2022, seed)
+        }
+        Some(e) => atlas.run_mask_campaign_engine(
+            &engine_servers(&atlas_shards, &auth),
+            Domain::MaskQuic,
+            qtype,
+            Epoch::Apr2022,
+            seed,
+            e,
+        ),
+    };
+    let a_results = mask_campaign(QType::A, 1);
+    let atlas_a_stats = {
+        let mut stats = channel
+            .as_ref()
+            .map(|c| c.stats_for(Link::AtlasAuth))
+            .unwrap_or_default();
+        for c in &shard_channels {
+            stats.absorb(&c.stats_for(Link::AtlasAuth));
+        }
+        stats
+    };
+    let aaaa_results = mask_campaign(QType::AAAA, 2);
     metrics.mask_a_timeouts = a_results
         .iter()
         .filter(|r| matches!(r.outcome, MeasurementOutcome::Timeout))
@@ -312,10 +386,38 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         interval: SimDuration::from_secs(30),
         duration: SimDuration::from_hours(2),
     };
-    let open = RelayScanSeries::run(&open_device, relay_auth, &operator_schedule, start);
+    let relay_shards: Vec<FaultedServer<'_>> = shard_channels
+        .iter()
+        .map(|c| FaultedServer::new(c, Link::RelayDns, &auth))
+        .collect();
+    // Engine runs assign connection ids per round: the open device's
+    // counter stays untouched, so the rotation series continues at the id
+    // a failure-free operator series would have reached (two per round) —
+    // matching the legacy counter exactly on fault-free runs.
+    let open = match config.engine.as_ref() {
+        None => RelayScanSeries::run(&open_device, relay_auth, &operator_schedule, start),
+        Some(e) => RelayScanSeries::run_engine(
+            &open_device,
+            &engine_servers(&relay_shards, &auth),
+            &operator_schedule,
+            start,
+            0,
+            e,
+        ),
+    };
     let fixed = RelayScanSeries::run(&fixed_device, &auth, &operator_schedule, start);
     artifacts.push_str(&report::render_fig3(&open, &fixed));
-    let rotation_series = RelayScanSeries::run(&open_device, relay_auth, &rotation_schedule, start);
+    let rotation_series = match config.engine.as_ref() {
+        None => RelayScanSeries::run(&open_device, relay_auth, &rotation_schedule, start),
+        Some(e) => RelayScanSeries::run_engine(
+            &open_device,
+            &engine_servers(&relay_shards, &auth),
+            &rotation_schedule,
+            start,
+            2 * operator_schedule.rounds(),
+            e,
+        ),
+    };
     let rotation = RotationReport::from_series(&rotation_series);
     artifacts.push_str(&report::render_rotation(&rotation));
     metrics.relay_failures = open.failures + rotation_series.failures;
@@ -378,13 +480,22 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         metrics.table3_restored = Some(table3_subnet_total(&analysis));
     }
 
+    // Fold the per-shard engine channels into the main ledger: the
+    // invariants reconcile against injection totals, which are sums over
+    // every channel the run touched.
+    let mut stats = channel
+        .as_ref()
+        .map(FaultedChannel::stats)
+        .unwrap_or_default();
+    for c in &shard_channels {
+        for (link, link_stats) in c.stats() {
+            stats.entry(link).or_default().absorb(&link_stats);
+        }
+    }
     ChaosRun {
         artifacts,
         metrics,
-        stats: channel
-            .as_ref()
-            .map(FaultedChannel::stats)
-            .unwrap_or_default(),
+        stats,
         atlas_a_stats,
     }
 }

@@ -16,6 +16,7 @@
 //! * [`atlas`] — the simulated RIPE-Atlas-like probe platform
 //! * [`core`] — the paper's measurement toolchain and analyses
 //! * [`simnet`] — deterministic fault injection between clients and servers
+//! * [`engine`] — the sharded deterministic discrete-event scan engine
 //!
 //! On top of the re-exports, [`chaos`] wires the fault layer through the
 //! full paper pipeline and checks the per-scenario invariants (see
@@ -32,6 +33,7 @@ pub use tectonic_atlas as atlas;
 pub use tectonic_bgp as bgp;
 pub use tectonic_core as core;
 pub use tectonic_dns as dns;
+pub use tectonic_engine as engine;
 pub use tectonic_geo as geo;
 pub use tectonic_net as net;
 pub use tectonic_quic as quic;

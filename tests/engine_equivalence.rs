@@ -1,0 +1,90 @@
+//! The engine's hard invariant, end to end: the sharded discrete-event
+//! scan engine must be unobservable in every pipeline output. A golden
+//! (fault-free) chaos run through the engine reproduces the legacy serial
+//! run's artifacts and metrics byte-for-byte, and any engine run — golden
+//! or kitchen-sink faulted — produces the same `ChaosRun` for every
+//! worker count.
+//!
+//! Unit-level equivalence (per-report field equality, per-stage shard
+//! alignment) lives next to each stage; this file is the integration
+//! surface the CI `scan-bench` job runs.
+
+use tectonic::chaos::{run_pipeline, ChaosConfig, ChaosRun};
+use tectonic::engine::EngineConfig;
+use tectonic::simnet::scenarios;
+
+/// Reduced sizing so the full pipeline stays affordable per run: the
+/// matrix here executes it several times.
+fn config(engine: Option<EngineConfig>) -> ChaosConfig {
+    ChaosConfig {
+        scale: 8192,
+        probes: 200,
+        quic_sample: 20,
+        engine,
+    }
+}
+
+fn assert_runs_equal(a: &ChaosRun, b: &ChaosRun, label: &str) {
+    assert_eq!(a.artifacts, b.artifacts, "{label}: artifacts diverged");
+    assert_eq!(a.metrics, b.metrics, "{label}: metrics diverged");
+    assert_eq!(a.stats, b.stats, "{label}: fault ledgers diverged");
+    assert_eq!(
+        a.atlas_a_stats, b.atlas_a_stats,
+        "{label}: A-campaign ledgers diverged"
+    );
+}
+
+/// Golden pipeline through the engine ≡ golden pipeline without it, for
+/// one and for many workers. This is the acceptance invariant: turning
+/// the engine on must change nothing but wall-clock time.
+#[test]
+fn golden_engine_run_matches_serial_pipeline() {
+    let serial = run_pipeline(5, None, &config(None));
+    for workers in [1, 4] {
+        let engine = run_pipeline(5, None, &config(Some(EngineConfig::new(8, workers))));
+        assert_runs_equal(&engine, &serial, &format!("golden, {workers} workers"));
+    }
+}
+
+/// The kitchen-sink scenario — every fault family at once — through the
+/// engine: same seed, same report, for every worker count.
+#[test]
+fn kitchen_sink_engine_run_is_worker_invariant() {
+    let plan = scenarios::by_name("kitchen-sink").expect("scenario registered");
+    let base = run_pipeline(7, Some(&plan), &config(Some(EngineConfig::new(8, 1))));
+    for workers in [2, 4] {
+        let run = run_pipeline(7, Some(&plan), &config(Some(EngineConfig::new(8, workers))));
+        assert_runs_equal(&run, &base, &format!("kitchen-sink, {workers} workers"));
+    }
+    // The run injected faults (the matrix in chaos_matrix.rs checks the
+    // full invariants; here we only need the engine path to have actually
+    // exercised the fault machinery).
+    let injected: u64 = base
+        .stats
+        .values()
+        .map(|s| s.all_dropped() + s.undecodable() + s.rcode_rewritten)
+        .sum();
+    assert!(injected > 0, "kitchen-sink run injected nothing");
+}
+
+/// The quick cell the CI `scan-bench` job runs on its own: serial vs a
+/// three-worker engine at small scale.
+#[test]
+fn quick_three_worker_equivalence() {
+    let small = ChaosConfig {
+        scale: 16384,
+        probes: 100,
+        quic_sample: 10,
+        engine: None,
+    };
+    let serial = run_pipeline(11, None, &small);
+    let engine = run_pipeline(
+        11,
+        None,
+        &ChaosConfig {
+            engine: Some(EngineConfig::new(6, 3)),
+            ..small
+        },
+    );
+    assert_runs_equal(&engine, &serial, "quick three-worker cell");
+}
