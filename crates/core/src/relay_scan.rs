@@ -306,6 +306,44 @@ mod tests {
         assert_eq!(s.failures, 0);
     }
 
+    /// Pins the relay series byte-for-byte across the `SimRng::fork` audit
+    /// in `Deployment::build` / `Deployment::mask_zone`. All four fork
+    /// sites were judged serial-only and kept on label forks
+    /// (`lintkit: allow(rng-fork-order)` at each site); these goldens prove
+    /// the audit changed nothing, and will catch any future fork →
+    /// fork_indexed migration that silently rewrites the derived streams.
+    #[test]
+    fn relay_series_pinned_across_fork_audit() {
+        let (_, s) = series(DnsMode::Open);
+        assert_eq!(s.rounds.len(), 288);
+        assert_eq!(s.failures, 0);
+        let first = &s.rounds[0];
+        assert_eq!(first.safari.operator, Asn(20940));
+        assert_eq!(first.safari.egress_addr, "23.32.0.12");
+        assert_eq!(first.safari.egress_subnet, "23.32.0.12/32");
+        assert_eq!(first.curl.operator, Asn(20940));
+        assert_eq!(first.curl.egress_addr, "23.32.0.12");
+        let last = &s.rounds[287];
+        assert_eq!(last.relative_secs, 86_100);
+        assert_eq!(last.safari.operator, Asn(20940));
+        assert_eq!(last.safari.egress_addr, "23.32.0.12");
+        // Whole-series digests: any reordered or re-derived RNG stream
+        // moves at least one of these.
+        let op_sum: u64 = s
+            .rounds
+            .iter()
+            .map(|r| r.safari.operator.0 as u64 + r.curl.operator.0 as u64)
+            .sum();
+        let addr_len_sum: u64 = s
+            .rounds
+            .iter()
+            .map(|r| r.safari.egress_addr.len() as u64 + r.curl.egress_addr.len() as u64)
+            .sum();
+        assert_eq!(op_sum, 17_742_384);
+        assert_eq!(addr_len_sum, 6_264);
+        assert_eq!(s.operator_changes().len(), 5);
+    }
+
     #[test]
     fn observed_operators_are_egress_operators() {
         let (_, s) = series(DnsMode::Open);

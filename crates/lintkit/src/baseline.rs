@@ -170,7 +170,8 @@ pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
     Ok(entries)
 }
 
-fn json_string(s: &str) -> String {
+/// JSON string literal with full escaping — shared with the SARIF writer.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

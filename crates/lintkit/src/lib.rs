@@ -22,7 +22,7 @@
 //!
 //! On top of the per-file rules, the pass builds a workspace-wide symbol
 //! table ([`symbols`]) and conservative call graph ([`graph`]) and runs
-//! three interprocedural rules ([`reach`]):
+//! six interprocedural rules ([`reach`], [`order`]):
 //!
 //! * **panic-reachability** — no panic site may be transitively reachable
 //!   from a declared hostile-input entry point (unresolvable dynamic
@@ -30,11 +30,20 @@
 //! * **lock-order** — the derived `Mutex`/`RwLock` acquisition-order graph
 //!   must be acyclic,
 //! * **determinism-taint** — `SystemTime::now`/`Instant::now`/`thread_rng`
-//!   sources must be unreachable from `SimClock`/`SimRng`-driven code.
+//!   sources must be unreachable from `SimClock`/`SimRng`-driven code,
+//! * **map-iter-order** — `HashMap`/`HashSet` iteration order must not
+//!   reach a function's output without a sorting boundary; functions that
+//!   leak it taint their callers to a fixpoint ([`order`]),
+//! * **rng-fork-order** — code reachable from the sharded engine must use
+//!   `SimRng::fork_indexed`, never the sibling-order-dependent `fork`,
+//! * **shard-state-escape** — `ShardModel` impls must not touch shared
+//!   mutable aliases (`Mutex`, `OnceLock`, atomics, `static mut`);
+//!   cross-shard effects go through `ShardCtx` sends only.
 //!
 //! Accepted findings live in the `lint-baseline.json` ratchet ([`baseline`]):
 //! new findings fail, and so do stale baseline entries, so the debt only
-//! burns down.
+//! burns down. `--json` and `--sarif` ([`sarif`]) export the findings for
+//! CI artifacts and code-hosting annotation UIs.
 //!
 //! Built without external dependencies (no crates.io access in the build
 //! environment, so no `syn`): the lexer in [`lexer`] provides just enough
@@ -48,8 +57,10 @@ pub mod baseline;
 pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod order;
 pub mod reach;
 pub mod rules;
+pub mod sarif;
 pub mod symbols;
 
 use std::fs;

@@ -24,13 +24,91 @@ use crate::graph::{CallGraph, Callee};
 use crate::rules::{Finding, Rule};
 use crate::symbols::Event;
 
-/// Runs all three interprocedural rules.
+/// Runs all six interprocedural rules.
 pub fn check_graph(graph: &CallGraph, entry_points: &[String]) -> Vec<Finding> {
     let mut findings = Vec::new();
     panic_reachability(graph, entry_points, &mut findings);
     lock_order(graph, &mut findings);
     determinism_taint(graph, &mut findings);
+    crate::order::map_iter_order(graph, &mut findings);
+    rng_fork_order(graph, &mut findings);
+    shard_state_escape(graph, &mut findings);
     findings
+}
+
+/// **rng-fork-order** — within code reachable from the sharded engine
+/// (`engine::sched::*` plus every `ShardModel` impl), the order-dependent
+/// `SimRng::fork` is forbidden: the stream it yields depends on *when* the
+/// fork happens relative to its siblings, which worker interleaving must
+/// not influence. `fork_indexed(label, stable_id)` derives an order-free
+/// stream family instead. The entry set is structural (trait-impl
+/// detection by name), so a workspace without an engine crate simply has
+/// fewer entries.
+fn rng_fork_order(graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let mut entries: Vec<usize> = graph.resolve_entry("engine::sched::*");
+    for (i, f) in graph.funcs.iter().enumerate() {
+        if f.impl_trait.as_deref() == Some("ShardModel") {
+            entries.push(i);
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for entry in entries {
+        let parent = bfs(graph, entry);
+        let mut reached: Vec<usize> = parent.keys().copied().collect();
+        reached.sort_unstable();
+        for i in reached {
+            let f = &graph.funcs[i];
+            for site in &f.fork_sites {
+                if seen.insert((f.file.clone(), site.line)) {
+                    findings.push(Finding {
+                        rule: Rule::RngForkOrder,
+                        file: f.file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "order-dependent SimRng::fork reachable from engine entry `{}` \
+                             via {} — use fork_indexed keyed by a stable id",
+                            graph.funcs[entry].path(),
+                            path_to(graph, &parent, i),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// **shard-state-escape** — functions defined directly inside a
+/// `ShardModel` impl block must not touch shared mutable aliases
+/// (`Mutex`/`RwLock`, `OnceLock`/`OnceCell`/`LazyLock`, atomics,
+/// `thread_local!`, `static mut`, `.lock()`): a shard observing state
+/// another shard wrote breaks worker-count unobservability. Cross-shard
+/// effects go through `ShardCtx` sends only. The check is deliberately
+/// direct (not transitive): helpers shared with serial code may lock, but
+/// the shard entry surface itself must stay alias-free.
+fn shard_state_escape(graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for f in &graph.funcs {
+        if f.impl_trait.as_deref() != Some("ShardModel") {
+            continue;
+        }
+        for site in &f.shared_sites {
+            if seen.insert((f.file.clone(), site.line)) {
+                findings.push(Finding {
+                    rule: Rule::ShardStateEscape,
+                    file: f.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` touches shared mutable state (`{}`) inside a ShardModel \
+                         impl — route cross-shard effects through ShardCtx sends",
+                        f.path(),
+                        site.what,
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Breadth-first reachability from `start`, returning for every reached

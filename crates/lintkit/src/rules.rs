@@ -43,6 +43,23 @@ pub enum Rule {
     /// No wall-clock or OS-randomness source may be reachable from a
     /// function that takes a `SimClock`/`SimRng`.
     DeterminismTaint,
+    /// Iteration order of a `HashMap`/`HashSet` must not reach a function's
+    /// output (return value, tail expression, `&mut` out-param or `self`
+    /// field) without passing a sorting boundary — collecting into a
+    /// `BTreeMap`/`BTreeSet`, re-keying into a fresh hash container, a
+    /// `.sort*()` on the collected `Vec`, or a commutative reduction.
+    /// Order-taint propagates through the call graph: a function returning
+    /// unordered iteration results taints its callers.
+    MapIterOrder,
+    /// Code reachable from the sharded engine (`engine::sched::*` or any
+    /// `ShardModel` impl) must not call the order-dependent `SimRng::fork`;
+    /// use `fork_indexed` keyed by a stable id instead.
+    RngForkOrder,
+    /// `ShardModel` impl blocks must not touch shared mutable state
+    /// (`static mut`, `OnceLock`, `Arc<Mutex<_>>`/`Arc<RwLock<_>>`,
+    /// atomics, `thread_local!`) — cross-shard effects go through
+    /// `ShardCtx` sends only.
+    ShardStateEscape,
 }
 
 impl Rule {
@@ -58,6 +75,9 @@ impl Rule {
             Rule::PanicReachability => "panic-reachability",
             Rule::LockOrder => "lock-order",
             Rule::DeterminismTaint => "determinism-taint",
+            Rule::MapIterOrder => "map-iter-order",
+            Rule::RngForkOrder => "rng-fork-order",
+            Rule::ShardStateEscape => "shard-state-escape",
         }
     }
 
@@ -73,6 +93,9 @@ impl Rule {
             "panic-reachability" => Some(Rule::PanicReachability),
             "lock-order" => Some(Rule::LockOrder),
             "determinism-taint" => Some(Rule::DeterminismTaint),
+            "map-iter-order" => Some(Rule::MapIterOrder),
+            "rng-fork-order" => Some(Rule::RngForkOrder),
+            "shard-state-escape" => Some(Rule::ShardStateEscape),
             _ => None,
         }
     }

@@ -39,6 +39,9 @@ pub struct FuncDef {
     /// The `impl` self-type name, when defined inside an `impl` block, or
     /// the trait name for a default method body inside a `trait` block.
     pub self_type: Option<String>,
+    /// The trait name when defined inside an `impl Trait for Type` block
+    /// (also set, to the trait's own name, for trait default bodies).
+    pub impl_trait: Option<String>,
     /// Whether this is a default method body inside a `trait` block.
     pub in_trait: bool,
     /// Workspace-relative file path.
@@ -47,10 +50,36 @@ pub struct FuncDef {
     pub line: u32,
     /// Whether the signature mentions `SimClock` or `SimRng`.
     pub takes_sim_types: bool,
+    /// Whether the signature declares a `->` return type.
+    pub returns_value: bool,
+    /// Whether the return type mentions `HashMap`/`HashSet` — callers
+    /// binding this call's result hold an unordered container.
+    pub ret_unordered_container: bool,
+    /// Parameter names, in declaration order (`self` excluded).
+    pub params: Vec<String>,
+    /// Parameter names whose declared type mentions `HashMap`/`HashSet`.
+    pub unordered_params: Vec<String>,
+    /// Parameter names passed by `&mut` reference — writes through them
+    /// escape to the caller.
+    pub ref_mut_params: Vec<String>,
+    /// `HashMap`/`HashSet` struct-field names declared in the same file,
+    /// visible to this function as `self.<field>`.
+    pub map_fields: Vec<String>,
     /// Unsuppressed may-panic sites in the body.
     pub panic_sites: Vec<Site>,
     /// Wall-clock / OS-randomness reads in the body.
     pub taint_sites: Vec<Site>,
+    /// Unsuppressed order-dependent `.fork(` call sites.
+    pub fork_sites: Vec<Site>,
+    /// Unsuppressed shared-mutable-state touches (`Mutex`, `OnceLock`,
+    /// atomics, `.lock()`, `static mut`, …).
+    pub shared_sites: Vec<Site>,
+    /// Lines carrying a reasoned `allow(map-iter-order)` — seeds the order
+    /// dataflow must skip.
+    pub order_allows: Vec<u32>,
+    /// The statement-level order IR the map-iter-order dataflow replays
+    /// (see [`crate::order`]).
+    pub order_stmts: Vec<OrderStmt>,
     /// Body events in source order (calls and lock acquisitions).
     pub events: Vec<Event>,
 }
@@ -99,6 +128,58 @@ pub struct CallSite {
     pub line: u32,
 }
 
+/// One statement of the order IR: a flat lexical summary of what the
+/// statement binds, reads, calls and chains, retained so the
+/// map-iter-order dataflow ([`crate::order`]) can replay the
+/// intra-function analysis whenever interprocedural callee summaries
+/// change.
+#[derive(Debug, Clone, Default)]
+pub struct OrderStmt {
+    /// 1-indexed line the statement starts on.
+    pub line: u32,
+    /// Assignment destinations: `let` pattern variables, a reassigned
+    /// variable, or a dotted `self.field` path.
+    pub dests: Vec<String>,
+    /// The destinations are freshly bound with `let` (a rebind clears any
+    /// previous taint on the name).
+    pub is_let: bool,
+    /// Type-annotation identifiers on the `let` destination.
+    pub dest_type: Vec<String>,
+    /// `for <pat> in …` loop variables — the statement is a loop header,
+    /// where reading an unordered container *is* iterating it.
+    pub for_vars: Vec<String>,
+    /// Root identifiers read (`x`, `self.field`).
+    pub reads: Vec<String>,
+    /// Path qualifiers seen (`HashMap` in `HashMap::new()`) — the
+    /// constructor evidence for container typing.
+    pub quals: Vec<String>,
+    /// Method-chain uses, in source order.
+    pub methods: Vec<MethodUse>,
+    /// Free/path call names with their call-site lines.
+    pub calls: Vec<(String, u32)>,
+    /// Statement starts with `return`.
+    pub is_return: bool,
+    /// Statement is the function's trailing tail expression.
+    pub is_tail: bool,
+    /// Compound assignment (`+=`, `|=`, …): a commutative accumulation,
+    /// treated as an order boundary.
+    pub compound_assign: bool,
+}
+
+/// One `.name(…)` use inside a statement's method chains.
+#[derive(Debug, Clone)]
+pub struct MethodUse {
+    /// The method name.
+    pub name: String,
+    /// The dotted receiver root (`m`, `self.map`) when the call starts a
+    /// chain from a named place; `None` mid-chain (after `)`/`]`).
+    pub recv: Option<String>,
+    /// Identifiers inside a `::<…>` turbofish (`collect` targets).
+    pub turbofish: Vec<String>,
+    /// 1-indexed line.
+    pub line: u32,
+}
+
 /// A struct field declared with a `Mutex`/`RwLock` type.
 #[derive(Debug, Clone)]
 pub struct LockDecl {
@@ -126,6 +207,8 @@ pub struct FileSymbols {
     pub trait_methods: Vec<String>,
     /// `Mutex`/`RwLock` struct fields declared in the file.
     pub locks: Vec<LockDecl>,
+    /// `HashMap`/`HashSet` struct-field names declared in the file.
+    pub map_fields: Vec<String>,
 }
 
 /// Panic-family macros (must match the per-file `no-panic` rule).
@@ -138,6 +221,9 @@ pub fn collect(crate_name: &str, module: &str, rel_path: &str, src: &str) -> Fil
         &tokens,
         &[Rule::NoPanic, Rule::NoIndex, Rule::PanicReachability],
     );
+    let order_allows = collect_reasoned_allows(&tokens, &[Rule::MapIterOrder]);
+    let fork_allows = collect_reasoned_allows(&tokens, &[Rule::RngForkOrder]);
+    let shared_allows = collect_reasoned_allows(&tokens, &[Rule::ShardStateEscape]);
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| t.kind != TokenKind::Comment)
@@ -148,19 +234,39 @@ pub fn collect(crate_name: &str, module: &str, rel_path: &str, src: &str) -> Fil
         code: &code,
         skip: &skip,
         suppressed: &suppressed,
+        order_allows: &order_allows,
+        fork_allows: &fork_allows,
+        shared_allows: &shared_allows,
         crate_name,
         module,
         rel_path,
         out: &mut out,
     };
     walker.items(0, code.len(), &Ctx::default());
+    // Struct declarations may follow the impls that use them, so the
+    // file-level map-field set is distributed after the walk.
+    let map_fields = out.map_fields.clone();
+    for f in &mut out.funcs {
+        f.map_fields = map_fields.clone();
+    }
     out
+}
+
+/// What [`Walker::signature`] extracts from one function signature.
+#[derive(Debug, Default)]
+struct SigInfo {
+    params: Vec<String>,
+    unordered_params: Vec<String>,
+    ref_mut_params: Vec<String>,
+    returns_value: bool,
+    ret_unordered: bool,
 }
 
 /// Item-walk context: the `impl`/`trait` block we are inside, if any.
 #[derive(Debug, Clone, Default)]
 struct Ctx {
     self_type: Option<String>,
+    impl_trait: Option<String>,
     in_trait: bool,
 }
 
@@ -168,6 +274,9 @@ struct Walker<'a> {
     code: &'a [&'a Token],
     skip: &'a [(usize, usize)],
     suppressed: &'a [u32],
+    order_allows: &'a [u32],
+    fork_allows: &'a [u32],
+    shared_allows: &'a [u32],
     crate_name: &'a str,
     module: &'a str,
     rel_path: &'a str,
@@ -229,11 +338,12 @@ impl Walker<'_> {
                     }
                 }
                 "impl" => {
-                    let (header_end, self_type) = self.impl_header(i, hi);
+                    let (header_end, self_type, impl_trait) = self.impl_header(i, hi);
                     if header_end < hi && self.code[header_end].is_punct(b'{') {
                         let close = self.close_of(header_end, b'{', b'}');
                         let inner = Ctx {
                             self_type,
+                            impl_trait,
                             in_trait: false,
                         };
                         self.items(header_end + 1, close.min(hi), &inner);
@@ -279,6 +389,7 @@ impl Walker<'_> {
                 }
                 let ctx = Ctx {
                     self_type: trait_name.map(String::from),
+                    impl_trait: trait_name.map(String::from),
                     in_trait: true,
                 };
                 i = self.func(i, &ctx, hi);
@@ -288,10 +399,11 @@ impl Walker<'_> {
         }
     }
 
-    /// Parses `impl … {`, returning the index of the body `{` and the
+    /// Parses `impl … {`, returning the index of the body `{`, the
     /// self-type name (the last path segment before the brace, or before
-    /// `for` when it is a trait impl — `impl Trait for Type`).
-    fn impl_header(&self, start: usize, hi: usize) -> (usize, Option<String>) {
+    /// `for` when it is a trait impl — `impl Trait for Type`) and, for a
+    /// trait impl, the implemented trait's name.
+    fn impl_header(&self, start: usize, hi: usize) -> (usize, Option<String>, Option<String>) {
         let mut j = start + 1;
         let mut last_ident: Option<String> = None;
         let mut after_for: Option<String> = None;
@@ -318,7 +430,8 @@ impl Walker<'_> {
             }
             j += 1;
         }
-        (j, after_for.or(last_ident))
+        let impl_trait = if seen_for { last_ident.clone() } else { None };
+        (j, after_for.or(last_ident), impl_trait)
     }
 
     /// Records `Mutex`/`RwLock` fields of a `struct` declaration; returns
@@ -361,6 +474,7 @@ impl Walker<'_> {
                 let mut m = k + 2;
                 let mut depth = 0i32;
                 let mut is_lock = false;
+                let mut is_map = false;
                 while m < close {
                     let t = self.code[m];
                     if t.is_punct(b'<') || t.is_punct(b'(') {
@@ -371,6 +485,8 @@ impl Walker<'_> {
                         break;
                     } else if t.is_ident("Mutex") || t.is_ident("RwLock") {
                         is_lock = true;
+                    } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                        is_map = true;
                     }
                     m += 1;
                 }
@@ -380,6 +496,8 @@ impl Walker<'_> {
                         struct_name: struct_name.clone(),
                         field,
                     });
+                } else if is_map {
+                    self.out.map_fields.push(field);
                 }
                 k = m + 1;
             } else {
@@ -423,22 +541,139 @@ impl Walker<'_> {
         }
         let body_open = j;
         let body_close = self.close_of(body_open, b'{', b'}').min(hi);
+        let sig = self.signature(fn_kw + 2, body_open);
         let mut def = FuncDef {
             crate_name: self.crate_name.to_string(),
             module: self.module.to_string(),
             name: name_tok.text.clone(),
             self_type: ctx.self_type.clone(),
+            impl_trait: ctx.impl_trait.clone(),
             in_trait: ctx.in_trait,
             file: self.rel_path.to_string(),
             line: self.code[fn_kw].line,
             takes_sim_types,
+            returns_value: sig.returns_value,
+            ret_unordered_container: sig.ret_unordered,
+            params: sig.params,
+            unordered_params: sig.unordered_params,
+            ref_mut_params: sig.ref_mut_params,
+            map_fields: Vec::new(),
             panic_sites: Vec::new(),
             taint_sites: Vec::new(),
+            fork_sites: Vec::new(),
+            shared_sites: Vec::new(),
+            order_allows: self.order_allows.to_vec(),
+            order_stmts: Vec::new(),
             events: Vec::new(),
         };
         self.body(body_open + 1, body_close, &mut def);
+        def.order_stmts = self.order_ir(body_open + 1, body_close, def.returns_value);
         self.out.funcs.push(def);
         body_close + 1
+    }
+
+    /// Parses the parameter list and return type of a signature spanning
+    /// `code[start..body_open]`.
+    fn signature(&self, start: usize, body_open: usize) -> SigInfo {
+        let code = self.code;
+        let mut info = SigInfo::default();
+        // The parameter parens: the first `(` outside the generic list.
+        let mut j = start;
+        let mut angle = 0i32;
+        while j < body_open {
+            let t = code[j];
+            if t.is_punct(b'<') {
+                angle += 1;
+            } else if t.is_punct(b'>') {
+                angle -= 1;
+            } else if t.is_punct(b'(') && angle <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j >= body_open {
+            return info;
+        }
+        let close = self.close_of(j, b'(', b')').min(body_open);
+        // Split parameters at top-level commas.
+        let mut seg = j + 1;
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        while k <= close {
+            let t = code[k];
+            let end_seg = k == close || (t.is_punct(b',') && depth <= 0);
+            if t.is_punct(b'<') || t.is_punct(b'(') || t.is_punct(b'[') {
+                depth += 1;
+            } else if t.is_punct(b'>') || t.is_punct(b')') || t.is_punct(b']') {
+                depth -= 1;
+            }
+            if end_seg {
+                self.param_segment(seg, k, &mut info);
+                seg = k + 1;
+            }
+            k += 1;
+        }
+        // Return type: `-> …` between the parens and the body.
+        let mut r = close + 1;
+        while r + 1 < body_open {
+            if code[r].is_punct(b'-') && code[r + 1].is_punct(b'>') {
+                info.returns_value = true;
+                for t in &code[r + 2..body_open] {
+                    if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                        info.ret_unordered = true;
+                    }
+                }
+                break;
+            }
+            r += 1;
+        }
+        info
+    }
+
+    /// One parameter segment `pat : Type` — records the pattern names and
+    /// whether the type is an unordered container.
+    fn param_segment(&self, lo: usize, hi: usize, info: &mut SigInfo) {
+        let code = self.code;
+        let mut colon = None;
+        let mut depth = 0i32;
+        for k in lo..hi {
+            let t = code[k];
+            if t.is_punct(b'<') || t.is_punct(b'(') {
+                depth += 1;
+            } else if t.is_punct(b'>') || t.is_punct(b')') {
+                depth -= 1;
+            } else if t.is_punct(b':') && depth <= 0 {
+                colon = Some(k);
+                break;
+            }
+        }
+        let Some(colon) = colon else { return }; // `self` receivers
+        let mut names = Vec::new();
+        for t in &code[lo..colon] {
+            if t.kind == TokenKind::Ident
+                && !matches!(t.text.as_str(), "mut" | "ref" | "self")
+                && !t.text.starts_with(|c: char| c.is_ascii_uppercase())
+            {
+                names.push(t.text.clone());
+            }
+        }
+        let ty = &code[colon + 1..hi];
+        let unordered = ty
+            .iter()
+            .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
+        let ref_mut = ty
+            .windows(2)
+            .any(|w| w[0].is_punct(b'&') && (w[1].is_ident("mut") || w[1].kind == TokenKind::Lifetime))
+            && ty.iter().any(|t| t.is_ident("mut"));
+        for n in names {
+            if unordered {
+                info.unordered_params.push(n.clone());
+            }
+            if ref_mut {
+                info.ref_mut_params.push(n.clone());
+            }
+            info.params.push(n);
+        }
     }
 
     /// Scans a function body for panic sites, taint sources, lock
@@ -501,6 +736,56 @@ impl Walker<'_> {
                         def.panic_sites.push(Site {
                             line: tok.line,
                             what: "indexing".to_string(),
+                        });
+                    }
+                }
+            }
+            // Order-dependent RNG forks: `.fork(` (the order-free variant
+            // is `.fork_indexed(`, a different identifier).
+            if tok.is_punct(b'.') {
+                if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                    if paren.is_punct(b'(')
+                        && name.is_ident("fork")
+                        && !self.fork_allows.contains(&name.line)
+                    {
+                        def.fork_sites.push(Site {
+                            line: name.line,
+                            what: ".fork()".to_string(),
+                        });
+                    }
+                }
+            }
+            // Shared-mutable-state touches (for the shard-state-escape
+            // rule; only flagged inside `ShardModel` impl blocks).
+            if tok.kind == TokenKind::Ident && !self.shared_allows.contains(&tok.line) {
+                let name = tok.text.as_str();
+                let shared_type = matches!(
+                    name,
+                    "Mutex" | "RwLock" | "OnceLock" | "OnceCell" | "LazyLock"
+                ) || (name.starts_with("Atomic") && name.len() > 6)
+                    || name == "thread_local";
+                if shared_type {
+                    def.shared_sites.push(Site {
+                        line: tok.line,
+                        what: name.to_string(),
+                    });
+                }
+                if tok.is_ident("static") && code.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+                    def.shared_sites.push(Site {
+                        line: tok.line,
+                        what: "static mut".to_string(),
+                    });
+                }
+            }
+            if tok.is_punct(b'.') {
+                if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                    if paren.is_punct(b'(')
+                        && (name.is_ident("lock") || name.is_ident("try_lock"))
+                        && !self.shared_allows.contains(&name.line)
+                    {
+                        def.shared_sites.push(Site {
+                            line: name.line,
+                            what: format!(".{}()", name.text),
                         });
                     }
                 }
@@ -571,7 +856,270 @@ impl Walker<'_> {
             i += 1;
         }
     }
+
+    /// Segments a function body into the flat statement list of the order
+    /// IR. Statements split at `;`, `{` and `}` outside parens/brackets, so
+    /// a `for` header is its own statement and loop/match bodies contribute
+    /// their statements at the same (flattened) level.
+    fn order_ir(&self, lo: usize, hi: usize, returns_value: bool) -> Vec<OrderStmt> {
+        let code = self.code;
+        let mut stmts = Vec::new();
+        let mut s = lo;
+        let mut depth = 0i32;
+        let mut i = lo;
+        while i < hi {
+            let t = code[i];
+            if t.is_punct(b'(') || t.is_punct(b'[') {
+                depth += 1;
+            } else if t.is_punct(b')') || t.is_punct(b']') {
+                depth -= 1;
+            } else if depth <= 0 && (t.is_punct(b';') || t.is_punct(b'{') || t.is_punct(b'}')) {
+                if i > s {
+                    if let Some(st) = self.order_stmt(s, i) {
+                        stmts.push(st);
+                    }
+                }
+                s = i + 1;
+            }
+            i += 1;
+        }
+        if hi > s {
+            if let Some(mut st) = self.order_stmt(s, hi) {
+                // A trailing segment without `;` is the tail expression.
+                st.is_tail = returns_value;
+                stmts.push(st);
+            }
+        }
+        stmts
+    }
+
+    /// Parses one statement segment into its [`OrderStmt`] summary.
+    fn order_stmt(&self, lo: usize, hi: usize) -> Option<OrderStmt> {
+        let code = self.code;
+        let mut st = OrderStmt {
+            line: code[lo].line,
+            ..OrderStmt::default()
+        };
+        let mut i = lo;
+        if code[i].is_ident("return") {
+            st.is_return = true;
+            i += 1;
+        } else if code[i].is_ident("let") {
+            st.is_let = true;
+            i += 1;
+            // Pattern runs to the `:` annotation or `=` at nesting depth 0.
+            let pat_start = i;
+            let mut depth = 0i32;
+            while i < hi {
+                let t = code[i];
+                if t.is_punct(b'(') || t.is_punct(b'[') || t.is_punct(b'<') {
+                    depth += 1;
+                } else if t.is_punct(b')') || t.is_punct(b']') || t.is_punct(b'>') {
+                    depth -= 1;
+                } else if depth <= 0 && (t.is_punct(b':') || t.is_punct(b'=')) {
+                    break;
+                }
+                i += 1;
+            }
+            for t in &code[pat_start..i.min(hi)] {
+                if t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+                    && !t.text.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    st.dests.push(t.text.clone());
+                }
+            }
+            if i < hi && code[i].is_punct(b':') {
+                i += 1;
+                let mut depth = 0i32;
+                while i < hi {
+                    let t = code[i];
+                    if t.is_punct(b'<') {
+                        depth += 1;
+                    } else if t.is_punct(b'>') {
+                        depth -= 1;
+                    } else if depth <= 0 && t.is_punct(b'=') {
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident {
+                        st.dest_type.push(t.text.clone());
+                    }
+                    i += 1;
+                }
+            }
+            if i < hi && code[i].is_punct(b'=') {
+                i += 1;
+            }
+        } else if code[i].is_ident("for") {
+            i += 1;
+            let pat_start = i;
+            while i < hi && !code[i].is_ident("in") {
+                i += 1;
+            }
+            for t in &code[pat_start..i.min(hi)] {
+                if t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+                    && !t.text.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    st.for_vars.push(t.text.clone());
+                }
+            }
+            if i < hi {
+                i += 1;
+            }
+        } else {
+            // Reassignment: `place = …` / `*place = …` / `place += …`.
+            let mut k = i;
+            if code[k].is_punct(b'*') {
+                k += 1;
+            }
+            let mut path = String::new();
+            while k < hi && code[k].kind == TokenKind::Ident {
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&code[k].text);
+                if code.get(k + 1).is_some_and(|t| t.is_punct(b'.'))
+                    && code.get(k + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    k += 2;
+                } else {
+                    k += 1;
+                    break;
+                }
+            }
+            if !path.is_empty() && k < hi {
+                let t = code[k];
+                let next_eq = code.get(k + 1).is_some_and(|t| t.is_punct(b'='));
+                let next2_eq = code.get(k + 2).is_some_and(|t| t.is_punct(b'='));
+                if t.is_punct(b'=') && !next_eq {
+                    st.dests.push(path);
+                    i = k + 1;
+                } else if matches!(t.kind, TokenKind::Punct(c) if b"+-*/%&|^".contains(&c))
+                    && next_eq
+                    && !next2_eq
+                {
+                    st.compound_assign = true;
+                    i = k + 2;
+                }
+            }
+        }
+        self.expr_scan(i, hi, &mut st);
+        Some(st)
+    }
+
+    /// Scans an expression span for reads, method-chain uses, calls and
+    /// path qualifiers.
+    fn expr_scan(&self, lo: usize, hi: usize, st: &mut OrderStmt) {
+        let code = self.code;
+        let mut i = lo;
+        while i < hi {
+            let t = code[i];
+            if t.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let prev_dot = i > 0 && code[i - 1].is_punct(b'.');
+            if prev_dot {
+                // Method use (with optional turbofish) or field access.
+                let mut j = i + 1;
+                let mut fish = Vec::new();
+                if code.get(j).is_some_and(|t| t.is_punct(b':'))
+                    && code.get(j + 1).is_some_and(|t| t.is_punct(b':'))
+                    && code.get(j + 2).is_some_and(|t| t.is_punct(b'<'))
+                {
+                    let close = self.close_of(j + 2, b'<', b'>');
+                    for k in j + 3..close.min(hi) {
+                        if code[k].kind == TokenKind::Ident {
+                            fish.push(code[k].text.clone());
+                        }
+                    }
+                    j = close + 1;
+                }
+                if code.get(j).is_some_and(|t| t.is_punct(b'(')) {
+                    st.methods.push(MethodUse {
+                        name: t.text.clone(),
+                        recv: self.recv_root(i - 1, lo),
+                        turbofish: fish,
+                        line: t.line,
+                    });
+                }
+                i = j;
+                continue;
+            }
+            let name = t.text.as_str();
+            if ORDER_KEYWORDS.contains(&name) {
+                // `self.field` reads root through the keyword filter.
+                if name == "self"
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(b'.'))
+                    && code.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && !code.get(i + 3).is_some_and(|t| t.is_punct(b'('))
+                {
+                    st.reads.push(format!("self.{}", code[i + 2].text));
+                }
+                i += 1;
+                continue;
+            }
+            // Macro names are not reads.
+            if code.get(i + 1).is_some_and(|t| t.is_punct(b'!')) {
+                i += 2;
+                continue;
+            }
+            // Path qualifier (`HashMap::new` → qualifier `HashMap`).
+            if code.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+            {
+                st.quals.push(t.text.clone());
+                i += 1;
+                continue;
+            }
+            // Bare / path-final call.
+            if code.get(i + 1).is_some_and(|t| t.is_punct(b'(')) {
+                if !CALL_EXCLUDED.contains(&name)
+                    && !name.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    st.calls.push((t.text.clone(), t.line));
+                }
+                i += 1;
+                continue;
+            }
+            if !name.starts_with(|c: char| c.is_ascii_uppercase()) {
+                st.reads.push(t.text.clone());
+            }
+            i += 1;
+        }
+    }
+
+    /// The dotted receiver root ending at the `.` at `dot` (`m`,
+    /// `self.map`), or `None` when the chain continues from a call or
+    /// index result.
+    fn recv_root(&self, dot: usize, lo: usize) -> Option<String> {
+        let code = self.code;
+        let mut parts = Vec::new();
+        let mut k = dot;
+        while k > lo && code[k].is_punct(b'.') && code[k - 1].kind == TokenKind::Ident {
+            parts.push(code[k - 1].text.clone());
+            if k >= 2 && code[k - 2].is_punct(b'.') {
+                k -= 2;
+            } else {
+                break;
+            }
+        }
+        if parts.is_empty() {
+            return None;
+        }
+        parts.reverse();
+        Some(parts.join("."))
+    }
 }
+
+/// Keywords and binding forms the order-IR expression scan never treats as
+/// variable reads.
+const ORDER_KEYWORDS: [&str; 34] = [
+    "if", "else", "match", "while", "loop", "for", "in", "let", "mut", "ref", "return", "break",
+    "continue", "as", "move", "fn", "impl", "pub", "use", "where", "dyn", "box", "true", "false",
+    "self", "Self", "crate", "super", "static", "const", "unsafe", "async", "await", "yield",
+];
 
 /// Identifiers that look like calls syntactically but are not function
 /// calls the graph should chase: control keywords and common tuple-struct

@@ -1,0 +1,23 @@
+//! map-iter-order fixture: a callee's unordered iteration escapes its
+//! caller's output; a sorting caller and a reasoned allow stay silent.
+
+use std::collections::HashMap;
+
+fn emit_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect::<Vec<u32>>()
+}
+
+pub fn emit_all(m: &HashMap<u32, u32>) -> Vec<u32> {
+    emit_keys(m)
+}
+
+pub fn emit_sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v = emit_keys(m);
+    v.sort_unstable();
+    v
+}
+
+pub fn emit_allowed(m: &HashMap<u32, u32>) -> Vec<u32> {
+    // lintkit: allow(map-iter-order) -- fixture: consumer sorts downstream
+    m.keys().copied().collect::<Vec<u32>>()
+}

@@ -1,0 +1,62 @@
+//! rng-fork-order / shard-state-escape fixtures: one shard forks the sim
+//! RNG behind a local helper, one grabs a shared mutex, one uses the
+//! order-free fork_indexed, and one carries reasoned allows.
+
+use std::sync::Mutex;
+
+pub trait ShardModel {
+    fn on_event(&mut self, seed: u64) -> u64;
+}
+
+pub struct ForkyShard;
+
+impl ShardModel for ForkyShard {
+    fn on_event(&mut self, seed: u64) -> u64 {
+        reseed(seed)
+    }
+}
+
+fn reseed(seed: u64) -> u64 {
+    let rng = SimRng::new(seed);
+    let child = rng.fork("worker");
+    let _ = child;
+    seed
+}
+
+pub struct LockyShard {
+    shared: Mutex<u64>,
+}
+
+impl ShardModel for LockyShard {
+    fn on_event(&mut self, seed: u64) -> u64 {
+        let g = self.shared.lock();
+        let _ = g;
+        seed
+    }
+}
+
+pub struct CleanShard;
+
+impl ShardModel for CleanShard {
+    fn on_event(&mut self, seed: u64) -> u64 {
+        let child = SimRng::new(seed).fork_indexed("worker", seed);
+        let _ = child;
+        seed
+    }
+}
+
+pub struct QuietShard {
+    stats: Mutex<u64>,
+}
+
+impl ShardModel for QuietShard {
+    fn on_event(&mut self, seed: u64) -> u64 {
+        // lintkit: allow(shard-state-escape) -- fixture: read-only stats mirror
+        let g = self.stats.lock();
+        let _ = g;
+        // lintkit: allow(rng-fork-order) -- fixture: serial replay path
+        let child = SimRng::new(seed).fork("replay");
+        let _ = child;
+        seed
+    }
+}

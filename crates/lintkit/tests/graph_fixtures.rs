@@ -118,6 +118,80 @@ fn sim_driven_code_reaching_wall_clock_is_tainted() {
 }
 
 #[test]
+fn seeded_unordered_escape_through_callee_is_flagged() {
+    let analysis = fixture_analysis();
+    let orders = of_rule(&analysis, Rule::MapIterOrder);
+    // Exactly two findings: the sorting caller (`emit_sorted`) and the
+    // reasoned allow (`emit_allowed`) stay silent.
+    assert_eq!(orders.len(), 2, "{orders:?}");
+    // The seed in the callee, anchored at the iteration itself…
+    let seed = orders
+        .iter()
+        .find(|f| f.line == 7)
+        .expect("the callee's keys() seed is found");
+    assert_eq!(seed.file, "crates/core/src/orders.rs");
+    assert!(
+        seed.message.contains("iteration over unordered `m`"),
+        "names the container: {}",
+        seed.message
+    );
+    // …and the caller whose output the callee's order reaches, anchored
+    // at the tainting call.
+    let caller = orders
+        .iter()
+        .find(|f| f.line == 11)
+        .expect("the caller's tainted call is found");
+    assert_eq!(caller.file, "crates/core/src/orders.rs");
+    assert!(
+        caller.message.contains("core::orders::emit_keys"),
+        "names the tainting callee: {}",
+        caller.message
+    );
+}
+
+#[test]
+fn seeded_fork_behind_indirection_is_engine_reachable() {
+    let analysis = fixture_analysis();
+    let forks = of_rule(&analysis, Rule::RngForkOrder);
+    // Exactly one finding: `CleanShard` uses fork_indexed and
+    // `QuietShard` carries a reasoned allow.
+    assert_eq!(forks.len(), 1, "{forks:?}");
+    let Some(f) = forks.first() else {
+        return;
+    };
+    assert_eq!(f.file, "crates/relay/src/shard.rs");
+    assert_eq!(f.line, 21, "anchored at the fork site inside the helper");
+    assert!(
+        f.message.contains("on_event") && f.message.contains("reseed"),
+        "path runs from the shard entry through the indirection: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("fork_indexed"),
+        "suggests the order-free API: {}",
+        f.message
+    );
+}
+
+#[test]
+fn seeded_shard_mutex_touch_is_flagged() {
+    let analysis = fixture_analysis();
+    let escapes = of_rule(&analysis, Rule::ShardStateEscape);
+    // Exactly one finding: `QuietShard`'s lock carries a reasoned allow.
+    assert_eq!(escapes.len(), 1, "{escapes:?}");
+    let Some(f) = escapes.first() else {
+        return;
+    };
+    assert_eq!(f.file, "crates/relay/src/shard.rs");
+    assert_eq!(f.line, 32, "anchored where LockyShard takes the mutex");
+    assert!(
+        f.message.contains("ShardCtx"),
+        "points at the sanctioned channel: {}",
+        f.message
+    );
+}
+
+#[test]
 fn graph_links_cross_crate_edges() {
     let analysis = fixture_analysis();
     let graph = &analysis.graph;

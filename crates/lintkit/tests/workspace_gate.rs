@@ -52,7 +52,10 @@ fn workspace_is_lint_clean_modulo_baseline() {
 fn baseline_holds_only_dynamic_dispatch_findings() {
     // The checked-in baseline is reserved for ⊥ (dynamic-dispatch) edges the
     // conservative graph cannot resolve; genuine panic sites must be fixed
-    // in code, never baselined.
+    // in code, never baselined. In particular none of the determinism-
+    // soundness findings (map-iter-order / rng-fork-order /
+    // shard-state-escape) may ever land here: those are fixed in code or
+    // carry a reasoned allow at the site.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()
@@ -65,6 +68,37 @@ fn baseline_holds_only_dynamic_dispatch_findings() {
             e.rule, "panic-reachability",
             "only panic-reachability ⊥ findings may be baselined, got {}:{}: {}",
             e.file, e.line, e.rule
+        );
+    }
+}
+
+#[test]
+fn determinism_soundness_rules_are_active() {
+    // The three dataflow rules must be wired into the analysis — parseable
+    // by name (so allow comments and baselines can reference them) and
+    // actually firing on seeded violations. A refactor that drops one from
+    // `check_graph` fails here, not silently.
+    for name in ["map-iter-order", "rng-fork-order", "shard-state-escape"] {
+        assert!(
+            lintkit::Rule::from_name(name).is_some(),
+            "rule `{name}` no longer parses"
+        );
+    }
+    let fixture_root =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_ws");
+    let config = Config {
+        root: fixture_root,
+        strict_index: Vec::new(),
+        skip_crates: Vec::new(),
+        entry_points: vec!["core::ecs_scan::scan_subnets".to_string()],
+        graph_skip_crates: Vec::new(),
+    };
+    let findings = lint_workspace(&config).expect("fixture workspace lints");
+    for name in ["map-iter-order", "rng-fork-order", "shard-state-escape"] {
+        assert!(
+            findings.iter().any(|f| f.rule.name() == name),
+            "rule `{name}` produced no finding on its seeded fixture \
+             violation — is it still wired into check_graph?"
         );
     }
 }

@@ -164,6 +164,9 @@ impl FaultedChannel {
         FaultedChannel {
             plan,
             state: Mutex::new(ChannelState {
+                // lintkit: allow(rng-fork-order) -- single fork off a fresh
+                // per-scenario seed in a serial constructor; no sibling forks
+                // share this root, so fork order cannot vary
                 rng: SimRng::new(seed).fork("simnet-channel"),
                 stats: ChannelStats::default(),
             }),

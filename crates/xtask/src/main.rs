@@ -16,6 +16,8 @@
 //!   to stdout (or PATH).
 //! * `lint --json PATH` — write the machine-readable findings report
 //!   (rule/file/line/message) for CI artifacts.
+//! * `lint --sarif PATH` — write the same findings as a SARIF v2.1.0 log
+//!   (one result per finding) for code-hosting annotation UIs.
 //! * `bench-report [--suite lpm|scan|all]` — run an ablation bench with
 //!   the shim's `BENCH_JSON` line output enabled and distil it into
 //!   `BENCH_lpm.json` / `BENCH_scan.json` (bench name → ns/op, median),
@@ -35,7 +37,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lintkit::{analyze_workspace, baseline, manifest, Config};
+use lintkit::{analyze_workspace, baseline, manifest, sarif, Config};
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/crates/xtask; CARGO_MANIFEST_DIR is compiled in,
@@ -53,6 +55,7 @@ struct LintOpts {
     /// `Some(None)` = DOT to stdout, `Some(Some(path))` = DOT to file.
     graph: Option<Option<String>>,
     json: Option<String>,
+    sarif: Option<String>,
 }
 
 fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
@@ -61,6 +64,7 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
         update_baseline: false,
         graph: None,
         json: None,
+        sarif: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +83,12 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
             opts.json = Some(path.clone());
         } else if let Some(path) = arg.strip_prefix("--json=") {
             opts.json = Some(path.to_string());
+        } else if arg == "--sarif" {
+            i += 1;
+            let path = args.get(i).ok_or("--sarif needs a path")?;
+            opts.sarif = Some(path.clone());
+        } else if let Some(path) = arg.strip_prefix("--sarif=") {
+            opts.sarif = Some(path.to_string());
         } else {
             return Err(format!("unknown lint option `{arg}`"));
         }
@@ -92,7 +102,8 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: cargo run -p xtask -- lint \
-             [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH]\n\
+             [--update-manifest] [--update-baseline] [--graph[=PATH]] [--json PATH] \
+             [--sarif PATH]\n\
              \x20      cargo run -p xtask -- bench-report [--suite lpm|scan|all] [--out PATH]\n\
              \x20      cargo run -p xtask -- chaos (--scenario NAME | --all) \
              [--seed N] [--seeds K] [--out PATH]"
@@ -457,6 +468,14 @@ fn lint(opts: &LintOpts) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote findings report to {path}");
+    }
+    if let Some(path) = &opts.sarif {
+        let report = sarif::report_sarif(&analysis.findings);
+        if let Err(e) = fs::write(path, report) {
+            eprintln!("xtask lint: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote SARIF report to {path}");
     }
     let baseline_path = root.join(baseline::BASELINE_FILE);
     if opts.update_baseline {
