@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::net::IpAddr;
 
 use serde::{Deserialize, Serialize};
-use tectonic_net::{Asn, FrozenLpm, IpNet, PrefixTrie};
+use tectonic_net::{Asn, BatchScratch, FrozenLpm, IpNet, PrefixTrie};
 
 /// One announced route.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -173,9 +173,24 @@ impl Rib {
     /// this is one [`FrozenLpm::lookup_batch`] call (interleaved walks), so
     /// the scanner's reply-attribution loop pays one dispatch per burst.
     pub fn lookup_batch(&self, addrs: &[IpAddr], out: &mut Vec<Option<(IpNet, Asn)>>) {
+        let mut scratch = BatchScratch::new();
+        self.lookup_batch_in(&mut scratch, addrs, out);
+    }
+
+    /// [`lookup_batch`](Rib::lookup_batch) against caller-owned walk state:
+    /// a reply-attribution loop that reuses one [`BatchScratch`] across
+    /// bursts keeps the whole frozen-path lookup allocation-free.
+    pub fn lookup_batch_in(
+        &self,
+        scratch: &mut BatchScratch,
+        addrs: &[IpAddr],
+        out: &mut Vec<Option<(IpNet, Asn)>>,
+    ) {
         match &self.frozen {
             Some(lpm) => {
-                lpm.lookup_batch_map(addrs, out, |m| m.map(|(net, entry)| (net, entry.origin)));
+                lpm.lookup_batch_map_in(scratch, addrs, out, |m| {
+                    m.map(|(net, entry)| (net, entry.origin))
+                });
             }
             None => {
                 out.clear();

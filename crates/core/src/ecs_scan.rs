@@ -26,7 +26,9 @@ use tectonic_dns::{
     QType, QueryTemplate, Rcode,
 };
 use tectonic_engine::{Engine, EngineConfig, ShardCtx, ShardModel};
-use tectonic_net::{Asn, IpNet, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimRng, SimTime};
+use tectonic_net::{
+    Asn, BatchScratch, IpNet, Ipv4Net, PrefixTrie, SimClock, SimDuration, SimRng, SimTime,
+};
 
 /// Scanner configuration.
 #[derive(Debug, Clone)]
@@ -259,6 +261,9 @@ struct ScanScratch {
     addr_batch: Vec<IpAddr>,
     /// Attribution results for `addr_batch` (reused across replies).
     batch_out: Vec<Option<(IpNet, Asn)>>,
+    /// Walk state for the RIB's batch lookup, reused so the frozen-path
+    /// attribution never allocates per burst.
+    lpm_scratch: BatchScratch,
     /// Memo for client-AS lookups — subnets arrive in ascending order, so
     /// consecutive /24s almost always share the announced client prefix.
     client_memo: LookupMemo,
@@ -289,6 +294,7 @@ impl ScanScratch {
             reply: BytesMut::new(),
             addr_batch: Vec::new(),
             batch_out: Vec::new(),
+            lpm_scratch: BatchScratch::new(),
             client_memo: LookupMemo::new(),
         }
     }
@@ -475,7 +481,11 @@ impl EcsScanner {
         scratch
             .addr_batch
             .extend(answers.iter().map(|a| IpAddr::V4(*a)));
-        rib.lookup_batch(&scratch.addr_batch, &mut scratch.batch_out);
+        rib.lookup_batch_in(
+            &mut scratch.lpm_scratch,
+            &scratch.addr_batch,
+            &mut scratch.batch_out,
+        );
         for (addr, hit) in answers.iter().zip(&scratch.batch_out) {
             report.discovered.insert(*addr);
             *report.subnets_served.entry(*addr).or_insert(0) += scope_credit;

@@ -83,27 +83,41 @@ impl EcsOption {
         (self.source_len as usize).div_ceil(8)
     }
 
-    /// Encodes the option payload (family, lengths, truncated address).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.wire_addr_octets());
-        out.extend_from_slice(&self.family().to_be_bytes());
-        out.push(self.source_len);
-        out.push(self.scope_len);
-        let octets: Vec<u8> = match self.addr {
-            IpAddr::V4(a) => a.octets().to_vec(),
-            IpAddr::V6(a) => a.octets().to_vec(),
+    /// Encodes the option payload (family, lengths, truncated address) into
+    /// a fixed buffer, returning the bytes and the payload length. The
+    /// payload is at most 4 header bytes + 16 address octets, so the hot
+    /// wire-encode path can write it without touching the heap.
+    pub fn wire_bytes(&self) -> ([u8; 20], usize) {
+        let mut out = [0u8; 20];
+        out[..2].copy_from_slice(&self.family().to_be_bytes());
+        out[2] = self.source_len;
+        out[3] = self.scope_len;
+        let n = match self.addr {
+            IpAddr::V4(a) => {
+                let octets = a.octets();
+                let n = self.wire_addr_octets().min(octets.len());
+                out[4..4 + n].copy_from_slice(&octets[..n]);
+                n
+            }
+            IpAddr::V6(a) => {
+                let octets = a.octets();
+                let n = self.wire_addr_octets().min(octets.len());
+                out[4..4 + n].copy_from_slice(&octets[..n]);
+                n
+            }
         };
-        let n = self.wire_addr_octets().min(octets.len());
-        let mut trunc = octets[..n].to_vec();
         // Zero spare low bits of the last transmitted octet.
         let spare = (8 - (self.source_len % 8) % 8) % 8;
-        if spare != 0 {
-            if let Some(last) = trunc.last_mut() {
-                *last &= 0xFFu8 << spare;
-            }
+        if spare != 0 && n > 0 {
+            out[3 + n] &= 0xFFu8 << spare;
         }
-        out.extend_from_slice(&trunc);
-        out
+        (out, 4 + n)
+    }
+
+    /// Encodes the option payload (family, lengths, truncated address).
+    pub fn encode(&self) -> Vec<u8> {
+        let (bytes, len) = self.wire_bytes();
+        bytes[..len].to_vec()
     }
 
     /// Decodes an option payload. Returns `None` on malformed input

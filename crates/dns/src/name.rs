@@ -185,9 +185,24 @@ impl PartialOrd for DomainName {
 }
 
 impl Ord for DomainName {
+    /// The byte order of the lower-cased dotted rendering — exactly what
+    /// comparing [`DomainName::to_ascii_lower`] strings produced — computed
+    /// lazily so trie lookups on the hot path never allocate.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.to_ascii_lower().cmp(&other.to_ascii_lower())
+        dotted_lower_bytes(&self.labels).cmp(dotted_lower_bytes(&other.labels))
     }
+}
+
+/// The byte stream `to_ascii_lower` would render (root is `"."`, other
+/// names are labels joined by `'.'`), yielded without building a `String`.
+fn dotted_lower_bytes(labels: &[String]) -> impl Iterator<Item = u8> + '_ {
+    let root = if labels.is_empty() { Some(b'.') } else { None };
+    root.into_iter()
+        .chain(labels.iter().enumerate().flat_map(|(i, l)| {
+            let sep = if i == 0 { None } else { Some(b'.') };
+            sep.into_iter()
+                .chain(l.bytes().map(|b| b.to_ascii_lowercase()))
+        }))
 }
 
 impl fmt::Display for DomainName {

@@ -68,7 +68,11 @@ pub struct MessageEncoder {
 impl MessageEncoder {
     /// A fresh encoder.
     pub fn new() -> Self {
-        Self::default()
+        MessageEncoder {
+            // lintkit: allow(alloc-in-hot-path) -- capacity-zero Vec::new
+            // performs no heap allocation; growth is amortized by reuse
+            label_offsets: Vec::new(),
+        }
     }
 
     /// Encodes `m` into `out`, clearing it first. Output is byte-identical
@@ -99,7 +103,7 @@ fn suffix_matches_at(buf: &[u8], mut off: usize, labels: &[String]) -> bool {
         };
         if len & 0xC0 == 0xC0 {
             // Pointers we wrote ourselves always target earlier offsets.
-            let Some(&lo) = buf.get(off + 1) else {
+            let Some(&lo) = off.checked_add(1).and_then(|i| buf.get(i)) else {
                 return false;
             };
             if jumps >= 16 {
@@ -123,8 +127,15 @@ fn suffix_matches_at(buf: &[u8], mut off: usize, labels: &[String]) -> bool {
             return false;
         }
         idx += 1;
-        off += 1 + len;
+        off = off.saturating_add(len).saturating_add(1);
     }
+}
+
+/// Section/length count clamped to a 16-bit wire field. Messages this
+/// encoder builds stay far below 65 535 entries, so the clamp is a
+/// formality that keeps the conversion total.
+fn count16(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
 }
 
 struct Sink<'a> {
@@ -133,6 +144,17 @@ struct Sink<'a> {
 }
 
 impl Sink<'_> {
+    /// Overwrites the two bytes at `pos` with `v` big-endian — the second
+    /// half of the reserve-then-backpatch length pattern. `pos` was
+    /// produced by an earlier `buf.len()`, so the range is in bounds; the
+    /// `get_mut` keeps the patch total on this hostile-input path anyway.
+    fn patch_u16(&mut self, pos: usize, v: u16) {
+        let end = pos.saturating_add(2);
+        if let Some(slot) = self.buf.get_mut(pos..end) {
+            slot.copy_from_slice(&v.to_be_bytes());
+        }
+    }
+
     /// The first recorded offset whose encoded suffix equals `labels`.
     ///
     /// Each distinct suffix is written literally at most once (later
@@ -153,10 +175,14 @@ impl Sink<'_> {
                 self.buf.put_u16(0xC000 | off);
                 return;
             }
-            // Pointers can only reference the first 16 KiB − pointer space.
-            if self.buf.len() <= 0x3FFF {
-                self.label_offsets.push(self.buf.len() as u16);
+            // Pointers can only reference the first 16 KiB − pointer space;
+            // the try_from doubles as the overflow check for the u16 field.
+            if let Ok(off) = u16::try_from(self.buf.len()) {
+                if off <= 0x3FFF {
+                    self.label_offsets.push(off);
+                }
             }
+            // lintkit: allow(narrowing-cast) -- DomainName labels are ≤ 63 bytes by construction
             self.buf.put_u8(label.len() as u8);
             self.buf.put_slice(label.as_bytes());
         }
@@ -198,6 +224,7 @@ impl Sink<'_> {
             }
             RData::Txt(s) => {
                 for chunk in s.as_bytes().chunks(255) {
+                    // lintkit: allow(narrowing-cast) -- chunks(255) yields slices of ≤ 255 bytes
                     self.buf.put_u8(chunk.len() as u8);
                     self.buf.put_slice(chunk);
                 }
@@ -207,8 +234,8 @@ impl Sink<'_> {
             }
             RData::Raw(bytes) => self.buf.put_slice(bytes),
         }
-        let rdlen = (self.buf.len() - start) as u16;
-        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+        let rdlen = count16(self.buf.len().saturating_sub(start));
+        self.patch_u16(len_pos, rdlen);
     }
 
     fn put_opt(&mut self, opt: &OptRecord, rcode: Rcode) {
@@ -224,16 +251,23 @@ impl Sink<'_> {
         self.buf.put_u16(0);
         let start = self.buf.len();
         for o in &opt.options {
-            let payload = match o {
-                EdnsOption::ClientSubnet(e) => e.encode(),
-                EdnsOption::Other(_, p) => p.clone(),
-            };
             self.buf.put_u16(o.code());
-            self.buf.put_u16(payload.len() as u16);
-            self.buf.put_slice(&payload);
+            match o {
+                EdnsOption::ClientSubnet(e) => {
+                    // Stack-encoded: the hot encode path writes the ECS
+                    // payload without the Vec the old `encode()` built.
+                    let (payload, n) = e.wire_bytes();
+                    self.buf.put_u16(count16(n));
+                    self.buf.put_slice(&payload[..n]);
+                }
+                EdnsOption::Other(_, p) => {
+                    self.buf.put_u16(count16(p.len()));
+                    self.buf.put_slice(p);
+                }
+            }
         }
-        let rdlen = (self.buf.len() - start) as u16;
-        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+        let rdlen = count16(self.buf.len().saturating_sub(start));
+        self.patch_u16(len_pos, rdlen);
     }
 
     fn put_message(&mut self, m: &Message) {
@@ -257,10 +291,10 @@ impl Sink<'_> {
         }
         self.buf.put_u8(b1);
         self.buf.put_u8(b2);
-        self.buf.put_u16(m.questions.len() as u16);
-        self.buf.put_u16(m.answers.len() as u16);
-        self.buf.put_u16(m.authority.len() as u16);
-        let arcount = m.additional.len() as u16 + u16::from(m.edns.is_some());
+        self.buf.put_u16(count16(m.questions.len()));
+        self.buf.put_u16(count16(m.answers.len()));
+        self.buf.put_u16(count16(m.authority.len()));
+        let arcount = count16(m.additional.len()).saturating_add(u16::from(m.edns.is_some()));
         self.buf.put_u16(arcount);
         for q in &m.questions {
             self.put_question(q);
@@ -332,11 +366,12 @@ impl<'a> Decoder<'a> {
     }
 
     fn take_slice(&mut self, n: usize) -> Result<&'a [u8], DnsWireError> {
-        if self.remaining() < n {
-            return Err(DnsWireError::Truncated);
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(DnsWireError::Truncated)?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or(DnsWireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -359,12 +394,13 @@ impl<'a> Decoder<'a> {
                     break;
                 }
                 l if l & 0xC0 == 0xC0 => {
-                    let Some(&lo) = self.data.get(pos + 1) else {
+                    let Some(&lo) = pos.checked_add(1).and_then(|i| self.data.get(i)) else {
                         return Err(DnsWireError::Truncated);
                     };
-                    let target = (((l & 0x3F) as usize) << 8) | lo as usize;
+                    // The 14-bit pointer target, assembled without a shift.
+                    let target = usize::from(u16::from_be_bytes([l & 0x3F, lo]));
                     if !jumped {
-                        self.pos = pos + 2;
+                        self.pos = pos.saturating_add(2);
                     }
                     // Pointers must go strictly backwards; cap chain depth.
                     if target >= pos {
@@ -380,13 +416,14 @@ impl<'a> Decoder<'a> {
                 l if l & 0xC0 != 0 => return Err(DnsWireError::BadName),
                 l => {
                     let l = l as usize;
-                    if pos + 1 + l > self.data.len() {
+                    let start = pos.saturating_add(1);
+                    let end = start.saturating_add(l);
+                    let Some(bytes) = self.data.get(start..end) else {
                         return Err(DnsWireError::Truncated);
-                    }
-                    let bytes = &self.data[pos + 1..pos + 1 + l];
+                    };
                     let label = String::from_utf8_lossy(bytes).into_owned();
                     labels.push(label);
-                    pos += 1 + l;
+                    pos = end;
                 }
             }
         }

@@ -258,7 +258,11 @@ impl<M: ShardModel> Engine<M> {
                     // A zero lookahead would stall the window loop (bound
                     // == floor drains nothing); clamp to one tick.
                     lookahead: config.lookahead.max(SimDuration::from_millis(1)),
-                    rng: base_rng.fork_indexed("engine-shard", i as u64),
+                    // Lossless on every supported platform (usize ≤ 64
+                    // bits); the fallback can only fire on a >64-bit
+                    // target and still yields a distinct stream per shard.
+                    rng: base_rng
+                        .fork_indexed("engine-shard", u64::try_from(i).unwrap_or(u64::MAX)),
                     local: Vec::new(),
                     outbox: Vec::new(),
                 },

@@ -191,9 +191,19 @@ pub(crate) fn json_string(s: &str) -> String {
     out
 }
 
+/// Parses JSON text in the supported subset — shared with the incremental
+/// cache's loader ([`crate::cache`]).
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
+    JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    }
+    .parse()
+}
+
 /// The JSON subset the baseline schema needs.
 #[derive(Debug)]
-enum Json {
+pub(crate) enum Json {
     Object(Vec<(String, Json)>),
     Array(Vec<Json>),
     String(String),

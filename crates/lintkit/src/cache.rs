@@ -1,0 +1,289 @@
+//! On-disk incremental cache for the per-file lint pass.
+//!
+//! The cache maps each workspace-relative source path to the FNV-1a hash of
+//! its contents plus the findings the per-file rules produced for it.  A warm
+//! run reuses the cached findings for every file whose hash is unchanged and
+//! only re-lexes the rest; symbol collection for the call graph still runs on
+//! every file, so interprocedural results never go stale.
+//!
+//! Invalidation is two-level:
+//!
+//! * **Per file** — the content hash differs, so only that file re-runs.
+//! * **Whole cache** — the *fingerprint* differs.  The fingerprint hashes the
+//!   schema version, the full rule-name list, and every config knob that can
+//!   change per-file findings (strict-index files, strict-arith files, skip
+//!   lists).  Bumping a rule or editing the config discards the cache rather
+//!   than serving findings computed under different semantics.
+//!
+//! The file lives at `target/lintkit-cache.json` and is rewritten atomically
+//! (temp file + rename) so a crashed run can never leave a torn cache.
+
+use crate::baseline::{json_string, parse_json, Json};
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Format version; bump when the serialized shape or finding semantics
+/// change in a way the fingerprint's rule list does not capture.
+const SCHEMA_VERSION: &str = "1";
+
+/// One cached file: the content hash it was computed from and the findings
+/// the per-file pass emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    pub hash: u64,
+    pub findings: Vec<Finding>,
+}
+
+/// The whole cache file, keyed by workspace-relative path.
+#[derive(Debug, Default)]
+pub struct CacheFile {
+    pub fingerprint: u64,
+    pub files: BTreeMap<String, CacheEntry>,
+}
+
+/// FNV-1a 64-bit over raw bytes — dependency-free and stable across runs
+/// and platforms, which is all the cache key needs (this is an integrity
+/// check against accidental staleness, not an adversarial digest).
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash_str(h: &mut u64, s: &str) {
+    *h = content_hash_continue(*h, s.as_bytes());
+    // Separator so ["ab","c"] and ["a","bc"] fingerprint differently.
+    *h = content_hash_continue(*h, &[0xff]);
+}
+
+fn content_hash_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of everything besides file contents that can change per-file
+/// findings: schema version, the active rule set, and the config lists the
+/// per-file pass consults.
+pub fn fingerprint(config_facets: &[&[String]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    hash_str(&mut h, SCHEMA_VERSION);
+    for rule in Rule::ALL {
+        hash_str(&mut h, rule.name());
+    }
+    for facet in config_facets {
+        // Facet boundary marker so list membership cannot migrate between
+        // facets without changing the fingerprint.
+        hash_str(&mut h, "\u{1}");
+        for item in *facet {
+            hash_str(&mut h, item);
+        }
+    }
+    h
+}
+
+/// Loads the cache from `path`.  Any failure — missing file, parse error,
+/// unknown rule name, malformed entry — yields an empty cache: the cost is
+/// one cold run, never a wrong answer.
+pub fn load(path: &Path) -> CacheFile {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return CacheFile::default();
+    };
+    parse_cache(&text).unwrap_or_default()
+}
+
+fn parse_cache(text: &str) -> Option<CacheFile> {
+    let Json::Object(top) = parse_json(text).ok()? else {
+        return None;
+    };
+    let get = |k: &str| top.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let Json::String(fp) = get("fingerprint")? else {
+        return None;
+    };
+    let fingerprint = u64::from_str_radix(fp, 16).ok()?;
+    let Json::Object(files) = get("files")? else {
+        return None;
+    };
+    let mut out = CacheFile {
+        fingerprint,
+        files: BTreeMap::new(),
+    };
+    for (rel, entry) in files {
+        let Json::Object(fields) = entry else {
+            return None;
+        };
+        let field = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let Json::String(hash) = field("hash")? else {
+            return None;
+        };
+        let hash = u64::from_str_radix(hash, 16).ok()?;
+        let Json::Array(raw) = field("findings")? else {
+            return None;
+        };
+        let mut findings = Vec::with_capacity(raw.len());
+        for f in raw {
+            let Json::Object(ff) = f else {
+                return None;
+            };
+            let fget = |k: &str| ff.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+            let Json::String(rule) = fget("rule")? else {
+                return None;
+            };
+            // An unknown rule name means the cache was written by a
+            // different lintkit — treat the whole file as stale.
+            let rule = Rule::from_name(rule)?;
+            let Json::String(file) = fget("file")? else {
+                return None;
+            };
+            let Json::Number(line) = fget("line")? else {
+                return None;
+            };
+            let Json::String(message) = fget("message")? else {
+                return None;
+            };
+            findings.push(Finding {
+                rule,
+                file: file.clone(),
+                line: *line as u32,
+                message: message.clone(),
+            });
+        }
+        out.files.insert(rel.clone(), CacheEntry { hash, findings });
+    }
+    Some(out)
+}
+
+/// Serializes and atomically replaces the cache at `path`.  Errors are
+/// swallowed: a cache that fails to persist costs the next run a cold pass,
+/// which is not worth failing the lint over.
+pub fn store(path: &Path, cache: &CacheFile) {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"fingerprint\": ");
+    out.push_str(&json_string(&format!("{:016x}", cache.fingerprint)));
+    out.push_str(",\n  \"files\": {");
+    let mut first_file = true;
+    for (rel, entry) in &cache.files {
+        if !first_file {
+            out.push(',');
+        }
+        first_file = false;
+        out.push_str("\n    ");
+        out.push_str(&json_string(rel));
+        out.push_str(": {\"hash\": ");
+        out.push_str(&json_string(&format!("{:016x}", entry.hash)));
+        out.push_str(", \"findings\": [");
+        let mut first = true;
+        for f in &entry.findings {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(f.rule.name()),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.message)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, out).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheFile {
+        let mut files = BTreeMap::new();
+        files.insert(
+            "crates/net/src/lpm.rs".to_string(),
+            CacheEntry {
+                hash: content_hash(b"fn main() {}"),
+                findings: vec![Finding {
+                    rule: Rule::NarrowingCast,
+                    file: "crates/net/src/lpm.rs".to_string(),
+                    line: 7,
+                    message: "`as u32` truncates \"quoted\" bits".to_string(),
+                }],
+            },
+        );
+        files.insert(
+            "crates/dns/src/wire.rs".to_string(),
+            CacheEntry {
+                hash: 42,
+                findings: Vec::new(),
+            },
+        );
+        CacheFile {
+            fingerprint: fingerprint(&[]),
+            files,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("lintkit-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let cache = sample();
+        store(&path, &cache);
+        let back = load(&path);
+        assert_eq!(back.fingerprint, cache.fingerprint);
+        assert_eq!(back.files, cache.files);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_or_corrupt_cache_is_empty() {
+        let empty = load(Path::new("/nonexistent/lintkit-cache.json"));
+        assert!(empty.files.is_empty());
+        assert!(parse_cache("{not json").is_none());
+        assert!(parse_cache("{\"fingerprint\": \"zz\", \"files\": {}}").is_none());
+    }
+
+    #[test]
+    fn unknown_rule_name_discards_cache() {
+        let text = r#"{"fingerprint": "00000000000000ff", "files": {
+            "a.rs": {"hash": "01", "findings": [
+                {"rule": "rule-from-the-future", "file": "a.rs", "line": 1, "message": "m"}
+            ]}}}"#;
+        assert!(parse_cache(text).is_none());
+    }
+
+    #[test]
+    fn fingerprint_separates_facets() {
+        let a = vec!["x".to_string()];
+        let b = vec!["x".to_string()];
+        let empty: Vec<String> = Vec::new();
+        // Same items in different facets must not collide.
+        assert_ne!(
+            fingerprint(&[&a, &empty]),
+            fingerprint(&[&empty, &b]),
+            "facet boundaries must be part of the key"
+        );
+        assert_ne!(fingerprint(&[&a]), fingerprint(&[&empty]));
+    }
+
+    #[test]
+    fn content_hash_is_fnv1a() {
+        // Known FNV-1a vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -37,7 +37,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::graph::{Callee, CallGraph};
+use crate::graph::{CallGraph, Callee};
 use crate::rules::{Finding, Rule};
 use crate::symbols::{FuncDef, Site};
 
@@ -236,10 +236,7 @@ fn analyze(graph: &CallGraph, i: usize, ret_tainted: &[bool]) -> FnOrder {
                     .turbofish
                     .iter()
                     .any(|t| t == "BTreeMap" || t == "BTreeSet");
-                let unordered = m
-                    .turbofish
-                    .iter()
-                    .any(|t| t == "HashMap" || t == "HashSet");
+                let unordered = m.turbofish.iter().any(|t| t == "HashMap" || t == "HashSet");
                 if ordered || unordered {
                     chain_taint = None;
                 }
@@ -386,7 +383,12 @@ mod tests {
     use crate::symbols::collect;
 
     fn run(src: &str) -> Vec<Finding> {
-        let graph = CallGraph::build(vec![collect("alpha", "lib", "crates/alpha/src/lib.rs", src)]);
+        let graph = CallGraph::build(vec![collect(
+            "alpha",
+            "lib",
+            "crates/alpha/src/lib.rs",
+            src,
+        )]);
         let mut findings = Vec::new();
         map_iter_order(&graph, &mut findings);
         findings
@@ -394,12 +396,10 @@ mod tests {
 
     #[test]
     fn direct_keys_escape_is_flagged() {
-        let f = run(
-            "use std::collections::HashMap;\n\
+        let f = run("use std::collections::HashMap;\n\
              pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
              m.keys().copied().collect::<Vec<u32>>()\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::MapIterOrder);
         assert_eq!(f[0].line, 3);
@@ -408,79 +408,67 @@ mod tests {
 
     #[test]
     fn sorted_collection_is_clean() {
-        let f = run(
-            "pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
+        let f = run("pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
              let mut v: Vec<u32> = m.keys().copied().collect();\n\
              v.sort_unstable();\n\
              v\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn btree_collect_is_a_boundary() {
-        let f = run(
-            "pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
+        let f = run("pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
              m.keys().copied().collect::<BTreeSet<u32>>().into_iter().collect::<Vec<u32>>()\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn for_loop_push_escape_is_flagged() {
-        let f = run(
-            "pub fn pairs(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {\n\
+        let f = run("pub fn pairs(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {\n\
              let mut out = Vec::new();\n\
              for (k, v) in m {\n\
              out.push((k, v));\n\
              }\n\
              out\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 3);
     }
 
     #[test]
     fn for_loop_then_sort_is_clean() {
-        let f = run(
-            "pub fn pairs(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {\n\
+        let f = run("pub fn pairs(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {\n\
              let mut out = Vec::new();\n\
              for (k, v) in m {\n\
              out.push((k, v));\n\
              }\n\
              out.sort_unstable();\n\
              out\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn commutative_reduction_is_clean() {
-        let f = run(
-            "pub fn total(m: &HashMap<u32, u64>) -> u64 {\n\
+        let f = run("pub fn total(m: &HashMap<u32, u64>) -> u64 {\n\
              m.values().copied().sum::<u64>()\n\
              }\n\
              pub fn biggest(m: &HashMap<u32, u64>) -> Option<u64> {\n\
              m.values().copied().max()\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn taint_propagates_through_callee() {
-        let f = run(
-            "fn inner(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+        let f = run("fn inner(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
              m.keys().copied().collect::<Vec<u32>>()\n\
              }\n\
              pub fn outer(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
              inner(m)\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 2, "{f:?}");
         assert_eq!(f[0].line, 2);
         assert_eq!(f[1].line, 5);
@@ -489,79 +477,67 @@ mod tests {
 
     #[test]
     fn caller_sorting_callee_result_is_clean() {
-        let f = run(
-            "fn inner(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+        let f = run("fn inner(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
              m.keys().copied().collect::<Vec<u32>>() // lintkit: allow(map-iter-order) -- fixture\n\
              }\n\
              pub fn outer(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
              let mut v = inner(m);\n\
              v.sort_unstable();\n\
              v\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn allow_with_reason_suppresses_seed() {
-        let f = run(
-            "pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
+        let f = run("pub fn names(m: &HashMap<u32, String>) -> Vec<u32> {\n\
              // lintkit: allow(map-iter-order) -- consumer sorts downstream\n\
              m.keys().copied().collect::<Vec<u32>>()\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
     fn locally_built_map_is_tracked() {
-        let f = run(
-            "pub fn build() -> Vec<u32> {\n\
+        let f = run("pub fn build() -> Vec<u32> {\n\
              let mut m = HashMap::new();\n\
              m.insert(1u32, 2u32);\n\
              m.keys().copied().collect::<Vec<u32>>()\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 4);
     }
 
     #[test]
     fn map_returned_by_callee_is_tracked() {
-        let f = run(
-            "fn make() -> HashMap<u32, u32> { HashMap::new() }\n\
+        let f = run("fn make() -> HashMap<u32, u32> { HashMap::new() }\n\
              pub fn use_it() -> Vec<u32> {\n\
              let m = make();\n\
              m.keys().copied().collect::<Vec<u32>>()\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 4);
     }
 
     #[test]
     fn self_field_iteration_is_tracked() {
-        let f = run(
-            "struct S { table: HashMap<u32, u32> }\n\
+        let f = run("struct S { table: HashMap<u32, u32> }\n\
              impl S {\n\
              pub fn dump(&self) -> Vec<u32> {\n\
              self.table.keys().copied().collect::<Vec<u32>>()\n\
              }\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 4);
     }
 
     #[test]
     fn write_through_mut_param_escapes() {
-        let f = run(
-            "pub fn emit(m: &HashMap<u32, u32>, out: &mut Vec<u32>) {\n\
+        let f = run("pub fn emit(m: &HashMap<u32, u32>, out: &mut Vec<u32>) {\n\
              for k in m.keys() {\n\
              out.push(*k);\n\
              }\n\
-             }",
-        );
+             }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 2);
     }
@@ -578,15 +554,13 @@ mod tests {
 
     #[test]
     fn counting_loop_is_clean() {
-        let f = run(
-            "pub fn total(m: &HashMap<u32, u64>) -> u64 {\n\
+        let f = run("pub fn total(m: &HashMap<u32, u64>) -> u64 {\n\
              let mut acc = 0u64;\n\
              for v in m.values() {\n\
              acc += v;\n\
              }\n\
              acc\n\
-             }",
-        );
+             }");
         assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -24,8 +24,14 @@ use crate::graph::{CallGraph, Callee};
 use crate::rules::{Finding, Rule};
 use crate::symbols::Event;
 
-/// Runs all six interprocedural rules.
-pub fn check_graph(graph: &CallGraph, entry_points: &[String]) -> Vec<Finding> {
+/// Runs all seven interprocedural rules (plus the allocation-reachability
+/// pass from [`crate::resource`], which shares this module's BFS shape).
+pub fn check_graph(
+    graph: &CallGraph,
+    entry_points: &[String],
+    hot_paths: &[String],
+    warm_paths: &[String],
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     panic_reachability(graph, entry_points, &mut findings);
     lock_order(graph, &mut findings);
@@ -33,6 +39,7 @@ pub fn check_graph(graph: &CallGraph, entry_points: &[String]) -> Vec<Finding> {
     crate::order::map_iter_order(graph, &mut findings);
     rng_fork_order(graph, &mut findings);
     shard_state_escape(graph, &mut findings);
+    crate::resource::alloc_in_hot_path(graph, hot_paths, warm_paths, &mut findings);
     findings
 }
 
@@ -132,7 +139,7 @@ fn bfs(graph: &CallGraph, start: usize) -> HashMap<usize, usize> {
 }
 
 /// The call path `entry → … → target`, rendered with function names.
-fn path_to(graph: &CallGraph, parent: &HashMap<usize, usize>, target: usize) -> String {
+pub(crate) fn path_to(graph: &CallGraph, parent: &HashMap<usize, usize>, target: usize) -> String {
     let mut chain = vec![target];
     let mut cur = target;
     while let Some(&p) = parent.get(&cur) {
@@ -423,6 +430,8 @@ mod tests {
         check_graph(
             &graph,
             &entries.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &[],
+            &[],
         )
     }
 

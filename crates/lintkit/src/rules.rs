@@ -60,9 +60,45 @@ pub enum Rule {
     /// atomics, `thread_local!`) — cross-shard effects go through
     /// `ShardCtx` sends only.
     ShardStateEscape,
+    /// No heap allocation (`Vec::new`, `vec!`, `with_capacity`, `Box::new`,
+    /// `String::from`, `format!`, `.to_string()`, `.to_vec()`, `.collect()`,
+    /// `.clone()` on heap-typed values) may be reachable from a declared
+    /// steady-state hot entry point; construction/setup boundaries are
+    /// exempted via `Config::warm_paths` ([`crate::resource`]).
+    AllocInHotPath,
+    /// No lossy `as` cast (`usize`/`u64`/`u128` down to `u32`/`u16`/`u8`,
+    /// or a signedness flip) in strict-arithmetic files — use `try_from` /
+    /// `checked_*` or carry a reasoned allow. Widening casts stay silent.
+    NarrowingCast,
+    /// No unguarded `+`/`-`/`*`/`<<` on index/size-typed expressions in
+    /// strict-arithmetic files; `checked_*`/`saturating_*`/`wrapping_*`
+    /// and bounds-dominated (`if`/`while`-guarded, `min`/`max`/`clamp`)
+    /// patterns are recognized as boundaries.
+    UncheckedArith,
 }
 
 impl Rule {
+    /// Every rule, in declaration order.  SARIF rule indices and the cache
+    /// fingerprint both derive from this list, so order is load-bearing:
+    /// append new rules at the end.
+    pub const ALL: [Rule; 15] = [
+        Rule::NoPanic,
+        Rule::NoIndex,
+        Rule::NoPrint,
+        Rule::ForbidUnsafe,
+        Rule::AllowNeedsReason,
+        Rule::VendorManifest,
+        Rule::PanicReachability,
+        Rule::LockOrder,
+        Rule::DeterminismTaint,
+        Rule::MapIterOrder,
+        Rule::RngForkOrder,
+        Rule::ShardStateEscape,
+        Rule::AllocInHotPath,
+        Rule::NarrowingCast,
+        Rule::UncheckedArith,
+    ];
+
     /// The rule's stable name, as used in allow comments and CLI output.
     pub fn name(&self) -> &'static str {
         match self {
@@ -78,6 +114,9 @@ impl Rule {
             Rule::MapIterOrder => "map-iter-order",
             Rule::RngForkOrder => "rng-fork-order",
             Rule::ShardStateEscape => "shard-state-escape",
+            Rule::AllocInHotPath => "alloc-in-hot-path",
+            Rule::NarrowingCast => "narrowing-cast",
+            Rule::UncheckedArith => "unchecked-arith",
         }
     }
 
@@ -96,6 +135,9 @@ impl Rule {
             "map-iter-order" => Some(Rule::MapIterOrder),
             "rng-fork-order" => Some(Rule::RngForkOrder),
             "shard-state-escape" => Some(Rule::ShardStateEscape),
+            "alloc-in-hot-path" => Some(Rule::AllocInHotPath),
+            "narrowing-cast" => Some(Rule::NarrowingCast),
+            "unchecked-arith" => Some(Rule::UncheckedArith),
             _ => None,
         }
     }
@@ -108,7 +150,7 @@ impl fmt::Display for Rule {
 }
 
 /// One rule violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// The violated rule.
     pub rule: Rule,
@@ -140,6 +182,9 @@ pub struct FileContext {
     pub strict_index: bool,
     /// Printing is acceptable here (binary targets under `src/bin/`).
     pub allow_print: bool,
+    /// The `narrowing-cast` / `unchecked-arith` rules apply (arithmetic
+    /// kernels whose index math must be checked or reasoned about).
+    pub strict_arith: bool,
 }
 
 /// A parsed `lintkit: allow(...)` comment.
@@ -273,6 +318,9 @@ pub fn check_file(rel_path: &str, src: &str, ctx: FileContext) -> Vec<Finding> {
             }
         }
         i += 1;
+    }
+    if ctx.strict_arith {
+        crate::resource::check_arith(rel_path, &code, &skip, &suppressed, &mut findings);
     }
     findings
 }

@@ -31,20 +31,7 @@ use crate::rules::{Finding, Rule};
 
 /// Every rule lintkit defines, in the stable order used for
 /// `runs[0].tool.driver.rules` (and therefore for `ruleIndex`).
-pub const RULES: [Rule; 12] = [
-    Rule::NoPanic,
-    Rule::NoIndex,
-    Rule::NoPrint,
-    Rule::ForbidUnsafe,
-    Rule::AllowNeedsReason,
-    Rule::VendorManifest,
-    Rule::PanicReachability,
-    Rule::LockOrder,
-    Rule::DeterminismTaint,
-    Rule::MapIterOrder,
-    Rule::RngForkOrder,
-    Rule::ShardStateEscape,
-];
+pub const RULES: [Rule; 15] = Rule::ALL;
 
 /// One-line rule help shown by SARIF viewers next to each result.
 fn description(rule: Rule) -> &'static str {
@@ -55,13 +42,9 @@ fn description(rule: Rule) -> &'static str {
         Rule::ForbidUnsafe => "crate roots must carry #![forbid(unsafe_code)]",
         Rule::AllowNeedsReason => "lint suppressions must carry a justification",
         Rule::VendorManifest => "vendored shims must match the public-API manifest",
-        Rule::PanicReachability => {
-            "no panic site reachable from a hostile-input entry point"
-        }
+        Rule::PanicReachability => "no panic site reachable from a hostile-input entry point",
         Rule::LockOrder => "the lock acquisition-order graph must be acyclic",
-        Rule::DeterminismTaint => {
-            "wall-clock and OS randomness unreachable from simulated code"
-        }
+        Rule::DeterminismTaint => "wall-clock and OS randomness unreachable from simulated code",
         Rule::MapIterOrder => {
             "unordered-container iteration must pass a sorting boundary before \
              escaping a function's output"
@@ -73,6 +56,18 @@ fn description(rule: Rule) -> &'static str {
         Rule::ShardStateEscape => {
             "ShardModel impls must not touch shared mutable state — cross-shard \
              effects go through ShardCtx sends"
+        }
+        Rule::AllocInHotPath => {
+            "no heap allocation reachable from a steady-state hot entry point \
+             outside declared warm-path boundaries"
+        }
+        Rule::NarrowingCast => {
+            "no lossy `as` cast in strict-arithmetic files — use try_from or a \
+             checked narrowing"
+        }
+        Rule::UncheckedArith => {
+            "no unguarded +/-/*/<< on size/index-typed operands in \
+             strict-arithmetic files"
         }
     }
 }

@@ -74,6 +74,10 @@ pub struct FuncDef {
     /// Unsuppressed shared-mutable-state touches (`Mutex`, `OnceLock`,
     /// atomics, `.lock()`, `static mut`, …).
     pub shared_sites: Vec<Site>,
+    /// Unsuppressed heap-allocation sites (`Vec::new`, `vec!`,
+    /// `with_capacity`, `.to_vec()`, `.collect()`, `.clone()` on
+    /// heap-typed values, …) for the alloc-in-hot-path rule.
+    pub alloc_sites: Vec<Site>,
     /// Lines carrying a reasoned `allow(map-iter-order)` — seeds the order
     /// dataflow must skip.
     pub order_allows: Vec<u32>,
@@ -224,11 +228,13 @@ pub fn collect(crate_name: &str, module: &str, rel_path: &str, src: &str) -> Fil
     let order_allows = collect_reasoned_allows(&tokens, &[Rule::MapIterOrder]);
     let fork_allows = collect_reasoned_allows(&tokens, &[Rule::RngForkOrder]);
     let shared_allows = collect_reasoned_allows(&tokens, &[Rule::ShardStateEscape]);
+    let alloc_allows = collect_reasoned_allows(&tokens, &[Rule::AllocInHotPath]);
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| t.kind != TokenKind::Comment)
         .collect();
     let skip = test_gated_ranges(&code);
+    let heap_idents = heap_idents(&code);
     let mut out = FileSymbols::default();
     let mut walker = Walker {
         code: &code,
@@ -237,6 +243,8 @@ pub fn collect(crate_name: &str, module: &str, rel_path: &str, src: &str) -> Fil
         order_allows: &order_allows,
         fork_allows: &fork_allows,
         shared_allows: &shared_allows,
+        alloc_allows: &alloc_allows,
+        heap_idents: &heap_idents,
         crate_name,
         module,
         rel_path,
@@ -248,6 +256,100 @@ pub fn collect(crate_name: &str, module: &str, rel_path: &str, src: &str) -> Fil
     let map_fields = out.map_fields.clone();
     for f in &mut out.funcs {
         f.map_fields = map_fields.clone();
+    }
+    out
+}
+
+/// Identifiers the file gives lexical evidence of being heap-typed —
+/// `name: Vec<…>`-shaped ascriptions (params, struct fields, lets) and
+/// `let name = <heap constructor>` bindings. Used to decide whether a
+/// `.clone()` allocates. Evidence-based and file-global: a name typed
+/// heap anywhere counts, which over-approximates across functions, but a
+/// reasoned allow documents the rare false positive.
+fn heap_idents(code: &[&Token]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let is_heap_head = |t: &Token| {
+        t.kind == TokenKind::Ident && crate::resource::HEAP_TYPES.contains(&t.text.as_str())
+    };
+    for i in 0..code.len() {
+        // `name : …Vec<…>…` — scan the type tokens to the segment end.
+        if code[i].kind == TokenKind::Ident
+            && code.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+            && !code.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+            && (i == 0 || !code[i - 1].is_punct(b':'))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while let Some(t) = code.get(j) {
+                match t.kind {
+                    TokenKind::Punct(b'<') | TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(b'>') | TokenKind::Punct(b')') | TokenKind::Punct(b']') => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Punct(b',')
+                    | TokenKind::Punct(b';')
+                    | TokenKind::Punct(b'=')
+                    | TokenKind::Punct(b'{')
+                    | TokenKind::Punct(b'}')
+                        if depth == 0 =>
+                    {
+                        break;
+                    }
+                    _ => {
+                        if is_heap_head(t) || t.is_ident("String") {
+                            out.insert(code[i].text.clone());
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        // `let name = <rhs>;` where the RHS visibly constructs heap data.
+        if code[i].is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name_tok) = code.get(j) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident
+                || !code.get(j + 1).is_some_and(|t| t.is_punct(b'='))
+            {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while let Some(t) = code.get(k) {
+                match t.kind {
+                    TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+                    TokenKind::Punct(b')') | TokenKind::Punct(b']') => depth -= 1,
+                    TokenKind::Punct(b';') | TokenKind::Punct(b'{') if depth == 0 => break,
+                    TokenKind::Ident => {
+                        let heap_ctor = (is_heap_head(t)
+                            && code.get(k + 1).is_some_and(|n| n.is_punct(b':')))
+                            || (matches!(t.text.as_str(), "vec" | "format")
+                                && code.get(k + 1).is_some_and(|n| n.is_punct(b'!')))
+                            || (matches!(
+                                t.text.as_str(),
+                                "to_vec" | "to_string" | "to_owned" | "collect"
+                            ) && code.get(k + 1).is_some_and(|n| n.is_punct(b'(')));
+                        if heap_ctor {
+                            out.insert(name_tok.text.clone());
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
     }
     out
 }
@@ -277,6 +379,8 @@ struct Walker<'a> {
     order_allows: &'a [u32],
     fork_allows: &'a [u32],
     shared_allows: &'a [u32],
+    alloc_allows: &'a [u32],
+    heap_idents: &'a std::collections::BTreeSet<String>,
     crate_name: &'a str,
     module: &'a str,
     rel_path: &'a str,
@@ -562,6 +666,7 @@ impl Walker<'_> {
             taint_sites: Vec::new(),
             fork_sites: Vec::new(),
             shared_sites: Vec::new(),
+            alloc_sites: Vec::new(),
             order_allows: self.order_allows.to_vec(),
             order_stmts: Vec::new(),
             events: Vec::new(),
@@ -636,8 +741,7 @@ impl Walker<'_> {
         let code = self.code;
         let mut colon = None;
         let mut depth = 0i32;
-        for k in lo..hi {
-            let t = code[k];
+        for (k, t) in code.iter().enumerate().take(hi).skip(lo) {
             if t.is_punct(b'<') || t.is_punct(b'(') {
                 depth += 1;
             } else if t.is_punct(b'>') || t.is_punct(b')') {
@@ -661,10 +765,9 @@ impl Walker<'_> {
         let unordered = ty
             .iter()
             .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
-        let ref_mut = ty
-            .windows(2)
-            .any(|w| w[0].is_punct(b'&') && (w[1].is_ident("mut") || w[1].kind == TokenKind::Lifetime))
-            && ty.iter().any(|t| t.is_ident("mut"));
+        let ref_mut = ty.windows(2).any(|w| {
+            w[0].is_punct(b'&') && (w[1].is_ident("mut") || w[1].kind == TokenKind::Lifetime)
+        }) && ty.iter().any(|t| t.is_ident("mut"));
         for n in names {
             if unordered {
                 info.unordered_params.push(n.clone());
@@ -752,6 +855,56 @@ impl Walker<'_> {
                             line: name.line,
                             what: ".fork()".to_string(),
                         });
+                    }
+                }
+            }
+            // Heap-allocation sites (for the alloc-in-hot-path rule).
+            if tok.kind == TokenKind::Ident
+                && matches!(tok.text.as_str(), "vec" | "format")
+                && code.get(i + 1).is_some_and(|t| t.is_punct(b'!'))
+                && !self.alloc_allows.contains(&tok.line)
+            {
+                def.alloc_sites.push(Site {
+                    line: tok.line,
+                    what: format!("{}!", tok.text),
+                });
+            }
+            // Heap-type path constructors: `Vec::new(`, `Box::new(`,
+            // `String::from(`, `Vec::with_capacity(`, ….
+            if tok.kind == TokenKind::Ident
+                && matches!(tok.text.as_str(), "new" | "with_capacity" | "from")
+                && code.get(i + 1).is_some_and(|t| t.is_punct(b'('))
+                && i >= lo + 3
+                && code[i - 1].is_punct(b':')
+                && code[i - 2].is_punct(b':')
+                && code[i - 3].kind == TokenKind::Ident
+                && crate::resource::HEAP_TYPES.contains(&code[i - 3].text.as_str())
+                && !self.alloc_allows.contains(&tok.line)
+            {
+                def.alloc_sites.push(Site {
+                    line: tok.line,
+                    what: format!("{}::{}", code[i - 3].text, tok.text),
+                });
+            }
+            // Allocating methods, plus `.clone()` on heap-typed receivers.
+            if tok.is_punct(b'.') {
+                if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                    if paren.is_punct(b'(') && !self.alloc_allows.contains(&name.line) {
+                        if crate::resource::ALLOC_METHODS.contains(&name.text.as_str()) {
+                            def.alloc_sites.push(Site {
+                                line: name.line,
+                                what: format!(".{}()", name.text),
+                            });
+                        } else if name.is_ident("clone")
+                            && i > lo
+                            && code[i - 1].kind == TokenKind::Ident
+                            && self.heap_idents.contains(&code[i - 1].text)
+                        {
+                            def.alloc_sites.push(Site {
+                                line: name.line,
+                                what: format!(".clone() of heap-typed `{}`", code[i - 1].text),
+                            });
+                        }
                     }
                 }
             }
@@ -1029,9 +1182,9 @@ impl Walker<'_> {
                     && code.get(j + 2).is_some_and(|t| t.is_punct(b'<'))
                 {
                     let close = self.close_of(j + 2, b'<', b'>');
-                    for k in j + 3..close.min(hi) {
-                        if code[k].kind == TokenKind::Ident {
-                            fish.push(code[k].text.clone());
+                    for t in code.iter().take(close.min(hi)).skip(j + 3) {
+                        if t.kind == TokenKind::Ident {
+                            fish.push(t.text.clone());
                         }
                     }
                     j = close + 1;

@@ -1,0 +1,156 @@
+//! The incremental cache's correctness contract, proven over the on-disk
+//! fixture workspace:
+//!
+//! * a warm (fully cached) run emits **byte-identical** findings to the
+//!   cold run that populated the cache — same rules, same order, same
+//!   messages — so caching can never change what the gate sees,
+//! * editing a source file invalidates exactly that file's entry, and the
+//!   next run picks up the edit's findings,
+//! * a fingerprint change (different strict-file config) discards the
+//!   whole cache rather than serving findings computed under different
+//!   rule semantics.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lintkit::{analyze_workspace, baseline, Config};
+
+/// Copies the fixture workspace into a scratch dir so the stale-cache test
+/// can edit sources without touching the checked-in fixtures.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_ws");
+    let dst = std::env::temp_dir().join(format!(
+        "lintkit-cache-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    if dst.exists() {
+        fs::remove_dir_all(&dst).expect("clear stale scratch dir");
+    }
+    copy_tree(&src, &dst).expect("copy fixture workspace");
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dst)?;
+    for entry in fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to)?;
+        } else {
+            fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+fn fixture_config(root: &Path) -> Config {
+    Config {
+        root: root.to_path_buf(),
+        strict_index: Vec::new(),
+        strict_arith: vec!["crates/hot/src/fastpath.rs".to_string()],
+        skip_crates: Vec::new(),
+        entry_points: vec!["core::ecs_scan::scan_subnets".to_string()],
+        hot_paths: vec!["hot::fastpath::drain_window".to_string()],
+        warm_paths: vec!["hot::fastpath::setup_tables".to_string()],
+        graph_skip_crates: Vec::new(),
+        cache: Some(root.join("lintkit-cache.json")),
+    }
+}
+
+#[test]
+fn warm_run_is_byte_identical_to_cold() {
+    let root = scratch_workspace("identical");
+    let config = fixture_config(&root);
+
+    let cold = analyze_workspace(&config).expect("cold pass");
+    assert_eq!(cold.stats.cache_hits, 0, "first run has nothing cached");
+    assert_eq!(cold.stats.cache_misses, cold.stats.files);
+    assert!(cold.stats.files > 0, "fixture workspace has files");
+    assert!(
+        config.cache.as_ref().is_some_and(|p| p.is_file()),
+        "the cold run persisted the cache"
+    );
+
+    let warm = analyze_workspace(&config).expect("warm pass");
+    assert_eq!(
+        warm.stats.cache_hits, warm.stats.files,
+        "every file served from cache on the warm run"
+    );
+    assert_eq!(warm.stats.cache_misses, 0);
+
+    // The contract: byte-identical findings, proven over the full rendered
+    // report (rule, file, line, message — in order), not a summary.
+    assert_eq!(
+        baseline::report_json(&cold.findings),
+        baseline::report_json(&warm.findings),
+        "cached findings must be byte-identical to computed ones"
+    );
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn editing_a_source_invalidates_exactly_that_file() {
+    let root = scratch_workspace("stale");
+    let config = fixture_config(&root);
+
+    let cold = analyze_workspace(&config).expect("cold pass");
+    let baseline_findings = baseline::report_json(&cold.findings);
+
+    // Edit one strict file: append a fresh narrowing-cast violation.
+    let edited = root.join("crates/hot/src/fastpath.rs");
+    let mut text = fs::read_to_string(&edited).expect("read fixture source");
+    text.push_str("\nfn appended(extra: u64) -> u8 {\n    extra as u8\n}\n");
+    fs::write(&edited, text).expect("write edited source");
+
+    let after = analyze_workspace(&config).expect("post-edit pass");
+    assert_eq!(
+        after.stats.cache_misses, 1,
+        "exactly the edited file re-runs"
+    );
+    assert_eq!(after.stats.cache_hits, after.stats.files - 1);
+    assert_ne!(
+        baseline::report_json(&after.findings),
+        baseline_findings,
+        "the edit's findings are visible, not served stale"
+    );
+    assert!(
+        after
+            .findings
+            .iter()
+            .any(|f| f.rule.name() == "narrowing-cast"
+                && f.file == "crates/hot/src/fastpath.rs"
+                && f.message.contains("as u8")),
+        "the appended cast is found: {:?}",
+        after.findings
+    );
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn config_change_discards_the_whole_cache() {
+    let root = scratch_workspace("fingerprint");
+    let config = fixture_config(&root);
+    let cold = analyze_workspace(&config).expect("cold pass");
+    assert_eq!(cold.stats.cache_misses, cold.stats.files);
+
+    // Same files, different strict-arith set: the fingerprint differs, so
+    // nothing may be served from the old cache.
+    let mut reconfigured = fixture_config(&root);
+    reconfigured.strict_arith = Vec::new();
+    let run = analyze_workspace(&reconfigured).expect("reconfigured pass");
+    assert_eq!(
+        run.stats.cache_hits, 0,
+        "a fingerprint mismatch must cold-start the cache"
+    );
+    assert!(
+        !run.findings
+            .iter()
+            .any(|f| f.rule.name() == "narrowing-cast"),
+        "strict-arith findings disappear with the config, not linger in cache"
+    );
+
+    fs::remove_dir_all(&root).ok();
+}

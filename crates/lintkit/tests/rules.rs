@@ -20,6 +20,7 @@ fn strict() -> FileContext {
     FileContext {
         is_crate_root: true,
         strict_index: true,
+        strict_arith: true,
         allow_print: false,
     }
 }
@@ -73,6 +74,7 @@ fn no_index_is_opt_in_per_file() {
         FileContext {
             is_crate_root: false,
             strict_index: false,
+            strict_arith: false,
             allow_print: false,
         },
     );

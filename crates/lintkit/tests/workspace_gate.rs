@@ -84,14 +84,17 @@ fn determinism_soundness_rules_are_active() {
             "rule `{name}` no longer parses"
         );
     }
-    let fixture_root =
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_ws");
+    let fixture_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_ws");
     let config = Config {
         root: fixture_root,
         strict_index: Vec::new(),
+        strict_arith: Vec::new(),
         skip_crates: Vec::new(),
         entry_points: vec!["core::ecs_scan::scan_subnets".to_string()],
+        hot_paths: Vec::new(),
+        warm_paths: Vec::new(),
         graph_skip_crates: Vec::new(),
+        cache: None,
     };
     let findings = lint_workspace(&config).expect("fixture workspace lints");
     for name in ["map-iter-order", "rng-fork-order", "shard-state-escape"] {
@@ -99,6 +102,39 @@ fn determinism_soundness_rules_are_active() {
             findings.iter().any(|f| f.rule.name() == name),
             "rule `{name}` produced no finding on its seeded fixture \
              violation — is it still wired into check_graph?"
+        );
+    }
+}
+
+#[test]
+fn resource_soundness_rules_are_active() {
+    // Same liveness contract for the resource rules: parseable by name and
+    // firing on the seeded fixture violations when the config wires the
+    // strict-arith file and hot/warm boundaries in.
+    for name in ["alloc-in-hot-path", "narrowing-cast", "unchecked-arith"] {
+        assert!(
+            lintkit::Rule::from_name(name).is_some(),
+            "rule `{name}` no longer parses"
+        );
+    }
+    let fixture_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_ws");
+    let config = Config {
+        root: fixture_root,
+        strict_index: Vec::new(),
+        strict_arith: vec!["crates/hot/src/fastpath.rs".to_string()],
+        skip_crates: Vec::new(),
+        entry_points: Vec::new(),
+        hot_paths: vec!["hot::fastpath::drain_window".to_string()],
+        warm_paths: vec!["hot::fastpath::setup_tables".to_string()],
+        graph_skip_crates: Vec::new(),
+        cache: None,
+    };
+    let findings = lint_workspace(&config).expect("fixture workspace lints");
+    for name in ["alloc-in-hot-path", "narrowing-cast", "unchecked-arith"] {
+        assert!(
+            findings.iter().any(|f| f.rule.name() == name),
+            "rule `{name}` produced no finding on its seeded fixture \
+             violation — is it still wired into the analysis?"
         );
     }
 }

@@ -37,7 +37,7 @@ pub mod trie;
 pub use asn::Asn;
 pub use clock::{Epoch, SimClock, SimDuration, SimTime};
 pub use error::NetError;
-pub use lpm::FrozenLpm;
+pub use lpm::{BatchScratch, FrozenLpm};
 pub use prefix::{IpNet, Ipv4Net, Ipv6Net};
 pub use rng::SimRng;
 pub use trie::PrefixTrie;

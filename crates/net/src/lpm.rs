@@ -74,7 +74,60 @@ fn mask_bits(bits: u128, len: u8) -> u128 {
     if len == 0 {
         0
     } else {
-        bits & (u128::MAX << (128 - len as u32))
+        bits & (u128::MAX << 128u32.saturating_sub(u32::from(len)))
+    }
+}
+
+/// The `stride`-bit chunk of `bits` at `shift` — masked *before* the
+/// narrowing cast, so the conversion is total (a chunk is at most 16 bits).
+#[inline]
+fn chunk_of(bits: u128, shift: u32, stride: u8) -> usize {
+    let width = u32::from(stride).min(127);
+    let mask = (1u128 << width).saturating_sub(1);
+    ((bits >> shift) & mask) as usize
+}
+
+/// Value/node/entry arena index for a `len()` — clamped to the `NONE`
+/// sentinel on overflow. An arena of 2^32 entries cannot exist (each entry
+/// is > 8 bytes), so the clamp only turns an impossible state into a miss
+/// instead of a wrong match.
+fn arena_idx(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(NONE)
+}
+
+/// Reusable walk state for the batch lookup kernel
+/// ([`FrozenLpm::lookup_batch_in`] /
+/// [`FrozenLpm::lookup_batch_map_in`]). A caller that keeps one scratch
+/// across bursts pays zero allocations per batch once its vectors have
+/// grown to the burst size.
+#[derive(Debug)]
+pub struct BatchScratch {
+    /// Per-lane state: (address bits, current node, best value so far).
+    lanes: Vec<(u128, u32, u32)>,
+    /// Lanes that still have a child to follow, compacted each pass.
+    active: Vec<u32>,
+    /// Next pass's `active`, swapped in at the end of each level.
+    next: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; the vectors grow to the first burst's size and
+    /// are reused afterwards.
+    pub fn new() -> BatchScratch {
+        BatchScratch {
+            // lintkit: allow(alloc-in-hot-path) -- capacity-zero Vec::new touches no heap; growth is amortized by scratch reuse
+            lanes: Vec::new(),
+            // lintkit: allow(alloc-in-hot-path) -- capacity-zero Vec::new touches no heap; growth is amortized by scratch reuse
+            active: Vec::new(),
+            // lintkit: allow(alloc-in-hot-path) -- capacity-zero Vec::new touches no heap; growth is amortized by scratch reuse
+            next: Vec::new(),
+        }
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> BatchScratch {
+        BatchScratch::new()
     }
 }
 
@@ -193,7 +246,7 @@ impl<V> FrozenLpm<V> {
             if superseded {
                 continue;
             }
-            let idx = values.len() as u32;
+            let idx = arena_idx(values.len());
             values.push((r.net, r.value));
             let keys = if r.v4 { &mut keys_v4 } else { &mut keys_v6 };
             keys.push(KeyRec {
@@ -263,7 +316,7 @@ impl<V> FrozenLpm<V> {
                 best = node.value;
             }
             let shift = 128u32.saturating_sub(node.base as u32 + node.stride as u32);
-            let chunk = ((bits >> shift) as usize) & ((1usize << node.stride) - 1);
+            let chunk = chunk_of(bits, shift, node.stride);
             match self.entries.get(node.entries_off as usize + chunk) {
                 Some(e) => {
                     if e.value != NONE {
@@ -321,12 +374,40 @@ impl<V> FrozenLpm<V> {
         self.lookup_batch_map(addrs, out, |m| m);
     }
 
+    /// [`lookup_batch`](FrozenLpm::lookup_batch) against caller-owned walk
+    /// state: with a reused [`BatchScratch`] the whole batch runs without
+    /// touching the allocator once the scratch has grown to the burst size.
+    pub fn lookup_batch_in<'a>(
+        &'a self,
+        scratch: &mut BatchScratch,
+        addrs: &[IpAddr],
+        out: &mut Vec<Option<(IpNet, &'a V)>>,
+    ) {
+        self.lookup_batch_map_in(scratch, addrs, out, |m| m);
+    }
+
     /// [`lookup_batch`](FrozenLpm::lookup_batch) with an inline projection:
     /// each raw match is passed through `f` before landing in `out`, so
     /// callers that store a derived type (the RIB keeps `(prefix, origin)`)
-    /// reuse their typed buffer with no intermediate allocation.
+    /// reuse their typed buffer with no intermediate allocation. Allocates
+    /// fresh walk state per call — batch loops should hold a
+    /// [`BatchScratch`] and use
+    /// [`lookup_batch_map_in`](FrozenLpm::lookup_batch_map_in) instead.
     pub fn lookup_batch_map<'a, T>(
         &'a self,
+        addrs: &[IpAddr],
+        out: &mut Vec<T>,
+        f: impl FnMut(Option<(IpNet, &'a V)>) -> T,
+    ) {
+        let mut scratch = BatchScratch::new();
+        self.lookup_batch_map_in(&mut scratch, addrs, out, f);
+    }
+
+    /// The allocation-free batch kernel: walk state lives in `scratch`,
+    /// results in `out`, both owned by the caller and reused across bursts.
+    pub fn lookup_batch_map_in<'a, T>(
+        &'a self,
+        scratch: &mut BatchScratch,
         addrs: &[IpAddr],
         out: &mut Vec<T>,
         mut f: impl FnMut(Option<(IpNet, &'a V)>) -> T,
@@ -337,18 +418,21 @@ impl<V> FrozenLpm<V> {
         // Lanes that still have a child to follow are kept in `active`,
         // compacted each pass so finished walks cost nothing on deeper
         // levels.
-        let mut lanes: Vec<(u128, u32, u32)> = addrs
-            .iter()
-            .map(|a| {
-                let (b, v4) = addr_bits(a);
-                (b, if v4 { self.root_v4 } else { self.root_v6 }, NONE)
-            })
-            .collect();
-        let mut active: Vec<u32> = (0..lanes.len() as u32).collect();
-        let mut next: Vec<u32> = Vec::with_capacity(active.len());
+        let BatchScratch {
+            lanes,
+            active,
+            next,
+        } = scratch;
+        lanes.clear();
+        lanes.extend(addrs.iter().map(|a| {
+            let (b, v4) = addr_bits(a);
+            (b, if v4 { self.root_v4 } else { self.root_v6 }, NONE)
+        }));
+        active.clear();
+        active.extend(0..arena_idx(lanes.len()));
         while !active.is_empty() {
             next.clear();
-            for &k in &active {
+            for &k in active.iter() {
                 let Some(lane) = lanes.get_mut(k as usize) else {
                     continue;
                 };
@@ -357,7 +441,7 @@ impl<V> FrozenLpm<V> {
                 };
                 let mut found = node.value;
                 let shift = 128u32.saturating_sub(node.base as u32 + node.stride as u32);
-                let chunk = ((lane.0 >> shift) as usize) & ((1usize << node.stride) - 1);
+                let chunk = chunk_of(lane.0, shift, node.stride);
                 let child = match self.entries.get(node.entries_off as usize + chunk) {
                     Some(e) => {
                         if e.value != NONE {
@@ -375,9 +459,9 @@ impl<V> FrozenLpm<V> {
                     next.push(k);
                 }
             }
-            core::mem::swap(&mut active, &mut next);
+            core::mem::swap(active, next);
         }
-        for lane in &lanes {
+        for lane in lanes.iter() {
             out.push(f(self.values.get(lane.2 as usize).map(|(n, v)| (*n, v))));
         }
     }
@@ -481,8 +565,9 @@ fn build_node(nodes: &mut Vec<Node>, entries: &mut Vec<Entry>, keys: &[KeyRec], 
     } else {
         8
     };
-    let limit = base + stride;
-    let mut block = vec![EMPTY_ENTRY; 1usize << stride];
+    let limit = base.saturating_add(stride);
+    let block_len = 1usize.checked_shl(u32::from(stride)).unwrap_or(0);
+    let mut block = vec![EMPTY_ENTRY; block_len];
     let shift = 128u32.saturating_sub(limit as u32);
     let mut node_value = NONE;
 
@@ -496,8 +581,10 @@ fn build_node(nodes: &mut Vec<Node>, entries: &mut Vec<Entry>, keys: &[KeyRec], 
             node_value = key.value;
             continue;
         }
-        let lo = ((key.bits >> shift) as usize) & ((1usize << stride) - 1);
-        let count = 1usize << (limit - key.len);
+        let lo = chunk_of(key.bits, shift, stride);
+        let count = 1usize
+            .checked_shl(u32::from(limit.saturating_sub(key.len)))
+            .unwrap_or(0);
         for entry in block.iter_mut().skip(lo).take(count) {
             entry.value = key.value;
         }
@@ -508,10 +595,10 @@ fn build_node(nodes: &mut Vec<Node>, entries: &mut Vec<Entry>, keys: &[KeyRec], 
     let deeper: Vec<KeyRec> = keys.iter().filter(|k| k.len > limit).copied().collect();
     let mut start = 0usize;
     while let Some(first) = deeper.get(start) {
-        let chunk = ((first.bits >> shift) as usize) & ((1usize << stride) - 1);
-        let mut end = start + 1;
+        let chunk = chunk_of(first.bits, shift, stride);
+        let mut end = start.saturating_add(1);
         while let Some(k) = deeper.get(end) {
-            let c = ((k.bits >> shift) as usize) & ((1usize << stride) - 1);
+            let c = chunk_of(k.bits, shift, stride);
             if c != chunk {
                 break;
             }
@@ -526,9 +613,9 @@ fn build_node(nodes: &mut Vec<Node>, entries: &mut Vec<Entry>, keys: &[KeyRec], 
         start = end;
     }
 
-    let entries_off = entries.len() as u32;
+    let entries_off = arena_idx(entries.len());
     entries.extend(block);
-    let idx = nodes.len() as u32;
+    let idx = arena_idx(nodes.len());
     nodes.push(Node {
         entries_off,
         value: node_value,

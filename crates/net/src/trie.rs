@@ -344,6 +344,7 @@ impl<V> PrefixTrie<V> {
 
     /// Iterates over all `(prefix, value)` pairs, IPv4 first, in bit order.
     pub fn iter(&self) -> impl Iterator<Item = (IpNet, &V)> {
+        // lintkit: allow(alloc-in-hot-path) -- reporting/setup code; the hot-path edge is a name collision (the graph links `labels.iter()` in the DNS encoder to this inherent `iter`)
         let mut out = Vec::with_capacity(self.len);
         collect(&self.root_v4, &mut out);
         collect(&self.root_v6, &mut out);

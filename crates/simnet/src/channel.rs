@@ -80,31 +80,40 @@ pub struct LinkStats {
 
 impl LinkStats {
     /// All drops regardless of cause — what a client counts as timeouts.
+    /// Saturating: a pinned ledger near `u64::MAX` reports the ceiling
+    /// rather than wrapping to a small, plausible-looking count.
     pub fn all_dropped(&self) -> u64 {
-        self.dropped + self.burst_dropped + self.blackhole_dropped
+        self.dropped
+            .saturating_add(self.burst_dropped)
+            .saturating_add(self.blackhole_dropped)
     }
 
-    /// All mutations that leave the reply undecodable.
+    /// All mutations that leave the reply undecodable (saturating, as
+    /// [`all_dropped`](LinkStats::all_dropped)).
     pub fn undecodable(&self) -> u64 {
-        self.truncated + self.corrupted
+        self.truncated.saturating_add(self.corrupted)
     }
 
     /// Adds another ledger into this one, field by field — how the chaos
     /// harness folds the per-shard channels of an engine run into the one
-    /// ledger the invariants reconcile against.
+    /// ledger the invariants reconcile against. Every fold saturates:
+    /// counter overflow must pin at `u64::MAX` and keep the invariant
+    /// checks comparable, never wrap and fake a healthy ledger.
     pub fn absorb(&mut self, other: &LinkStats) {
-        self.deliveries += other.deliveries;
-        self.delivered += other.delivered;
-        self.dropped += other.dropped;
-        self.burst_dropped += other.burst_dropped;
-        self.blackhole_dropped += other.blackhole_dropped;
-        self.truncated += other.truncated;
-        self.corrupted += other.corrupted;
-        self.rcode_rewritten += other.rcode_rewritten;
-        self.duplicated += other.duplicated;
-        self.reordered += other.reordered;
-        self.jitter_events += other.jitter_events;
-        self.jitter_ms_total += other.jitter_ms_total;
+        self.deliveries = self.deliveries.saturating_add(other.deliveries);
+        self.delivered = self.delivered.saturating_add(other.delivered);
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.burst_dropped = self.burst_dropped.saturating_add(other.burst_dropped);
+        self.blackhole_dropped = self
+            .blackhole_dropped
+            .saturating_add(other.blackhole_dropped);
+        self.truncated = self.truncated.saturating_add(other.truncated);
+        self.corrupted = self.corrupted.saturating_add(other.corrupted);
+        self.rcode_rewritten = self.rcode_rewritten.saturating_add(other.rcode_rewritten);
+        self.duplicated = self.duplicated.saturating_add(other.duplicated);
+        self.reordered = self.reordered.saturating_add(other.reordered);
+        self.jitter_events = self.jitter_events.saturating_add(other.jitter_events);
+        self.jitter_ms_total = self.jitter_ms_total.saturating_add(other.jitter_ms_total);
     }
 }
 
@@ -256,11 +265,14 @@ impl FaultedChannel {
             return SimDuration::ZERO;
         }
         let mut state = self.state.lock();
-        let ms = state.rng.below(faults.jitter_ms + 1);
+        let ms = state.rng.below(faults.jitter_ms.saturating_add(1));
         if ms > 0 {
             let slot = state.stats.stats_slot(link);
             slot.jitter_events += 1;
-            slot.jitter_ms_total += ms;
+            // The one ledger field fed arbitrary increments rather than
+            // unit ticks — saturate so a long jittery run pins instead of
+            // wrapping.
+            slot.jitter_ms_total = slot.jitter_ms_total.saturating_add(ms);
         }
         SimDuration::from_millis(ms)
     }
@@ -508,6 +520,44 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    #[test]
+    fn ledger_folds_saturate_instead_of_wrapping() {
+        // A ledger pinned at the ceiling plus a busy shard ledger must
+        // stay pinned — wrapping would fake a small, healthy count and
+        // slip past every chaos invariant.
+        let mut pinned = LinkStats {
+            deliveries: u64::MAX,
+            dropped: u64::MAX - 1,
+            jitter_ms_total: u64::MAX,
+            ..LinkStats::default()
+        };
+        let shard = LinkStats {
+            deliveries: 10,
+            dropped: 7,
+            burst_dropped: 3,
+            blackhole_dropped: 2,
+            truncated: 1,
+            corrupted: 1,
+            jitter_ms_total: 1_000,
+            ..LinkStats::default()
+        };
+        pinned.absorb(&shard);
+        assert_eq!(pinned.deliveries, u64::MAX, "fold saturates");
+        assert_eq!(pinned.dropped, u64::MAX, "near-ceiling fold pins");
+        assert_eq!(pinned.jitter_ms_total, u64::MAX);
+        // The derived views saturate too: three drop causes summing past
+        // the ceiling report the ceiling.
+        assert_eq!(pinned.all_dropped(), u64::MAX);
+        assert_eq!(shard.all_dropped(), 12);
+        assert_eq!(shard.undecodable(), 2);
+        let mut top = LinkStats {
+            truncated: u64::MAX,
+            ..LinkStats::default()
+        };
+        top.absorb(&shard);
+        assert_eq!(top.undecodable(), u64::MAX);
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! Smoke tests for the `tectonic` CLI binary and the `xtask chaos`
 //! driver.
 
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::Mutex;
+
+/// Serializes the tests that invoke `xtask lint`: they share the real
+/// workspace's on-disk lint cache, so concurrent runs would race the
+/// hit/miss counters the assertions below pin down.
+static LINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn workspace_cache() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("target/lintkit-cache.json")
+}
 
 fn run(args: &[&str]) -> (String, String, bool) {
     let output = Command::new(env!("CARGO_BIN_EXE_tectonic"))
@@ -108,6 +120,7 @@ fn chaos_broken_fixture_exits_nonzero() {
 
 #[test]
 fn lint_sarif_writes_valid_report() {
+    let _guard = LINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = std::env::temp_dir().join("tectonic-cli-smoke-sarif");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("lint.sarif");
@@ -125,20 +138,70 @@ fn lint_sarif_writes_valid_report() {
     assert!(text.contains("\"id\": \"map-iter-order\""));
     assert!(text.contains("\"id\": \"rng-fork-order\""));
     assert!(text.contains("\"id\": \"shard-state-escape\""));
+    assert!(text.contains("\"id\": \"alloc-in-hot-path\""));
+    assert!(text.contains("\"id\": \"narrowing-cast\""));
+    assert!(text.contains("\"id\": \"unchecked-arith\""));
     let _ = std::fs::remove_file(&path);
 }
 
 #[test]
 fn lint_sarif_unwritable_path_fails() {
-    let (stdout, stderr, ok) = run_xtask(&[
-        "lint",
-        "--sarif",
-        "/nonexistent-smoke-dir/lint.sarif",
-    ]);
+    let _guard = LINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (stdout, stderr, ok) = run_xtask(&["lint", "--sarif", "/nonexistent-smoke-dir/lint.sarif"]);
     assert!(!ok, "unwritable SARIF path must fail:\n{stdout}\n{stderr}");
     assert!(
         stderr.contains("xtask lint: writing"),
         "write error missing: {stderr}"
+    );
+}
+
+#[test]
+fn lint_timings_reports_cold_then_warm_cache_counts() {
+    let _guard = LINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cache = workspace_cache();
+    let _ = fs::remove_file(&cache);
+    // Cold: nothing can be served from cache, and the pass persists one.
+    let (stdout, stderr, ok) = run_xtask(&["lint", "--timings"]);
+    assert!(ok, "cold lint --timings failed:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("xtask lint: timings —"),
+        "timings line missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("0 cache hit(s)"),
+        "cold run must serve nothing from cache: {stdout}"
+    );
+    assert!(cache.is_file(), "lint persisted the cache");
+    // Warm: every per-file result is served from the cache just written.
+    let (stdout2, stderr2, ok2) = run_xtask(&["lint", "--timings"]);
+    assert!(ok2, "warm lint --timings failed:\n{stdout2}\n{stderr2}");
+    assert!(
+        stdout2.contains("0 miss(es)"),
+        "warm run must re-lint nothing: {stdout2}"
+    );
+}
+
+#[test]
+fn lint_discards_a_stale_or_corrupt_cache() {
+    let _guard = LINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cache = workspace_cache();
+    // Ensure a cache exists, then clobber it with bytes no schema accepts —
+    // the shape of a cache left by an older lintkit version.
+    let (_, _, ok) = run_xtask(&["lint"]);
+    assert!(ok, "seeding lint run failed");
+    fs::write(&cache, "{ \"schema\": \"stale\", not even json").expect("clobber cache");
+    let (stdout, stderr, ok) = run_xtask(&["lint", "--timings"]);
+    assert!(
+        ok,
+        "lint must recover from a bad cache:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("0 cache hit(s)"),
+        "a discarded cache serves nothing: {stdout}"
+    );
+    assert!(
+        stdout.contains("xtask lint: clean"),
+        "verdict unchanged by cache state: {stdout}"
     );
 }
 
