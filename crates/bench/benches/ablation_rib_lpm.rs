@@ -15,12 +15,22 @@
 //! one [`FrozenLpm::lookup_batch`] per 1024-address window;
 //! `frozen_single_x1024_*` performs the same windows one address at a time
 //! — the pair isolates the batching win at equal work.
+//!
+//! The churn benches (100k / 900k only) measure the table under BGP-flap
+//! load: `overlay_lookup_{1,10}pct_*` is steady-state lookup through a
+//! [`DeltaOverlay`] holding 1% / 10% of the table as pending patches
+//! (compare against `frozen_single_*` for the overlay tax), and the
+//! `update_*` trio prices one announcement under each maintenance
+//! strategy — `update_full_refreeze_*` rebuilds the whole table per
+//! update, `update_overlay_*` patches the overlay and subtree-compacts
+//! when the patch budget fills (the amortized steady-state path), and
+//! `compact_512_*` isolates one 512-patch subtree compaction.
 
 use std::net::IpAddr;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tectonic_bench::banner;
-use tectonic_net::{Asn, IpNet, Ipv4Net, PrefixTrie, SimRng};
+use tectonic_net::{Asn, DeltaOverlay, IpNet, Ipv4Net, PrefixTrie, SimRng};
 
 /// Addresses cycled through by every benchmark (windows of `BATCH`).
 const POOL: usize = 1 << 18;
@@ -34,6 +44,20 @@ fn linear_lookup(routes: &[(IpNet, Asn)], addr: IpAddr) -> Option<(IpNet, Asn)> 
         .filter(|(net, _)| net.contains(addr))
         .max_by_key(|(net, _)| net.len())
         .copied()
+}
+
+/// One synthetic churn announcement, same shape as the base table's.
+fn churn_net(rng: &mut SimRng) -> (IpNet, Asn) {
+    loop {
+        let len = 10 + (rng.next_u64_raw() % 15) as u8; // /10 ..= /24
+        let bits = rng.next_u64_raw() as u32;
+        if let Ok(net) = Ipv4Net::new(std::net::Ipv4Addr::from(bits), len) {
+            return (
+                IpNet::V4(net),
+                Asn((rng.next_u64_raw() % 70_000) as u32 + 1),
+            );
+        }
+    }
 }
 
 /// A synthetic IPv4 table of roughly `target` random announcements.
@@ -121,6 +145,104 @@ fn bench(c: &mut Criterion) {
                     .filter(|a| frozen.longest_match(**a).is_some())
                     .count()
             })
+        });
+
+        // Churn regime: lookups through a dirty overlay and the per-update
+        // cost of each maintenance strategy. Only meaningful at DFZ-ish
+        // scale, where a full rebuild per update is visibly absurd.
+        if label == "1k" {
+            continue;
+        }
+
+        // Dirty overlays holding 1% / 10% of the table as pending patches,
+        // each cross-checked against a from-scratch rebuild before timing.
+        let mut overlays = Vec::new();
+        for (tag, num) in [("1pct", target / 100), ("10pct", target / 10)] {
+            let mut delta = DeltaOverlay::new();
+            let mut mirror: PrefixTrie<Asn> = trie.iter().map(|(n, a)| (n, *a)).collect();
+            for _ in 0..num {
+                let (net, asn) = churn_net(&mut rng);
+                delta.announce(net, asn);
+                mirror.insert(net, asn);
+            }
+            let rebuilt = mirror.freeze();
+            for addr in sample.iter().take(256) {
+                assert_eq!(
+                    delta.longest_match(&frozen, *addr).map(|(n, v)| (n, *v)),
+                    rebuilt.longest_match(*addr).map(|(n, v)| (n, *v)),
+                    "overlay vs rebuild at {tag}"
+                );
+            }
+            overlays.push((tag, delta));
+        }
+        println!("table {label}: overlay and full rebuild agree at 1% and 10% churn");
+        for (tag, delta) in &overlays {
+            let mut i = 0usize;
+            group.bench_function(format!("overlay_lookup_{tag}_{label}"), |b| {
+                b.iter(|| {
+                    i = (i + 1) & (POOL - 1);
+                    delta.longest_match(&frozen, pool[i])
+                })
+            });
+        }
+
+        // Strategy 1: rebuild the whole table on every announcement.
+        let mut work: PrefixTrie<Asn> = trie.iter().map(|(n, a)| (n, *a)).collect();
+        let mut rng_full = SimRng::new(7);
+        group.bench_function(format!("update_full_refreeze_{label}"), |b| {
+            b.iter(|| {
+                let (net, asn) = churn_net(&mut rng_full);
+                work.insert(net, asn);
+                work.freeze().len()
+            })
+        });
+
+        // Strategy 2: announce into the overlay, subtree-compacting when
+        // the patch budget fills — the amortized steady-state update path.
+        let mut live = trie
+            .iter()
+            .map(|(n, a)| (n, *a))
+            .collect::<PrefixTrie<Asn>>()
+            .freeze();
+        let mut delta = DeltaOverlay::new();
+        let mut rng_ov = SimRng::new(8);
+        group.bench_function(format!("update_overlay_{label}"), |b| {
+            b.iter(|| {
+                let (net, asn) = churn_net(&mut rng_ov);
+                delta.announce(net, asn);
+                if delta.should_compact(live.len()) {
+                    live.refreeze_subtree(&delta);
+                    delta.clear();
+                }
+                delta.len()
+            })
+        });
+
+        // Strategy 3 in isolation: one 512-patch subtree compaction. The
+        // setup applies a 1-patch refreeze to the snapshot so the
+        // copy-on-write unshare lands outside the timed window.
+        let mut rng_cp = SimRng::new(9);
+        let mut delta512 = DeltaOverlay::new();
+        for _ in 0..512 {
+            let (net, asn) = churn_net(&mut rng_cp);
+            delta512.announce(net, asn);
+        }
+        let mut warm = DeltaOverlay::new();
+        let (wnet, wasn) = churn_net(&mut rng_cp);
+        warm.announce(wnet, wasn);
+        group.bench_function(format!("compact_512_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut f = frozen.snapshot();
+                    f.refreeze_subtree(&warm);
+                    f
+                },
+                |mut f| {
+                    f.refreeze_subtree(&delta512);
+                    f.len()
+                },
+                BatchSize::SmallInput,
+            )
         });
     }
     group.finish();

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::net::IpAddr;
 
 use serde::{Deserialize, Serialize};
-use tectonic_net::{Asn, BatchScratch, FrozenLpm, IpNet, PrefixTrie};
+use tectonic_net::{Asn, BatchScratch, DeltaOverlay, FrozenLpm, IpNet, PrefixTrie};
 
 /// One announced route.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -21,21 +21,31 @@ pub struct RouteEntry {
 ///
 /// The trie is the build-side structure; once the table is loaded, callers
 /// [`freeze`](Rib::freeze) it and every read API runs on the compiled
-/// [`FrozenLpm`] snapshot instead of chasing trie pointers. Any mutation
-/// ([`announce`](Rib::announce) / [`withdraw`](Rib::withdraw)) invalidates
-/// the snapshot (reads fall back to the trie until the next freeze) and
-/// bumps the generation counter that fences [`LookupMemo`] reuse.
+/// [`FrozenLpm`] snapshot instead of chasing trie pointers. Mutations
+/// ([`announce`](Rib::announce) / [`withdraw`](Rib::withdraw)) no longer
+/// throw the snapshot away: they land in a bounded [`DeltaOverlay`]
+/// consulted after the frozen walk (result-identical to a rebuild), and
+/// once the overlay crosses its compaction threshold the dirty subtrees
+/// are re-frozen in place ([`FrozenLpm::refreeze_subtree`]) — O(affected
+/// subtree) per update burst instead of O(table). Every visible mutation,
+/// including a compaction, bumps the generation counter that fences
+/// [`LookupMemo`] reuse.
 #[derive(Debug)]
 pub struct Rib {
     routes: PrefixTrie<RouteEntry>,
-    /// Compiled snapshot of `routes`; `None` between a mutation and the
-    /// next [`freeze`](Rib::freeze).
+    /// Compiled snapshot of `routes` as of the last freeze/compaction;
+    /// `None` until the first [`freeze`](Rib::freeze) (or when ablated
+    /// off). Stays live across mutations — churn goes through `delta`.
     frozen: Option<FrozenLpm<RouteEntry>>,
+    /// Pending announce/withdraw patches against `frozen`; empty whenever
+    /// `frozen` is `None` or freshly (re)built.
+    delta: DeltaOverlay<RouteEntry>,
     /// Ablation switch mirroring the scanner's `use_fast_path`: when off,
     /// [`freeze`](Rib::freeze) is a no-op and every lookup walks the trie.
     frozen_enabled: bool,
-    /// Bumped on every announce/withdraw; memoised lookups from an older
-    /// generation are discarded.
+    /// Bumped on every visible mutation — announce, withdraw, and overlay
+    /// compaction (which relocates arena segments under batch scratch) —
+    /// so memoised lookups from an older generation are discarded.
     generation: u64,
     /// Per-AS announced prefix lists, kept alongside the trie for the
     /// prefix-census analyses (Table 3, §6). Entries are removed when their
@@ -51,6 +61,7 @@ impl Default for Rib {
         Rib {
             routes: PrefixTrie::new(),
             frozen: None,
+            delta: DeltaOverlay::new(),
             frozen_enabled: true,
             generation: 0,
             by_origin: HashMap::new(),
@@ -67,42 +78,89 @@ impl Rib {
 
     /// Compiles the current table into a [`FrozenLpm`] snapshot so
     /// steady-state lookups stop walking the pointer trie. Call after the
-    /// load phase; mutations drop the snapshot, so re-freeze after applying
-    /// a batch of updates. A no-op when the frozen engine is ablated off.
+    /// load phase; later mutations are absorbed by the delta overlay, so
+    /// a re-freeze is an optimisation (dropping accumulated patches and
+    /// arena garbage), never a correctness requirement. A no-op when the
+    /// frozen engine is ablated off.
     pub fn freeze(&mut self) {
         if self.frozen_enabled {
             self.frozen = Some(self.routes.freeze());
+            self.delta.clear();
+            self.generation = self.generation.wrapping_add(1);
         }
     }
 
     /// Ablation switch for the compiled engine (mirrors the scanner's
-    /// `use_fast_path`). Disabling drops the snapshot and pins all lookups
-    /// to the pointer trie; re-enabling freezes immediately.
+    /// `use_fast_path`). Disabling drops the snapshot (and any pending
+    /// overlay patches) and pins all lookups to the pointer trie;
+    /// re-enabling freezes immediately.
     pub fn set_frozen_enabled(&mut self, enabled: bool) {
         self.frozen_enabled = enabled;
         if enabled {
             self.freeze();
         } else {
             self.frozen = None;
+            self.delta.clear();
+            self.generation = self.generation.wrapping_add(1);
         }
     }
 
-    /// Whether lookups currently run on a compiled snapshot.
+    /// Whether lookups currently run on a compiled snapshot (possibly with
+    /// a pending delta overlay — still the fast path).
     pub fn is_frozen(&self) -> bool {
         self.frozen.is_some()
     }
 
-    /// Drops the snapshot and records the mutation. Called by every write.
-    fn invalidate(&mut self) {
-        self.frozen = None;
+    /// Number of overlay patches pending against the frozen snapshot —
+    /// zero in steady state, bounded by the compaction threshold under
+    /// churn. Diagnostics/test hook.
+    pub fn pending_patches(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// A cheap copy-on-write epoch snapshot of the compiled table
+    /// ([`FrozenLpm::snapshot`]), or `None` when the frozen engine is off.
+    /// Pending overlay patches are compacted in first so the snapshot
+    /// captures exactly the current routes; k epoch handles share arenas
+    /// until the live table diverges.
+    pub fn snapshot(&mut self) -> Option<FrozenLpm<RouteEntry>> {
+        if !self.delta.is_empty() {
+            if let Some(frozen) = self.frozen.as_mut() {
+                frozen.refreeze_subtree(&self.delta);
+                self.delta.clear();
+                self.generation = self.generation.wrapping_add(1);
+            }
+        }
+        self.frozen.as_ref().map(FrozenLpm::snapshot)
+    }
+
+    /// Records a visible mutation: bumps the [`LookupMemo`] generation
+    /// fence and, when a snapshot is live, folds the overlay into it once
+    /// the patch budget is exhausted (O(affected subtree)), falling back to
+    /// a full rebuild only when compactions have left more arena garbage
+    /// than live entries.
+    fn after_mutation(&mut self) {
         self.generation = self.generation.wrapping_add(1);
+        let rebuild = match self.frozen.as_mut() {
+            Some(frozen) if self.delta.should_compact(frozen.len()) => {
+                frozen.refreeze_subtree(&self.delta);
+                self.delta.clear();
+                frozen.garbage() > frozen.len()
+            }
+            _ => false,
+        };
+        if rebuild {
+            self.frozen = Some(self.routes.freeze());
+        }
     }
 
     /// Announces `prefix` with origin `asn`. Re-announcing an existing
     /// prefix replaces the origin (and returns the previous one).
     pub fn announce(&mut self, prefix: impl Into<IpNet>, origin: Asn) -> Option<Asn> {
         let prefix = prefix.into();
-        self.invalidate();
+        if self.frozen.is_some() {
+            self.delta.announce(prefix, RouteEntry { origin });
+        }
         let prev = self.routes.insert(prefix, RouteEntry { origin });
         if let Some(prev) = &prev {
             if prev.origin != origin {
@@ -112,16 +170,20 @@ impl Rib {
         } else {
             self.index_prefix(origin, prefix);
         }
+        self.after_mutation();
         prev.map(|e| e.origin)
     }
 
     /// Withdraws `prefix`, returning its origin if it was announced.
     pub fn withdraw(&mut self, prefix: &IpNet) -> Option<Asn> {
-        self.invalidate();
+        if let Some(frozen) = &self.frozen {
+            self.delta.withdraw(prefix, frozen);
+        }
         let prev = self.routes.remove(prefix);
         if let Some(entry) = &prev {
             self.unindex_prefix(entry.origin, prefix);
         }
+        self.after_mutation();
         prev.map(|e| e.origin)
     }
 
@@ -160,7 +222,10 @@ impl Rib {
     /// Longest-prefix match for an address.
     pub fn lookup(&self, addr: IpAddr) -> Option<(IpNet, Asn)> {
         match &self.frozen {
-            Some(lpm) => lpm.lookup(addr).map(|(net, entry)| (net, entry.origin)),
+            Some(lpm) => self
+                .delta
+                .lookup(lpm, addr)
+                .map(|(net, entry)| (net, entry.origin)),
             None => self
                 .routes
                 .longest_match(addr)
@@ -188,9 +253,10 @@ impl Rib {
     ) {
         match &self.frozen {
             Some(lpm) => {
-                lpm.lookup_batch_map_in(scratch, addrs, out, |m| {
-                    m.map(|(net, entry)| (net, entry.origin))
-                });
+                self.delta
+                    .lookup_batch_map_in(lpm, scratch, addrs, out, |m| {
+                        m.map(|(net, entry)| (net, entry.origin))
+                    });
             }
             None => {
                 out.clear();
@@ -202,8 +268,9 @@ impl Rib {
     /// The most specific announced prefix fully covering `net`.
     pub fn lookup_net(&self, net: &IpNet) -> Option<(IpNet, Asn)> {
         match &self.frozen {
-            Some(lpm) => lpm
-                .longest_match_net(net)
+            Some(lpm) => self
+                .delta
+                .longest_match_net(lpm, net)
                 .map(|(covering, entry)| (covering, entry.origin)),
             None => self
                 .routes
@@ -226,7 +293,7 @@ impl Rib {
     /// The origin AS of the exact prefix, if announced.
     pub fn origin_of(&self, prefix: &IpNet) -> Option<Asn> {
         match &self.frozen {
-            Some(lpm) => lpm.exact(prefix).map(|e| e.origin),
+            Some(lpm) => self.delta.exact(lpm, prefix).map(|e| e.origin),
             None => self.routes.exact(prefix).map(|e| e.origin),
         }
     }
@@ -272,8 +339,9 @@ impl Rib {
         }
         memo.generation = self.generation;
         let matched = match &self.frozen {
-            Some(lpm) => lpm
-                .longest_match_leaf(addr)
+            Some(lpm) => self
+                .delta
+                .longest_match_leaf(lpm, addr)
                 .map(|(net, entry, leaf)| (net, entry.origin, leaf)),
             None => self
                 .routes
@@ -477,22 +545,185 @@ mod tests {
     }
 
     #[test]
-    fn mutations_invalidate_the_snapshot() {
+    fn mutations_patch_the_snapshot_in_place() {
         let mut rib = Rib::new();
         rib.announce(net("17.0.0.0/8"), Asn::APPLE);
         rib.freeze();
         assert!(rib.is_frozen());
-        // Announce drops the snapshot and the new route is visible.
+        // Announce stays on the fast path: the snapshot survives and the
+        // new route is visible through the overlay.
         rib.announce(net("17.5.0.0/16"), Asn(64512));
-        assert!(!rib.is_frozen());
+        assert!(rib.is_frozen());
+        assert_eq!(rib.pending_patches(), 1);
         let (p, _) = rib.lookup("17.5.1.1".parse().unwrap()).unwrap();
         assert_eq!(p, net("17.5.0.0/16"));
-        rib.freeze();
-        // Withdraw drops it too.
+        // Withdraw tombstones it and the lookup falls back to the /8.
         rib.withdraw(&net("17.5.0.0/16"));
-        assert!(!rib.is_frozen());
+        assert!(rib.is_frozen());
         let (p, _) = rib.lookup("17.5.1.1".parse().unwrap()).unwrap();
         assert_eq!(p, net("17.0.0.0/8"));
+        // Withdrawing the base route itself leaves nothing.
+        rib.withdraw(&net("17.0.0.0/8"));
+        assert!(rib.is_frozen());
+        assert!(rib.lookup("17.5.1.1".parse().unwrap()).is_none());
+        // An explicit re-freeze flushes the pending patches.
+        rib.freeze();
+        assert_eq!(rib.pending_patches(), 0);
+        assert!(rib.lookup("17.5.1.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn overlay_lookups_match_trie_under_churn() {
+        // Interleave announce/withdraw against a frozen RIB and check every
+        // read API against a trie-only control after each step.
+        let mut rib = Rib::new();
+        let mut cold = Rib::new();
+        cold.set_frozen_enabled(false);
+        let seed = [
+            ("17.0.0.0/8", Asn::APPLE),
+            ("17.5.0.0/16", Asn(64512)),
+            ("23.32.0.0/11", Asn::AKAMAI_EG),
+            ("2620:149::/32", Asn::APPLE),
+        ];
+        for (p, a) in seed {
+            rib.announce(net(p), a);
+            cold.announce(net(p), a);
+        }
+        rib.freeze();
+        let steps: Vec<(bool, &str, Asn)> = vec![
+            (true, "17.5.3.0/24", Asn(64513)),
+            (false, "17.5.0.0/16", Asn(0)),
+            (true, "17.5.0.0/16", Asn(64514)),
+            (false, "23.32.0.0/11", Asn(0)),
+            (true, "198.51.100.0/24", Asn(64515)),
+            (false, "198.51.100.0/24", Asn(0)),
+        ];
+        let probes = [
+            "17.5.3.9",
+            "17.5.1.1",
+            "17.9.9.9",
+            "23.33.0.1",
+            "8.8.8.8",
+            "2620:149::1",
+            "198.51.100.7",
+        ];
+        for (is_announce, p, a) in steps {
+            if is_announce {
+                rib.announce(net(p), a);
+                cold.announce(net(p), a);
+            } else {
+                rib.withdraw(&net(p));
+                cold.withdraw(&net(p));
+            }
+            assert!(rib.is_frozen());
+            for s in probes {
+                let addr: IpAddr = s.parse().unwrap();
+                assert_eq!(rib.lookup(addr), cold.lookup(addr), "{s} after {p}");
+            }
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            let addrs: Vec<IpAddr> = probes.iter().map(|s| s.parse().unwrap()).collect();
+            rib.lookup_batch(&addrs, &mut got);
+            cold.lookup_batch(&addrs, &mut want);
+            assert_eq!(got, want, "batch after {p}");
+            for n in ["17.5.3.0/24", "17.5.0.0/16", "23.32.0.0/11", "16.0.0.0/8"] {
+                let n = net(n);
+                assert_eq!(rib.lookup_net(&n), cold.lookup_net(&n), "{n} after {p}");
+                assert_eq!(rib.origin_of(&n), cold.origin_of(&n), "{n} after {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_lookup_sees_overlay_only_update() {
+        // Regression: the memo generation must fence overlay patches that
+        // never drop the snapshot (the old tests only covered the full
+        // invalidation path).
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.freeze();
+        let mut memo = LookupMemo::new();
+        let addr: IpAddr = "17.5.1.1".parse().unwrap();
+        // Prime the memo with the frozen /8, a leaf.
+        assert_eq!(
+            rib.lookup_memoized(addr, &mut memo),
+            Some((net("17.0.0.0/8"), Asn::APPLE))
+        );
+        // Overlay-only announce: snapshot stays, memo must not.
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        assert!(rib.is_frozen());
+        assert_eq!(
+            rib.lookup_memoized(addr, &mut memo),
+            Some((net("17.5.0.0/16"), Asn(64512)))
+        );
+        // Overlay-only withdraw of the memoised /16 likewise.
+        rib.withdraw(&net("17.5.0.0/16"));
+        assert_eq!(
+            rib.lookup_memoized(addr, &mut memo),
+            Some((net("17.0.0.0/8"), Asn::APPLE))
+        );
+    }
+
+    #[test]
+    fn memoized_lookup_survives_subtree_compaction() {
+        // Push enough churn through a frozen RIB to trigger overlay
+        // compaction (MIN_COMPACT patches vs a small base) and verify the
+        // memoised path answers exactly like plain lookups throughout.
+        let mut rib = Rib::new();
+        rib.announce(net("10.0.0.0/8"), Asn::APPLE);
+        rib.freeze();
+        let mut memo = LookupMemo::new();
+        for i in 0..200u32 {
+            let third = (i % 250) as u8;
+            let p: IpNet = format!("10.77.{third}.0/24").parse().unwrap();
+            if i % 3 == 2 {
+                rib.withdraw(&p);
+            } else {
+                rib.announce(p, Asn(64512 + (i % 7)));
+            }
+            for s in ["10.77.0.9", "10.77.1.9", "10.9.9.9"] {
+                let addr: IpAddr = s.parse().unwrap();
+                assert_eq!(
+                    rib.lookup_memoized(addr, &mut memo),
+                    rib.lookup(addr),
+                    "{s}"
+                );
+            }
+        }
+        assert!(rib.is_frozen());
+        // Compaction must have fired at least once along the way: the
+        // overlay can never hold all 200 mutations.
+        assert!(rib.pending_patches() < 200);
+    }
+
+    #[test]
+    fn epoch_snapshots_diff_after_base_mutates() {
+        let mut rib = Rib::new();
+        rib.announce(net("17.0.0.0/8"), Asn::APPLE);
+        rib.announce(net("17.5.0.0/16"), Asn(64512));
+        rib.freeze();
+        let epoch0 = rib.snapshot().expect("frozen");
+        rib.withdraw(&net("17.5.0.0/16"));
+        rib.announce(net("17.6.0.0/16"), Asn(64513));
+        let epoch1 = rib.snapshot().expect("frozen");
+        // Epoch 0 still answers with the pre-mutation table.
+        let a: IpAddr = "17.5.1.1".parse().unwrap();
+        assert_eq!(epoch0.lookup(a).map(|(n, _)| n), Some(net("17.5.0.0/16")));
+        assert_eq!(epoch1.lookup(a).map(|(n, _)| n), Some(net("17.0.0.0/8")));
+        let b: IpAddr = "17.6.1.1".parse().unwrap();
+        assert_eq!(epoch0.lookup(b).map(|(n, _)| n), Some(net("17.0.0.0/8")));
+        assert_eq!(epoch1.lookup(b).map(|(n, _)| n), Some(net("17.6.0.0/16")));
+        // Diffing the two epochs' prefix sets shows exactly the churn.
+        let set = |e: &tectonic_net::FrozenLpm<RouteEntry>| {
+            let mut v: Vec<String> = e.iter().map(|(n, _)| n.to_string()).collect();
+            v.sort();
+            v
+        };
+        let (s0, s1) = (set(&epoch0), set(&epoch1));
+        let gone: Vec<_> = s0.iter().filter(|p| !s1.contains(p)).collect();
+        let added: Vec<_> = s1.iter().filter(|p| !s0.contains(p)).collect();
+        assert_eq!(gone, vec!["17.5.0.0/16"]);
+        assert_eq!(added, vec!["17.6.0.0/16"]);
     }
 
     #[test]

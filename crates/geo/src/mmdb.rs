@@ -10,7 +10,7 @@
 use std::net::IpAddr;
 
 use serde::{Deserialize, Serialize};
-use tectonic_net::{FrozenLpm, PrefixTrie};
+use tectonic_net::{DeltaOverlay, FrozenLpm, PrefixTrie};
 
 use crate::country::CountryCode;
 use crate::egress::EgressList;
@@ -30,12 +30,15 @@ pub struct Location {
 ///
 /// The trie is the ingest-side structure; [`freeze`](GeoDb::freeze) compiles
 /// it into a [`FrozenLpm`] for the query-heavy analyses. Inserting after a
-/// freeze drops the snapshot, so lookups are always correct — freezing is
-/// purely a fast path.
+/// freeze keeps the snapshot live: the mapping lands in a [`DeltaOverlay`]
+/// consulted after the frozen walk (and is folded into the compiled table
+/// once enough patches accumulate), so lookups are always correct —
+/// freezing is purely a fast path.
 #[derive(Debug, Default)]
 pub struct GeoDb {
     trie: PrefixTrie<Location>,
     frozen: Option<FrozenLpm<Location>>,
+    delta: DeltaOverlay<Location>,
 }
 
 impl GeoDb {
@@ -54,15 +57,24 @@ impl GeoDb {
         self.trie.is_empty()
     }
 
-    /// Inserts a mapping. Drops any compiled snapshot.
+    /// Inserts a mapping. A live compiled snapshot is patched through the
+    /// delta overlay rather than dropped.
     pub fn insert(&mut self, net: impl Into<tectonic_net::IpNet>, loc: Location) {
-        self.frozen = None;
+        let net = net.into();
+        if let Some(frozen) = self.frozen.as_mut() {
+            self.delta.announce(net, loc.clone());
+            if self.delta.should_compact(frozen.len()) {
+                frozen.refreeze_subtree(&self.delta);
+                self.delta.clear();
+            }
+        }
         self.trie.insert(net, loc);
     }
 
     /// Compiles the current mappings for steady-state lookups.
     pub fn freeze(&mut self) {
         self.frozen = Some(self.trie.freeze());
+        self.delta.clear();
     }
 
     /// `true` when a compiled snapshot is live.
@@ -91,7 +103,7 @@ impl GeoDb {
     /// Looks up an address.
     pub fn lookup(&self, addr: IpAddr) -> Option<&Location> {
         match &self.frozen {
-            Some(lpm) => lpm.longest_match(addr).map(|(_, loc)| loc),
+            Some(lpm) => self.delta.longest_match(lpm, addr).map(|(_, loc)| loc),
             None => self.trie.longest_match(addr).map(|(_, loc)| loc),
         }
     }
@@ -148,7 +160,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_after_freeze_invalidates_and_stays_correct() {
+    fn insert_after_freeze_patches_and_stays_correct() {
         let mut db = GeoDb::from_egress_list(&sample_list());
         assert!(db.is_frozen());
         db.insert(
@@ -159,7 +171,9 @@ mod tests {
                 city: None,
             },
         );
-        assert!(!db.is_frozen());
+        // The compiled snapshot survives: the insert went through the
+        // delta overlay instead of invalidating.
+        assert!(db.is_frozen());
         // More-specific /27 from the egress list still wins...
         let loc = db.lookup("172.224.0.5".parse().unwrap()).unwrap();
         assert_eq!(loc.cc, CountryCode::US);

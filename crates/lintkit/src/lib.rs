@@ -143,6 +143,9 @@ impl Config {
                 "crates/engine/src/sched.rs".to_string(),
                 "crates/geo/src/csv.rs".to_string(),
                 "crates/net/src/lpm.rs".to_string(),
+                // The churn overlay shares the frozen table's arena-index
+                // discipline: every probe goes through checked access.
+                "crates/net/src/overlay.rs".to_string(),
                 "crates/quic/src/packet.rs".to_string(),
                 "crates/quic/src/varint.rs".to_string(),
                 "crates/simnet/src/channel.rs".to_string(),
@@ -156,6 +159,8 @@ impl Config {
                 // Arena indices are u32 by design; every narrowing from
                 // usize must be provably in range.
                 "crates/net/src/lpm.rs".to_string(),
+                // Patch offsets and chunk arithmetic in the churn overlay.
+                "crates/net/src/overlay.rs".to_string(),
                 // RFC 9000 varints: 62-bit values through shifts and masks.
                 "crates/quic/src/varint.rs".to_string(),
             ],
@@ -166,6 +171,12 @@ impl Config {
                 // Batched longest-prefix matching under the scan's
                 // per-reply attribution.
                 "net::lpm::lookup_batch".to_string(),
+                // Overlay-combined lookups: the steady-state read path under
+                // BGP churn routes every query through these.
+                "net::overlay::longest_match".to_string(),
+                "net::overlay::longest_match_net".to_string(),
+                "net::overlay::exact".to_string(),
+                "net::overlay::lookup_batch_in".to_string(),
                 // DNS wire decoding of hostile reply bytes.
                 "dns::wire::decode_message".to_string(),
                 // The published egress CSV (lossy parse path).
@@ -189,6 +200,11 @@ impl Config {
                 // Per-reply attribution: one lookup per decoded answer.
                 "net::lpm::longest_match_net".to_string(),
                 "net::lpm::lookup_batch".to_string(),
+                // Overlay-combined steady-state lookups must stay
+                // allocation-free: churn is absorbed by patches, not by
+                // per-query buffers.
+                "net::overlay::longest_match".to_string(),
+                "net::overlay::lookup_batch_in".to_string(),
                 // The scheduler's window drain — the inner loop of every
                 // simulated scan.
                 "engine::sched::run_window".to_string(),

@@ -13,6 +13,10 @@
 //! * [`lpm`] — [`FrozenLpm`], the compiled, immutable flat-layout snapshot
 //!   of a trie ([`PrefixTrie::freeze`]) that the steady-state lookup paths
 //!   run on,
+//! * [`overlay`] — [`DeltaOverlay`], a bounded patch layer that absorbs
+//!   announce/withdraw churn over a frozen table (with subtree re-freeze
+//!   and copy-on-write epoch snapshots) so updates cost O(affected
+//!   subtree), not O(table),
 //! * [`asn`] — autonomous-system numbers and the well-known ASes from the
 //!   paper (Apple, Akamai&#8239;PR, Akamai&#8239;EG, Cloudflare, Fastly),
 //! * [`rng`] — a deterministic, splittable simulation RNG so every experiment
@@ -30,6 +34,7 @@ pub mod asn;
 pub mod clock;
 pub mod error;
 pub mod lpm;
+pub mod overlay;
 pub mod prefix;
 pub mod rng;
 pub mod trie;
@@ -38,6 +43,7 @@ pub use asn::Asn;
 pub use clock::{Epoch, SimClock, SimDuration, SimTime};
 pub use error::NetError;
 pub use lpm::{BatchScratch, FrozenLpm};
+pub use overlay::DeltaOverlay;
 pub use prefix::{IpNet, Ipv4Net, Ipv6Net};
 pub use rng::SimRng;
 pub use trie::PrefixTrie;

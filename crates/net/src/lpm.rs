@@ -18,44 +18,55 @@
 //! `tests/prop_prefix_trie.rs`). [`lookup_batch`](FrozenLpm::lookup_batch)
 //! resolves a burst of addresses in interleaved lock-step so the dependent
 //! load chains of four lookups overlap in the memory pipeline.
+//!
+//! Mutation under churn no longer means "throw the table away": the
+//! [`overlay`](crate::overlay) module layers a bounded
+//! [`DeltaOverlay`](crate::overlay::DeltaOverlay) of exact-prefix patches on
+//! top of a frozen base, and
+//! [`refreeze_subtree`](FrozenLpm::refreeze_subtree) folds the patches back
+//! in by rebuilding only the affected root-stride subtrees. The arenas sit
+//! behind one shared [`Arc`], so [`snapshot`](FrozenLpm::snapshot) hands out
+//! copy-on-write epoch views: k historical snapshots share one arena until
+//! a later compaction actually diverges from them.
 
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use crate::prefix::IpNet;
 use crate::trie::PrefixTrie;
 
 /// Sentinel for "no node / no value" in the `u32` index space.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// The root stride switches from 8 to 16 bits once a family holds this many
 /// prefixes: a 64 Ki-entry root costs 512 KiB, which only pays for itself on
 /// RIB-sized tables.
-const WIDE_ROOT_MIN: usize = 4096;
+pub(crate) const WIDE_ROOT_MIN: usize = 4096;
 
 /// One multi-bit node: a block of `1 << stride` entries in the shared entry
 /// arena, plus the value stored exactly at the node's base depth (a prefix
 /// whose length equals the number of bits consumed to reach the node).
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    /// First entry of this node's block in `FrozenLpm::entries`.
-    entries_off: u32,
+pub(crate) struct Node {
+    /// First entry of this node's block in `Core::entries`.
+    pub(crate) entries_off: u32,
     /// Value index for a prefix of length exactly `base`, or `NONE`.
-    value: u32,
+    pub(crate) value: u32,
     /// Bits consumed before this node (depth of its base).
-    base: u8,
+    pub(crate) base: u8,
     /// Bits this node consumes (entry block is `1 << stride` long).
-    stride: u8,
+    pub(crate) stride: u8,
 }
 
 /// One entry: the child node for the chunk, and the most specific stored
 /// prefix whose length falls inside this node and which covers the chunk.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    child: u32,
-    value: u32,
+pub(crate) struct Entry {
+    pub(crate) child: u32,
+    pub(crate) value: u32,
 }
 
-const EMPTY_ENTRY: Entry = Entry {
+pub(crate) const EMPTY_ENTRY: Entry = Entry {
     child: NONE,
     value: NONE,
 };
@@ -64,13 +75,13 @@ const EMPTY_ENTRY: Entry = Entry {
 /// the top 32 bits, exactly like the trie's internal key), the prefix
 /// length, and the value-arena index.
 #[derive(Debug, Clone, Copy)]
-struct KeyRec {
-    bits: u128,
-    len: u8,
-    value: u32,
+pub(crate) struct KeyRec {
+    pub(crate) bits: u128,
+    pub(crate) len: u8,
+    pub(crate) value: u32,
 }
 
-fn mask_bits(bits: u128, len: u8) -> u128 {
+pub(crate) fn mask_bits(bits: u128, len: u8) -> u128 {
     if len == 0 {
         0
     } else {
@@ -81,7 +92,7 @@ fn mask_bits(bits: u128, len: u8) -> u128 {
 /// The `stride`-bit chunk of `bits` at `shift` — masked *before* the
 /// narrowing cast, so the conversion is total (a chunk is at most 16 bits).
 #[inline]
-fn chunk_of(bits: u128, shift: u32, stride: u8) -> usize {
+pub(crate) fn chunk_of(bits: u128, shift: u32, stride: u8) -> usize {
     let width = u32::from(stride).min(127);
     let mask = (1u128 << width).saturating_sub(1);
     ((bits >> shift) & mask) as usize
@@ -91,7 +102,7 @@ fn chunk_of(bits: u128, shift: u32, stride: u8) -> usize {
 /// sentinel on overflow. An arena of 2^32 entries cannot exist (each entry
 /// is > 8 bytes), so the clamp only turns an impossible state into a miss
 /// instead of a wrong match.
-fn arena_idx(n: usize) -> u32 {
+pub(crate) fn arena_idx(n: usize) -> u32 {
     u32::try_from(n).unwrap_or(NONE)
 }
 
@@ -131,14 +142,14 @@ impl Default for BatchScratch {
     }
 }
 
-fn addr_bits(addr: &IpAddr) -> (u128, bool) {
+pub(crate) fn addr_bits(addr: &IpAddr) -> (u128, bool) {
     match addr {
         IpAddr::V4(a) => ((u32::from(*a) as u128) << 96, true),
         IpAddr::V6(a) => (u128::from(*a), false),
     }
 }
 
-fn net_bits(net: &IpNet) -> (u128, u8, bool) {
+pub(crate) fn net_bits(net: &IpNet) -> (u128, u8, bool) {
     match net {
         IpNet::V4(n) => {
             let (bits, len) = n.bits();
@@ -151,12 +162,42 @@ fn net_bits(net: &IpNet) -> (u128, u8, bool) {
     }
 }
 
+/// The arenas behind a [`FrozenLpm`], shared copy-on-write between the
+/// live table and its epoch [snapshots](FrozenLpm::snapshot). After a
+/// [`refreeze_subtree`](FrozenLpm::refreeze_subtree) the node/entry/value
+/// arenas may carry unreachable (garbage) segments left behind by rebuilt
+/// subtrees; `keys_v4`/`keys_v6` always hold exactly the live prefixes.
+#[derive(Debug, Clone)]
+pub(crate) struct Core<V> {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) entries: Vec<Entry>,
+    /// Value arena: every live `(prefix, value)` pair, plus (after subtree
+    /// compaction) superseded slots no key references any more.
+    pub(crate) values: Vec<(IpNet, V)>,
+    /// `leaf[i]` — no stored prefix is strictly more specific than
+    /// `values[i].0`, so its match is reusable for any address it contains.
+    pub(crate) leaf: Vec<bool>,
+    /// Per-family keys sorted by `(bits, len)`, for the exact-membership
+    /// queries (`exact`, `covering`, `longest_match_net`).
+    pub(crate) keys_v4: Vec<KeyRec>,
+    pub(crate) keys_v6: Vec<KeyRec>,
+    /// Distinct prefix lengths per family, ascending — bounds the probe
+    /// loops of `covering` / `longest_match_net`.
+    pub(crate) lens_v4: Vec<u8>,
+    pub(crate) lens_v6: Vec<u8>,
+    pub(crate) root_v4: u32,
+    pub(crate) root_v6: u32,
+}
+
 /// An immutable, flat-layout longest-prefix-match snapshot of a
 /// [`PrefixTrie`].
 ///
 /// Built with [`PrefixTrie::freeze`]; see the module docs for the layout.
 /// The snapshot owns clones of the trie's values, so the trie remains free
-/// to mutate afterwards — consumers re-freeze when they need the changes.
+/// to mutate afterwards. Consumers either re-freeze when they need the
+/// changes, or absorb them incrementally through a
+/// [`DeltaOverlay`](crate::overlay::DeltaOverlay) +
+/// [`refreeze_subtree`](FrozenLpm::refreeze_subtree).
 ///
 /// ```
 /// use tectonic_net::{IpNet, PrefixTrie};
@@ -169,25 +210,19 @@ fn net_bits(net: &IpNet) -> (u128, u8, bool) {
 /// assert_eq!(prefix.to_string(), "17.5.0.0/16");
 /// assert_eq!(*value, "apple-dc");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FrozenLpm<V> {
-    nodes: Vec<Node>,
-    entries: Vec<Entry>,
-    /// Value arena: every stored `(prefix, value)` pair exactly once.
-    values: Vec<(IpNet, V)>,
-    /// `leaf[i]` — no stored prefix is strictly more specific than
-    /// `values[i].0`, so its match is reusable for any address it contains.
-    leaf: Vec<bool>,
-    /// Per-family keys sorted by `(bits, len)`, for the exact-membership
-    /// queries (`exact`, `covering`, `longest_match_net`).
-    keys_v4: Vec<KeyRec>,
-    keys_v6: Vec<KeyRec>,
-    /// Distinct prefix lengths per family, ascending — bounds the probe
-    /// loops of `covering` / `longest_match_net`.
-    lens_v4: Vec<u8>,
-    lens_v6: Vec<u8>,
-    root_v4: u32,
-    root_v6: u32,
+    pub(crate) core: Arc<Core<V>>,
+}
+
+/// Cloning a [`FrozenLpm`] is an [`Arc`] bump — the arenas are shared, not
+/// copied — so it needs no `V: Clone` bound (unlike the derived impl).
+impl<V> Clone for FrozenLpm<V> {
+    fn clone(&self) -> Self {
+        FrozenLpm {
+            core: Arc::clone(&self.core),
+        }
+    }
 }
 
 impl<V: Clone> PrefixTrie<V> {
@@ -258,66 +293,84 @@ impl<V> FrozenLpm<V> {
         // The (family, bits, len) sort above leaves each family's keys in
         // exactly the (bits, len) order the query paths rely on.
 
-        // A prefix is a leaf when its sorted successor is not contained in
-        // it. Keys are sorted by (bits, len) and canonical (host bits
-        // zero), so every strict descendant of a prefix sorts directly
-        // after it — checking the immediate successor suffices.
-        let mut leaf = vec![true; values.len()];
-        for fam in [&keys_v4, &keys_v6] {
-            for pair in fam.windows(2) {
-                if let [cur, next] = pair {
-                    if next.len > cur.len && mask_bits(next.bits, cur.len) == cur.bits {
-                        if let Some(flag) = leaf.get_mut(cur.value as usize) {
-                            *flag = false;
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut nodes = Vec::new();
-        let mut entries = Vec::new();
-        let root_v4 = build_node(&mut nodes, &mut entries, &keys_v4, 0);
-        let root_v6 = build_node(&mut nodes, &mut entries, &keys_v6, 0);
-        let lens_v4 = distinct_lens(&keys_v4);
-        let lens_v6 = distinct_lens(&keys_v6);
-        FrozenLpm {
-            nodes,
-            entries,
+        let mut core = Core {
+            nodes: Vec::new(),
+            entries: Vec::new(),
             values,
-            leaf,
+            leaf: Vec::new(),
             keys_v4,
             keys_v6,
-            lens_v4,
-            lens_v6,
-            root_v4,
-            root_v6,
+            lens_v4: Vec::new(),
+            lens_v6: Vec::new(),
+            root_v4: NONE,
+            root_v6: NONE,
+        };
+        rebuild_leaf(&mut core);
+        core.root_v4 = build_node(&mut core.nodes, &mut core.entries, &core.keys_v4, 0);
+        core.root_v6 = build_node(&mut core.nodes, &mut core.entries, &core.keys_v6, 0);
+        core.lens_v4 = distinct_lens(&core.keys_v4);
+        core.lens_v6 = distinct_lens(&core.keys_v6);
+        FrozenLpm {
+            core: Arc::new(core),
         }
     }
 
-    /// Number of stored prefixes (both families).
+    /// Number of stored prefixes (both families). Counted from the key
+    /// lists, not the value arena — after a
+    /// [`refreeze_subtree`](FrozenLpm::refreeze_subtree) the arena may hold
+    /// superseded slots that no longer exist logically.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.core
+            .keys_v4
+            .len()
+            .saturating_add(self.core.keys_v6.len())
     }
 
     /// `true` when no prefix is stored.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.core.keys_v4.is_empty() && self.core.keys_v6.is_empty()
+    }
+
+    /// Unreachable value-arena slots left behind by subtree compactions —
+    /// the owner's signal that a full rebuild would pay for itself.
+    pub fn garbage(&self) -> usize {
+        self.core.values.len().saturating_sub(self.len())
+    }
+
+    /// A cheap copy-on-write epoch snapshot: the returned handle shares
+    /// this table's arenas (one `Arc` bump, no copy). Later
+    /// [`refreeze_subtree`](FrozenLpm::refreeze_subtree) calls on either
+    /// handle un-share first, so each snapshot keeps observing exactly the
+    /// epoch it was taken at — k historical views cost k `Arc`s until a
+    /// mutation actually diverges.
+    pub fn snapshot(&self) -> FrozenLpm<V> {
+        self.clone()
+    }
+
+    /// Whether this handle shares its arenas with at least one snapshot —
+    /// the next [`refreeze_subtree`](FrozenLpm::refreeze_subtree) on it
+    /// will pay a one-time un-sharing copy.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.core) > 1
     }
 
     /// Walks the compiled table for left-aligned address bits, returning
     /// the value-arena index of the most specific match (or `NONE`).
     #[inline]
     fn lookup_idx(&self, bits: u128, v4: bool) -> u32 {
-        let mut idx = if v4 { self.root_v4 } else { self.root_v6 };
+        let mut idx = if v4 {
+            self.core.root_v4
+        } else {
+            self.core.root_v6
+        };
         let mut best = NONE;
-        while let Some(node) = self.nodes.get(idx as usize) {
+        while let Some(node) = self.core.nodes.get(idx as usize) {
             if node.value != NONE {
                 best = node.value;
             }
             let shift = 128u32.saturating_sub(node.base as u32 + node.stride as u32);
             let chunk = chunk_of(bits, shift, node.stride);
-            match self.entries.get(node.entries_off as usize + chunk) {
+            match self.core.entries.get(node.entries_off as usize + chunk) {
                 Some(e) => {
                     if e.value != NONE {
                         best = e.value;
@@ -335,7 +388,7 @@ impl<V> FrozenLpm<V> {
     pub fn longest_match(&self, addr: IpAddr) -> Option<(IpNet, &V)> {
         let (bits, v4) = addr_bits(&addr);
         let best = self.lookup_idx(bits, v4);
-        self.values.get(best as usize).map(|(n, v)| (*n, v))
+        self.core.values.get(best as usize).map(|(n, v)| (*n, v))
     }
 
     /// Alias for [`longest_match`](FrozenLpm::longest_match) — the
@@ -343,6 +396,56 @@ impl<V> FrozenLpm<V> {
     #[inline]
     pub fn lookup(&self, addr: IpAddr) -> Option<(IpNet, &V)> {
         self.longest_match(addr)
+    }
+
+    /// [`longest_match`](FrozenLpm::longest_match) restricted to prefixes
+    /// the `keep` predicate accepts. This is the overlay's tombstone slow
+    /// path: when the walk's best match has been withdrawn in the overlay,
+    /// the next-best *surviving* covering prefix is found by probing the
+    /// stored prefix lengths descending — O(distinct lens × log n), paid
+    /// only on tombstone hits, never in steady state.
+    pub fn longest_match_where(
+        &self,
+        addr: IpAddr,
+        keep: impl FnMut(&IpNet) -> bool,
+    ) -> Option<(IpNet, &V)> {
+        let (bits, v4) = addr_bits(&addr);
+        let width: u8 = if v4 { 32 } else { 128 };
+        self.match_bits_where(bits, width, v4, keep)
+    }
+
+    /// [`longest_match_net`](FrozenLpm::longest_match_net) restricted to
+    /// prefixes the `keep` predicate accepts (the overlay's tombstone
+    /// filter for whole-prefix queries).
+    pub fn longest_match_net_where(
+        &self,
+        net: &IpNet,
+        keep: impl FnMut(&IpNet) -> bool,
+    ) -> Option<(IpNet, &V)> {
+        let (bits, len, v4) = net_bits(net);
+        self.match_bits_where(bits, len, v4, keep)
+    }
+
+    fn match_bits_where(
+        &self,
+        bits: u128,
+        len: u8,
+        v4: bool,
+        mut keep: impl FnMut(&IpNet) -> bool,
+    ) -> Option<(IpNet, &V)> {
+        for l in self.lens(v4).iter().rev().copied() {
+            if l > len {
+                continue;
+            }
+            if let Some(key) = self.find_key(mask_bits(bits, l), l, v4) {
+                if let Some((n, v)) = self.core.values.get(key.value as usize) {
+                    if keep(n) {
+                        return Some((*n, v));
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// [`longest_match`](FrozenLpm::longest_match) plus a *leaf* flag for
@@ -357,8 +460,11 @@ impl<V> FrozenLpm<V> {
     pub fn longest_match_leaf(&self, addr: IpAddr) -> Option<(IpNet, &V, bool)> {
         let (bits, v4) = addr_bits(&addr);
         let best = self.lookup_idx(bits, v4);
-        let leaf = self.leaf.get(best as usize).copied().unwrap_or(false);
-        self.values.get(best as usize).map(|(n, v)| (*n, v, leaf))
+        let leaf = self.core.leaf.get(best as usize).copied().unwrap_or(false);
+        self.core
+            .values
+            .get(best as usize)
+            .map(|(n, v)| (*n, v, leaf))
     }
 
     /// Resolves a burst of addresses in one call, writing one
@@ -405,6 +511,11 @@ impl<V> FrozenLpm<V> {
 
     /// The allocation-free batch kernel: walk state lives in `scratch`,
     /// results in `out`, both owned by the caller and reused across bursts.
+    ///
+    /// Invocation-order contract: `f` is called exactly once per input
+    /// address, in input order (lane `k` of the final drain corresponds to
+    /// `addrs[k]`). The overlay's combined batch lookup relies on this to
+    /// pair each raw frozen match with its address without allocating.
     pub fn lookup_batch_map_in<'a, T>(
         &'a self,
         scratch: &mut BatchScratch,
@@ -426,7 +537,15 @@ impl<V> FrozenLpm<V> {
         lanes.clear();
         lanes.extend(addrs.iter().map(|a| {
             let (b, v4) = addr_bits(a);
-            (b, if v4 { self.root_v4 } else { self.root_v6 }, NONE)
+            (
+                b,
+                if v4 {
+                    self.core.root_v4
+                } else {
+                    self.core.root_v6
+                },
+                NONE,
+            )
         }));
         active.clear();
         active.extend(0..arena_idx(lanes.len()));
@@ -436,13 +555,13 @@ impl<V> FrozenLpm<V> {
                 let Some(lane) = lanes.get_mut(k as usize) else {
                     continue;
                 };
-                let Some(node) = self.nodes.get(lane.1 as usize) else {
+                let Some(node) = self.core.nodes.get(lane.1 as usize) else {
                     continue;
                 };
                 let mut found = node.value;
                 let shift = 128u32.saturating_sub(node.base as u32 + node.stride as u32);
                 let chunk = chunk_of(lane.0, shift, node.stride);
-                let child = match self.entries.get(node.entries_off as usize + chunk) {
+                let child = match self.core.entries.get(node.entries_off as usize + chunk) {
                     Some(e) => {
                         if e.value != NONE {
                             found = e.value;
@@ -455,34 +574,38 @@ impl<V> FrozenLpm<V> {
                     lane.2 = found;
                 }
                 lane.1 = child;
-                if (child as usize) < self.nodes.len() {
+                if (child as usize) < self.core.nodes.len() {
                     next.push(k);
                 }
             }
             core::mem::swap(active, next);
         }
         for lane in lanes.iter() {
-            out.push(f(self.values.get(lane.2 as usize).map(|(n, v)| (*n, v))));
+            out.push(f(self
+                .core
+                .values
+                .get(lane.2 as usize)
+                .map(|(n, v)| (*n, v))));
         }
     }
 
-    fn keys(&self, v4: bool) -> &[KeyRec] {
+    pub(crate) fn keys(&self, v4: bool) -> &[KeyRec] {
         if v4 {
-            &self.keys_v4
+            &self.core.keys_v4
         } else {
-            &self.keys_v6
+            &self.core.keys_v6
         }
     }
 
     fn lens(&self, v4: bool) -> &[u8] {
         if v4 {
-            &self.lens_v4
+            &self.core.lens_v4
         } else {
-            &self.lens_v6
+            &self.core.lens_v6
         }
     }
 
-    fn find_key(&self, bits: u128, len: u8, v4: bool) -> Option<&KeyRec> {
+    pub(crate) fn find_key(&self, bits: u128, len: u8, v4: bool) -> Option<&KeyRec> {
         let keys = self.keys(v4);
         keys.binary_search_by(|k| (k.bits, k.len).cmp(&(bits, len)))
             .ok()
@@ -493,7 +616,7 @@ impl<V> FrozenLpm<V> {
     pub fn exact(&self, net: &IpNet) -> Option<&V> {
         let (bits, len, v4) = net_bits(net);
         let key = self.find_key(bits, len, v4)?;
-        self.values.get(key.value as usize).map(|(_, v)| v)
+        self.core.values.get(key.value as usize).map(|(_, v)| v)
     }
 
     /// Whether the exact prefix is stored.
@@ -513,7 +636,7 @@ impl<V> FrozenLpm<V> {
                 break;
             }
             if let Some(key) = self.find_key(mask_bits(bits, len), len, v4) {
-                if let Some((n, v)) = self.values.get(key.value as usize) {
+                if let Some((n, v)) = self.core.values.get(key.value as usize) {
                     out.push((*n, v));
                 }
             }
@@ -530,7 +653,11 @@ impl<V> FrozenLpm<V> {
                 continue;
             }
             if let Some(key) = self.find_key(mask_bits(bits, l), l, v4) {
-                return self.values.get(key.value as usize).map(|(n, v)| (*n, v));
+                return self
+                    .core
+                    .values
+                    .get(key.value as usize)
+                    .map(|(n, v)| (*n, v));
             }
         }
         None
@@ -539,24 +666,53 @@ impl<V> FrozenLpm<V> {
     /// Iterates over all stored `(prefix, value)` pairs, IPv4 first, in
     /// ascending bit order.
     pub fn iter(&self) -> impl Iterator<Item = (IpNet, &V)> {
-        self.keys_v4
+        self.core
+            .keys_v4
             .iter()
-            .chain(self.keys_v6.iter())
-            .filter_map(|k| self.values.get(k.value as usize))
+            .chain(self.core.keys_v6.iter())
+            .filter_map(|k| self.core.values.get(k.value as usize))
             .map(|(n, v)| (*n, v))
     }
 }
 
-fn distinct_lens(keys: &[KeyRec]) -> Vec<u8> {
+pub(crate) fn distinct_lens(keys: &[KeyRec]) -> Vec<u8> {
     let mut lens: Vec<u8> = keys.iter().map(|k| k.len).collect();
     lens.sort_unstable();
     lens.dedup();
     lens
 }
 
+/// Recomputes the per-value *leaf* flags from the sorted key lists.
+///
+/// A prefix is a leaf when its sorted successor is not contained in it:
+/// keys are sorted by `(bits, len)` and canonical (host bits zero), so
+/// every strict descendant of a prefix sorts directly after it — checking
+/// the immediate successor suffices. Arena slots no key references keep a
+/// meaningless flag; lookups can never reach them.
+pub(crate) fn rebuild_leaf<V>(core: &mut Core<V>) {
+    let mut leaf = vec![true; core.values.len()];
+    for fam in [&core.keys_v4, &core.keys_v6] {
+        for pair in fam.windows(2) {
+            if let [cur, next] = pair {
+                if next.len > cur.len && mask_bits(next.bits, cur.len) == cur.bits {
+                    if let Some(flag) = leaf.get_mut(cur.value as usize) {
+                        *flag = false;
+                    }
+                }
+            }
+        }
+    }
+    core.leaf = leaf;
+}
+
 /// Recursively compiles one node from the (sorted) keys that live at or
 /// below `base`. Returns the node index, or `NONE` for an empty key set.
-fn build_node(nodes: &mut Vec<Node>, entries: &mut Vec<Entry>, keys: &[KeyRec], base: u8) -> u32 {
+pub(crate) fn build_node(
+    nodes: &mut Vec<Node>,
+    entries: &mut Vec<Entry>,
+    keys: &[KeyRec],
+    base: u8,
+) -> u32 {
     if keys.is_empty() {
         return NONE;
     }
@@ -818,5 +974,50 @@ mod tests {
         let mut want: Vec<String> = t.iter().map(|(n, _)| n.to_string()).collect();
         want.sort();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshot_shares_arenas_and_clone_needs_no_value_clone() {
+        // A value type with no Clone impl still snapshots: the arenas are
+        // behind one shared Arc.
+        struct Opaque(#[allow(dead_code)] u8);
+        let lpm = FrozenLpm::from_pairs([(net("10.0.0.0/8"), Opaque(7))]);
+        let snap = lpm.snapshot();
+        assert!(lpm.is_shared() && snap.is_shared());
+        assert!(Arc::ptr_eq(&lpm.core, &snap.core));
+        drop(snap);
+        assert!(!lpm.is_shared());
+    }
+
+    #[test]
+    fn longest_match_where_skips_filtered_prefixes() {
+        let t = sample();
+        let lpm = t.freeze();
+        let a = addr("17.5.1.2");
+        // Unfiltered: identical to the plain walk.
+        assert_eq!(
+            lpm.longest_match_where(a, |_| true).map(|(n, _)| n),
+            lpm.longest_match(a).map(|(n, _)| n)
+        );
+        // Filtering the /16 falls back to the /8; filtering both falls
+        // back to the default route.
+        let skip16 = net("17.5.0.0/16");
+        assert_eq!(
+            lpm.longest_match_where(a, |n| *n != skip16).map(|(n, _)| n),
+            Some(net("17.0.0.0/8"))
+        );
+        let skip8 = net("17.0.0.0/8");
+        assert_eq!(
+            lpm.longest_match_where(a, |n| *n != skip16 && *n != skip8)
+                .map(|(n, _)| n),
+            Some(net("0.0.0.0/0"))
+        );
+        assert_eq!(lpm.longest_match_where(a, |_| false), None);
+        // The net-shaped variant respects the query length bound.
+        assert_eq!(
+            lpm.longest_match_net_where(&net("17.5.3.0/24"), |n| *n != skip16)
+                .map(|(n, _)| n),
+            Some(net("17.0.0.0/8"))
+        );
     }
 }

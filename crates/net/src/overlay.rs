@@ -1,0 +1,903 @@
+//! Delta overlay and partial re-freeze for [`FrozenLpm`].
+//!
+//! A [`DeltaOverlay`] absorbs announce/withdraw churn as exact-prefix
+//! patches layered *over* a frozen base table, so a mutation costs
+//! O(log patches) instead of an O(table) rebuild. Every combined query is
+//! result-identical to freezing `base ∪ announces ∖ withdraws` from
+//! scratch (property-tested in `tests/prop_prefix_trie.rs`):
+//!
+//! - An **announce** lands in a side [`PrefixTrie`] (and, if it shadows a
+//!   base prefix, simply wins the length tie — exactly what a re-insert
+//!   into the source trie would do).
+//! - A **withdraw** of a base prefix becomes a *tombstone*: the frozen walk
+//!   still finds the prefix, so the combined lookup must reject it and fall
+//!   back to the next-best surviving covering prefix via
+//!   [`FrozenLpm::longest_match_where`]. Withdrawing an overlay-only
+//!   announce just removes the patch.
+//!
+//! Steady-state combined lookups are allocation-free, and when the overlay
+//! is empty every query is a single delegated call to the base — which is
+//! how the overlay keeps the ≤ 10% lookup-regression budget.
+//!
+//! Once the overlay crosses [`DeltaOverlay::should_compact`],
+//! [`FrozenLpm::refreeze_subtree`] folds the patches into the base by
+//! rebuilding only the root-stride subtrees the dirty prefixes fall under:
+//! fresh node/entry segments are appended to the arenas and spliced in
+//! through the existing `u32`-index indirection, leaving the untouched
+//! subtrees (the overwhelming majority under realistic churn) exactly where
+//! they were. Superseded value slots become garbage the owner can observe
+//! via [`FrozenLpm::garbage`] and amortise away with a full rebuild.
+
+use std::net::IpAddr;
+
+use crate::lpm::{
+    arena_idx, build_node, chunk_of, distinct_lens, mask_bits, net_bits, rebuild_leaf,
+    BatchScratch, FrozenLpm, KeyRec, NONE,
+};
+use crate::prefix::IpNet;
+use crate::trie::PrefixTrie;
+
+/// One pending mutation against the frozen base, in the compiled key
+/// space: `bits` left-aligned as in [`KeyRec`], `tomb` marking a withdraw
+/// of a base prefix.
+#[derive(Debug, Clone, Copy)]
+struct Patch {
+    v4: bool,
+    bits: u128,
+    len: u8,
+    tomb: bool,
+    net: IpNet,
+}
+
+/// Hard patch-count ceiling: past this the overlay's own probe costs start
+/// to show, so [`DeltaOverlay::should_compact`] fires regardless of base
+/// size.
+const MAX_PATCHES: usize = 4096;
+/// Don't bother compacting below this many patches — a subtree rebuild has
+/// fixed costs that a handful of patches never amortise.
+const MIN_COMPACT: usize = 64;
+/// Between the two bounds, compact once patches exceed 1/RATIO of the base.
+const COMPACT_RATIO: usize = 8;
+
+/// A bounded set of exact-prefix patches (announces + withdraw tombstones)
+/// consulted after the frozen walk. See the [module docs](self) for the
+/// combine semantics; see [`FrozenLpm::refreeze_subtree`] for how the
+/// patches are eventually folded back into the base.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay<V> {
+    /// Announced (or re-announced) prefixes with their current values.
+    inserts: PrefixTrie<V>,
+    /// All patches — inserts and tombstones — sorted by `(v4, bits, len)`
+    /// so membership and subtree-range scans are binary searches.
+    patches: Vec<Patch>,
+    /// Number of tombstones in `patches`; the combined lookup only takes
+    /// the fallback slow path when this is non-zero.
+    tombs: usize,
+}
+
+impl<V> Default for DeltaOverlay<V> {
+    fn default() -> Self {
+        DeltaOverlay::new()
+    }
+}
+
+impl<V> DeltaOverlay<V> {
+    /// An empty overlay: every combined query delegates straight to the
+    /// base.
+    pub fn new() -> DeltaOverlay<V> {
+        DeltaOverlay {
+            inserts: PrefixTrie::new(),
+            patches: Vec::new(),
+            tombs: 0,
+        }
+    }
+
+    /// Number of pending patches (announces + tombstones).
+    pub fn len(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// `true` when no patch is pending — the overlay is transparent.
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty()
+    }
+
+    /// Number of pending withdraw tombstones.
+    pub fn tombstones(&self) -> usize {
+        self.tombs
+    }
+
+    /// Drops all pending patches (after they have been folded into the
+    /// base, or when the base itself is rebuilt from source).
+    pub fn clear(&mut self) {
+        self.inserts = PrefixTrie::new();
+        self.patches.clear();
+        self.tombs = 0;
+    }
+
+    /// Whether the owner should fold this overlay into its base now:
+    /// either the hard patch ceiling is hit, or the overlay has grown past
+    /// a fixed fraction of a `base_len`-prefix table (never below the
+    /// minimum worth a subtree rebuild).
+    pub fn should_compact(&self, base_len: usize) -> bool {
+        let n = self.patches.len();
+        n >= MAX_PATCHES || (n >= MIN_COMPACT && n.saturating_mul(COMPACT_RATIO) >= base_len)
+    }
+
+    /// Position of `(v4, bits, len)` in the sorted patch list.
+    fn patch_pos(&self, v4: bool, bits: u128, len: u8) -> Result<usize, usize> {
+        patch_search(&self.patches, v4, bits, len)
+    }
+
+    /// Records an announce: the prefix now maps to `value` in the combined
+    /// view, whether it was new, previously withdrawn, or already present
+    /// in the base (length ties resolve to the overlay).
+    pub fn announce(&mut self, net: IpNet, value: V) {
+        let (bits, len, v4) = net_bits(&net);
+        self.inserts.insert(net, value);
+        match self.patch_pos(v4, bits, len) {
+            Ok(at) => {
+                if let Some(p) = self.patches.get_mut(at) {
+                    if p.tomb {
+                        self.tombs = self.tombs.saturating_sub(1);
+                    }
+                    p.tomb = false;
+                }
+            }
+            Err(at) => self.patches.insert(
+                at,
+                Patch {
+                    v4,
+                    bits,
+                    len,
+                    tomb: false,
+                    net,
+                },
+            ),
+        }
+    }
+
+    /// Records a withdraw against `base`: if the prefix exists in the base
+    /// a tombstone is planted (the frozen arena can't forget it until the
+    /// next compaction); an overlay-only announce is simply removed.
+    /// Returns the overlay value that was dropped, if any.
+    pub fn withdraw(&mut self, net: &IpNet, base: &FrozenLpm<V>) -> Option<V> {
+        let (bits, len, v4) = net_bits(net);
+        let prev = self.inserts.remove(net);
+        if base.contains(net) {
+            match self.patch_pos(v4, bits, len) {
+                Ok(at) => {
+                    if let Some(p) = self.patches.get_mut(at) {
+                        if !p.tomb {
+                            self.tombs = self.tombs.saturating_add(1);
+                        }
+                        p.tomb = true;
+                    }
+                }
+                Err(at) => {
+                    self.patches.insert(
+                        at,
+                        Patch {
+                            v4,
+                            bits,
+                            len,
+                            tomb: true,
+                            net: *net,
+                        },
+                    );
+                    self.tombs = self.tombs.saturating_add(1);
+                }
+            }
+        } else if let Ok(at) = self.patch_pos(v4, bits, len) {
+            self.patches.remove(at);
+        }
+        prev
+    }
+
+    /// Whether the exact prefix is tombstoned (withdrawn from the base and
+    /// not re-announced since).
+    fn tombstoned_key(&self, v4: bool, bits: u128, len: u8) -> bool {
+        matches!(
+            self.patch_pos(v4, bits, len)
+                .ok()
+                .and_then(|at| self.patches.get(at)),
+            Some(p) if p.tomb
+        )
+    }
+
+    /// Whether `net` is currently tombstoned in this overlay.
+    pub fn is_tombstoned(&self, net: &IpNet) -> bool {
+        let (bits, len, v4) = net_bits(net);
+        self.tombstoned_key(v4, bits, len)
+    }
+
+    /// Whether any live (non-tombstone) patch is *strictly* inside the
+    /// prefix `(v4, bits, len)` — used to decide if a base leaf flag is
+    /// still valid under the overlay.
+    fn insert_within(&self, v4: bool, bits: u128, len: u8) -> bool {
+        let from = match patch_search(&self.patches, v4, bits, len) {
+            Ok(at) | Err(at) => at,
+        };
+        self.patches
+            .iter()
+            .skip(from)
+            .take_while(|p| p.v4 == v4 && mask_bits(p.bits, len) == bits)
+            .any(|p| p.len > len && !p.tomb)
+    }
+
+    /// Picks the combined winner of an overlay match and a base match:
+    /// more specific wins; on equal length the overlay wins (it re-announced
+    /// the prefix, shadowing the stale base value).
+    fn better<'a>(
+        ov: Option<(IpNet, &'a V)>,
+        base: Option<(IpNet, &'a V)>,
+    ) -> Option<(IpNet, &'a V)> {
+        match (ov, base) {
+            (Some(o), Some(b)) => {
+                if b.0.len() > o.0.len() {
+                    Some(b)
+                } else {
+                    Some(o)
+                }
+            }
+            (Some(o), None) => Some(o),
+            (None, b) => b,
+        }
+    }
+
+    /// The base's best surviving (non-tombstoned) match for `addr`. Only
+    /// takes the filtered slow path when tombstones exist at all.
+    fn base_match<'a>(&self, base: &'a FrozenLpm<V>, addr: IpAddr) -> Option<(IpNet, &'a V)> {
+        if self.tombs == 0 {
+            return base.longest_match(addr);
+        }
+        base.longest_match_where(addr, |n| !self.is_tombstoned(n))
+    }
+
+    /// Combined longest-prefix match — identical to freezing the patched
+    /// table and calling [`FrozenLpm::longest_match`].
+    pub fn longest_match<'a>(
+        &'a self,
+        base: &'a FrozenLpm<V>,
+        addr: IpAddr,
+    ) -> Option<(IpNet, &'a V)> {
+        if self.patches.is_empty() {
+            return base.longest_match(addr);
+        }
+        Self::better(
+            self.inserts.longest_match(addr),
+            self.base_match(base, addr),
+        )
+    }
+
+    /// Alias for [`longest_match`](DeltaOverlay::longest_match), matching
+    /// [`FrozenLpm::lookup`].
+    #[inline]
+    pub fn lookup<'a>(&'a self, base: &'a FrozenLpm<V>, addr: IpAddr) -> Option<(IpNet, &'a V)> {
+        self.longest_match(base, addr)
+    }
+
+    /// Combined [`FrozenLpm::longest_match_leaf`]: the leaf flag stays
+    /// `true` only for a base-sourced winner whose base flag holds and
+    /// which no live overlay patch sits strictly inside (overlay-sourced
+    /// answers report `false` — always safe, merely memoising less).
+    pub fn longest_match_leaf<'a>(
+        &'a self,
+        base: &'a FrozenLpm<V>,
+        addr: IpAddr,
+    ) -> Option<(IpNet, &'a V, bool)> {
+        if self.patches.is_empty() {
+            return base.longest_match_leaf(addr);
+        }
+        let ov = self.inserts.longest_match(addr);
+        let bm = self.base_match(base, addr);
+        let win = Self::better(ov, bm)?;
+        let from_base = match (ov, bm) {
+            // `better` prefers the overlay on ties, so the winner came from
+            // the base only when the base match is strictly more specific.
+            (Some(o), Some(b)) => b.0.len() > o.0.len(),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let leaf = if from_base {
+            let (bits, len, v4) = net_bits(&win.0);
+            base.longest_match_leaf(addr)
+                .map(|(n, _, l)| n == win.0 && l)
+                .unwrap_or(false)
+                && !self.insert_within(v4, bits, len)
+        } else {
+            false
+        };
+        Some((win.0, win.1, leaf))
+    }
+
+    /// Combined exact-prefix lookup — identical to
+    /// [`FrozenLpm::exact`] on the patched table.
+    pub fn exact<'a>(&'a self, base: &'a FrozenLpm<V>, net: &IpNet) -> Option<&'a V> {
+        if self.patches.is_empty() {
+            return base.exact(net);
+        }
+        if let Some(v) = self.inserts.exact(net) {
+            return Some(v);
+        }
+        if self.is_tombstoned(net) {
+            return None;
+        }
+        base.exact(net)
+    }
+
+    /// Whether the exact prefix exists in the combined view.
+    pub fn contains(&self, base: &FrozenLpm<V>, net: &IpNet) -> bool {
+        self.exact(base, net).is_some()
+    }
+
+    /// Combined [`FrozenLpm::longest_match_net`]: the most specific
+    /// surviving prefix fully containing `net`.
+    pub fn longest_match_net<'a>(
+        &'a self,
+        base: &'a FrozenLpm<V>,
+        net: &IpNet,
+    ) -> Option<(IpNet, &'a V)> {
+        if self.patches.is_empty() {
+            return base.longest_match_net(net);
+        }
+        let bm = if self.tombs == 0 {
+            base.longest_match_net(net)
+        } else {
+            base.longest_match_net_where(net, |n| !self.is_tombstoned(n))
+        };
+        Self::better(self.inserts.longest_match_net(net), bm)
+    }
+
+    /// Combined [`FrozenLpm::covering`]: all surviving prefixes containing
+    /// `addr`, shortest first (merge of the base's filtered list and the
+    /// overlay's; a prefix in both contributes the overlay value).
+    pub fn covering<'a>(&'a self, base: &'a FrozenLpm<V>, addr: IpAddr) -> Vec<(IpNet, &'a V)> {
+        if self.patches.is_empty() {
+            return base.covering(addr);
+        }
+        let mut from_base = base.covering(addr);
+        from_base.retain(|(n, _)| !self.is_tombstoned(n));
+        let from_ov = self.inserts.covering(addr);
+        let mut out = Vec::with_capacity(from_base.len().saturating_add(from_ov.len()));
+        let mut bi = from_base.iter().peekable();
+        let mut oi = from_ov.iter().peekable();
+        loop {
+            match (bi.peek(), oi.peek()) {
+                (Some(b), Some(o)) => {
+                    if b.0.len() < o.0.len() {
+                        out.push(**b);
+                        bi.next();
+                    } else {
+                        if b.0.len() == o.0.len() {
+                            // Same prefix present in both: overlay shadows.
+                            bi.next();
+                        }
+                        out.push(**o);
+                        oi.next();
+                    }
+                }
+                (Some(b), None) => {
+                    out.push(**b);
+                    bi.next();
+                }
+                (None, Some(o)) => {
+                    out.push(**o);
+                    oi.next();
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// Combined batch lookup — results are exactly
+    /// `addrs.iter().map(|a| self.lookup(base, *a))`. See
+    /// [`lookup_batch_in`](DeltaOverlay::lookup_batch_in) for the
+    /// scratch-reusing form.
+    pub fn lookup_batch<'a>(
+        &'a self,
+        base: &'a FrozenLpm<V>,
+        addrs: &[IpAddr],
+        out: &mut Vec<Option<(IpNet, &'a V)>>,
+    ) {
+        let mut scratch = BatchScratch::new();
+        self.lookup_batch_map_in(base, &mut scratch, addrs, out, |m| m);
+    }
+
+    /// Combined batch lookup against caller-owned scratch; allocation-free
+    /// once the scratch and output buffers have grown to the burst size
+    /// (tombstone fallbacks excepted — they probe, not allocate).
+    pub fn lookup_batch_in<'a>(
+        &'a self,
+        base: &'a FrozenLpm<V>,
+        scratch: &mut BatchScratch,
+        addrs: &[IpAddr],
+        out: &mut Vec<Option<(IpNet, &'a V)>>,
+    ) {
+        self.lookup_batch_map_in(base, scratch, addrs, out, |m| m);
+    }
+
+    /// Combined batch lookup with an inline projection, the overlay
+    /// counterpart of [`FrozenLpm::lookup_batch_map_in`]. The frozen batch
+    /// kernel drives the walk; each raw base match is combined with the
+    /// overlay's answer for the same address before `f` sees it. Relies on
+    /// the kernel's documented contract that the projection runs exactly
+    /// once per input address, in input order.
+    pub fn lookup_batch_map_in<'a, T>(
+        &'a self,
+        base: &'a FrozenLpm<V>,
+        scratch: &mut BatchScratch,
+        addrs: &[IpAddr],
+        out: &mut Vec<T>,
+        mut f: impl FnMut(Option<(IpNet, &'a V)>) -> T,
+    ) {
+        if self.patches.is_empty() {
+            base.lookup_batch_map_in(scratch, addrs, out, f);
+            return;
+        }
+        let mut i: usize = 0;
+        base.lookup_batch_map_in(scratch, addrs, out, |bm| {
+            let addr = addrs.get(i).copied();
+            i = i.saturating_add(1);
+            let combined = match addr {
+                Some(a) => {
+                    // Reject a tombstoned base winner (fall back through the
+                    // filtered probe), then merge with the overlay's match.
+                    let bm = match bm {
+                        Some((n, _)) if self.tombs != 0 && self.is_tombstoned(&n) => {
+                            base.longest_match_where(a, |n| !self.is_tombstoned(n))
+                        }
+                        other => other,
+                    };
+                    Self::better(self.inserts.longest_match(a), bm)
+                }
+                None => None,
+            };
+            f(combined)
+        });
+    }
+}
+
+/// Binary search for `(v4, bits, len)` over the sorted patch list.
+fn patch_search(patches: &[Patch], v4: bool, bits: u128, len: u8) -> Result<usize, usize> {
+    patches.binary_search_by(|p| (p.v4, p.bits, p.len).cmp(&(v4, bits, len)))
+}
+
+impl<V: Clone> FrozenLpm<V> {
+    /// Folds a [`DeltaOverlay`] into this table by rebuilding only the
+    /// root-stride subtrees its patches fall under — O(affected subtree),
+    /// not O(table). The caller owns clearing the overlay afterwards (and,
+    /// per [`FrozenLpm::garbage`], deciding when accumulated superseded
+    /// arena slots warrant a full rebuild).
+    ///
+    /// If this handle currently shares arenas with
+    /// [snapshots](FrozenLpm::snapshot), they are un-shared first (one
+    /// deep copy) so every snapshot keeps observing its own epoch.
+    ///
+    /// The root stride is fixed at freeze time and never changes here: a
+    /// table that grows from below [`WIDE_ROOT_MIN`](crate::lpm) past it
+    /// keeps its narrow root until the next full freeze. Lookups are
+    /// correct either way; only the root fan-out differs.
+    pub fn refreeze_subtree(&mut self, delta: &DeltaOverlay<V>) {
+        if delta.patches.is_empty() {
+            return;
+        }
+        let core = std::sync::Arc::make_mut(&mut self.core);
+        refreeze_family(core, delta, true);
+        refreeze_family(core, delta, false);
+        rebuild_leaf(core);
+    }
+}
+
+/// Rebuilds one address family of `core` under `delta`'s patches for that
+/// family. Merges the sorted key list with the sorted patches (dropping
+/// tombstones, appending fresh value slots for inserts), then patches the
+/// root node in place: in-node re-expansion only if a ≤ root-stride patch
+/// exists, and a fresh subtree build for each dirty root chunk, spliced in
+/// through the root's entry block.
+fn refreeze_family<V: Clone>(core: &mut crate::lpm::Core<V>, delta: &DeltaOverlay<V>, v4: bool) {
+    let fam: Vec<Patch> = delta
+        .patches
+        .iter()
+        .filter(|p| p.v4 == v4)
+        .copied()
+        .collect();
+    if fam.is_empty() {
+        return;
+    }
+
+    // Two-pointer merge of the old sorted keys with the (sorted) patches:
+    // a tombstone drops the old key, an insert supersedes it (new value
+    // slot appended to the arena), anything untouched is kept verbatim.
+    let old: Vec<KeyRec> = std::mem::take(if v4 {
+        &mut core.keys_v4
+    } else {
+        &mut core.keys_v6
+    });
+    let mut merged: Vec<KeyRec> = Vec::with_capacity(old.len().saturating_add(fam.len()));
+    let push_patch = |p: &Patch, values: &mut Vec<(IpNet, V)>, merged: &mut Vec<KeyRec>| {
+        if p.tomb {
+            return;
+        }
+        if let Some(v) = delta.inserts.exact(&p.net) {
+            let idx = arena_idx(values.len());
+            values.push((p.net, v.clone()));
+            merged.push(KeyRec {
+                bits: p.bits,
+                len: p.len,
+                value: idx,
+            });
+        }
+    };
+    let mut oi = 0usize;
+    let mut pi = 0usize;
+    loop {
+        match (old.get(oi), fam.get(pi)) {
+            (Some(o), Some(p)) => match (o.bits, o.len).cmp(&(p.bits, p.len)) {
+                std::cmp::Ordering::Less => {
+                    merged.push(*o);
+                    oi = oi.saturating_add(1);
+                }
+                std::cmp::Ordering::Greater => {
+                    push_patch(p, &mut core.values, &mut merged);
+                    pi = pi.saturating_add(1);
+                }
+                std::cmp::Ordering::Equal => {
+                    push_patch(p, &mut core.values, &mut merged);
+                    oi = oi.saturating_add(1);
+                    pi = pi.saturating_add(1);
+                }
+            },
+            (Some(o), None) => {
+                merged.push(*o);
+                oi = oi.saturating_add(1);
+            }
+            (None, Some(p)) => {
+                push_patch(p, &mut core.values, &mut merged);
+                pi = pi.saturating_add(1);
+            }
+            (None, None) => break,
+        }
+    }
+
+    let root = if v4 { core.root_v4 } else { core.root_v6 };
+    let new_root = if merged.is_empty() {
+        NONE
+    } else if core.nodes.get(root as usize).is_none() {
+        // The family was empty at freeze time: build it fresh.
+        build_node(&mut core.nodes, &mut core.entries, &merged, 0)
+    } else {
+        patch_root(core, root, &merged, &fam);
+        root
+    };
+    if v4 {
+        core.root_v4 = new_root;
+        core.keys_v4 = merged;
+        core.lens_v4 = distinct_lens(&core.keys_v4);
+    } else {
+        core.root_v6 = new_root;
+        core.keys_v6 = merged;
+        core.lens_v6 = distinct_lens(&core.keys_v6);
+    }
+}
+
+/// Patches the root node of one family in place, given the fully merged
+/// key list and that family's patches.
+fn patch_root<V: Clone>(
+    core: &mut crate::lpm::Core<V>,
+    root: u32,
+    merged: &[KeyRec],
+    fam: &[Patch],
+) {
+    let (off, stride) = match core.nodes.get(root as usize) {
+        Some(n) => (n.entries_off as usize, n.stride),
+        None => return,
+    };
+    let block = 1usize.checked_shl(u32::from(stride)).unwrap_or(0);
+    let shift = 128u32.saturating_sub(u32::from(stride));
+
+    // (a) If any patch terminates inside the root node, re-expand the
+    // root's in-node values from scratch: reset the block's value slots and
+    // replay every ≤ stride key shorter-first (the same overwrite order the
+    // builder uses). O(block) — only paid when a short prefix churned.
+    if fam.iter().any(|p| p.len <= stride) {
+        for e in core.entries.iter_mut().skip(off).take(block) {
+            e.value = NONE;
+        }
+        if let Some(n) = core.nodes.get_mut(root as usize) {
+            n.value = NONE;
+        }
+        let mut in_node: Vec<&KeyRec> = merged.iter().filter(|k| k.len <= stride).collect();
+        in_node.sort_by_key(|k| k.len);
+        for key in in_node {
+            if key.len == 0 {
+                if let Some(n) = core.nodes.get_mut(root as usize) {
+                    n.value = key.value;
+                }
+                continue;
+            }
+            let lo = chunk_of(key.bits, shift, stride);
+            let count = 1usize
+                .checked_shl(u32::from(stride.saturating_sub(key.len)))
+                .unwrap_or(0);
+            for entry in core
+                .entries
+                .iter_mut()
+                .skip(off.saturating_add(lo))
+                .take(count)
+            {
+                entry.value = key.value;
+            }
+        }
+    }
+
+    // (b) Rebuild the subtree under each dirty root chunk. `fam` is sorted
+    // by bits, so dirty chunks appear in non-decreasing order — dedup with
+    // a single "last chunk done" marker. The fresh subtree is appended to
+    // the arenas and spliced in via the root entry's child index; the old
+    // subtree's segments become unreachable garbage.
+    let mut done: Option<usize> = None;
+    for p in fam.iter().filter(|p| p.len > stride) {
+        let chunk = chunk_of(p.bits, shift, stride);
+        if done == Some(chunk) {
+            continue;
+        }
+        done = Some(chunk);
+        // All merged keys deeper than the root that fall in this chunk:
+        // their bits share the chunk's `stride`-bit head, so they form a
+        // contiguous range of the sorted list.
+        let lo_bits = (chunk as u128) << shift;
+        let hi_bits = lo_bits | (1u128 << shift).wrapping_sub(1);
+        let from = merged.partition_point(|k| k.bits < lo_bits);
+        let to = merged.partition_point(|k| k.bits <= hi_bits);
+        let run: Vec<KeyRec> = match merged.get(from..to) {
+            Some(range) => range.iter().filter(|k| k.len > stride).copied().collect(),
+            None => Vec::new(),
+        };
+        let child = if run.is_empty() {
+            NONE
+        } else {
+            build_node(&mut core.nodes, &mut core.entries, &run, stride)
+        };
+        if let Some(entry) = core.entries.get_mut(off.saturating_add(chunk)) {
+            entry.child = child;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> IpNet {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn base() -> FrozenLpm<&'static str> {
+        let mut t = PrefixTrie::new();
+        t.insert(net("0.0.0.0/0"), "default");
+        t.insert(net("17.0.0.0/8"), "apple8");
+        t.insert(net("17.5.0.0/16"), "apple16");
+        t.insert(net("2620:149::/32"), "apple6");
+        t.freeze()
+    }
+
+    #[test]
+    fn empty_overlay_is_transparent() {
+        let b = base();
+        let d: DeltaOverlay<&str> = DeltaOverlay::new();
+        assert!(d.is_empty());
+        let a = addr("17.5.1.2");
+        assert_eq!(d.longest_match(&b, a), b.longest_match(a));
+        assert_eq!(d.exact(&b, &net("17.0.0.0/8")), b.exact(&net("17.0.0.0/8")));
+        assert_eq!(d.covering(&b, a), b.covering(a));
+    }
+
+    #[test]
+    fn announce_is_visible_and_more_specific_wins() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.announce(net("17.5.3.0/24"), "patched");
+        let (n, v) = d.longest_match(&b, addr("17.5.3.9")).unwrap();
+        assert_eq!((n, *v), (net("17.5.3.0/24"), "patched"));
+        // Other addresses keep the base answer.
+        let (n, _) = d.longest_match(&b, addr("17.5.4.9")).unwrap();
+        assert_eq!(n, net("17.5.0.0/16"));
+    }
+
+    #[test]
+    fn reannounce_shadows_base_value() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.announce(net("17.5.0.0/16"), "new16");
+        let (n, v) = d.longest_match(&b, addr("17.5.1.2")).unwrap();
+        assert_eq!((n, *v), (net("17.5.0.0/16"), "new16"));
+        assert_eq!(d.exact(&b, &net("17.5.0.0/16")), Some(&"new16"));
+    }
+
+    #[test]
+    fn withdraw_tombstones_and_falls_back() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.withdraw(&net("17.5.0.0/16"), &b);
+        assert_eq!(d.tombstones(), 1);
+        assert!(d.is_tombstoned(&net("17.5.0.0/16")));
+        let (n, v) = d.longest_match(&b, addr("17.5.1.2")).unwrap();
+        assert_eq!((n, *v), (net("17.0.0.0/8"), "apple8"));
+        assert_eq!(d.exact(&b, &net("17.5.0.0/16")), None);
+        // longest_match_net also skips the tombstone.
+        let (n, _) = d.longest_match_net(&b, &net("17.5.3.0/24")).unwrap();
+        assert_eq!(n, net("17.0.0.0/8"));
+        // covering drops it too.
+        let cov: Vec<_> = d
+            .covering(&b, addr("17.5.1.2"))
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(cov, vec![net("0.0.0.0/0"), net("17.0.0.0/8")]);
+    }
+
+    #[test]
+    fn withdraw_then_reannounce_restores() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.withdraw(&net("17.5.0.0/16"), &b);
+        d.announce(net("17.5.0.0/16"), "back");
+        assert_eq!(d.tombstones(), 0);
+        let (n, v) = d.longest_match(&b, addr("17.5.1.2")).unwrap();
+        assert_eq!((n, *v), (net("17.5.0.0/16"), "back"));
+    }
+
+    #[test]
+    fn withdraw_of_overlay_only_announce_removes_patch() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.announce(net("203.0.113.0/24"), "tmp");
+        assert_eq!(d.len(), 1);
+        d.withdraw(&net("203.0.113.0/24"), &b);
+        assert!(d.is_empty());
+        assert_eq!(
+            d.longest_match(&b, addr("203.0.113.5")).map(|(n, _)| n),
+            Some(net("0.0.0.0/0"))
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_combined_lookups() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.announce(net("17.5.3.0/24"), "patched");
+        d.withdraw(&net("17.0.0.0/8"), &b);
+        let addrs: Vec<IpAddr> = ["17.5.3.9", "17.9.9.9", "17.5.1.2", "2620:149::1", "8.8.8.8"]
+            .iter()
+            .map(|s| addr(s))
+            .collect();
+        let mut out = Vec::new();
+        d.lookup_batch(&b, &addrs, &mut out);
+        assert_eq!(out.len(), addrs.len());
+        for (a, got) in addrs.iter().zip(&out) {
+            assert_eq!(*got, d.lookup(&b, *a), "{a}");
+        }
+    }
+
+    #[test]
+    fn leaf_flag_conservative_under_overlay() {
+        let b = base();
+        let mut d = DeltaOverlay::new();
+        d.announce(net("17.5.3.0/24"), "inside16");
+        // The /16 now has a live patch strictly inside it: its leaf flag
+        // must drop so memos don't reuse the stale answer.
+        let (n, _, leaf) = d.longest_match_leaf(&b, addr("17.5.4.9")).unwrap();
+        assert_eq!(n, net("17.5.0.0/16"));
+        assert!(!leaf);
+        // Overlay-sourced answers are never leaves.
+        let (n, _, leaf) = d.longest_match_leaf(&b, addr("17.5.3.9")).unwrap();
+        assert_eq!(n, net("17.5.3.0/24"));
+        assert!(!leaf);
+        // Untouched subtrees keep their exact base flag.
+        let (n, _, leaf) = d.longest_match_leaf(&b, addr("2620:149::1")).unwrap();
+        assert_eq!(n, net("2620:149::/32"));
+        assert!(leaf);
+    }
+
+    #[test]
+    fn refreeze_subtree_matches_full_rebuild() {
+        let mut t = PrefixTrie::new();
+        for i in 0..64u32 {
+            let a = std::net::Ipv4Addr::from(0x0A00_0000 | (i << 16));
+            t.insert(crate::prefix::Ipv4Net::clamped(a, 16), i);
+        }
+        t.insert(net("0.0.0.0/0"), 999);
+        let mut frozen = t.freeze();
+        let mut d = DeltaOverlay::new();
+        // Mutate: withdraw one /16, announce a /24 inside another, replace
+        // the default route, and add a v6 prefix to the empty family.
+        d.withdraw(&net("10.3.0.0/16"), &frozen);
+        d.announce(net("10.5.9.0/24"), 777);
+        d.announce(net("0.0.0.0/0"), 1000);
+        d.announce(net("2620:149::/32"), 6666);
+        t.remove(&net("10.3.0.0/16"));
+        t.insert(net("10.5.9.0/24"), 777);
+        t.insert(net("0.0.0.0/0"), 1000);
+        t.insert(net("2620:149::/32"), 6666);
+
+        frozen.refreeze_subtree(&d);
+        let full = t.freeze();
+        assert_eq!(frozen.len(), full.len());
+        assert!(frozen.garbage() > 0, "superseded slots become garbage");
+        for a in ["10.3.1.2", "10.5.9.1", "10.5.8.1", "10.40.0.1", "8.8.8.8"] {
+            let a = addr(a);
+            assert_eq!(
+                frozen.longest_match(a).map(|(n, v)| (n, *v)),
+                full.longest_match(a).map(|(n, v)| (n, *v)),
+                "{a}"
+            );
+            assert_eq!(
+                frozen.longest_match_leaf(a).map(|(n, _, l)| (n, l)),
+                full.longest_match_leaf(a).map(|(n, _, l)| (n, l)),
+                "leaf {a}"
+            );
+        }
+        assert_eq!(
+            frozen.longest_match(addr("2620:149::1")).map(|(_, v)| *v),
+            Some(6666)
+        );
+        let mut got: Vec<String> = frozen.iter().map(|(n, _)| n.to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = full.iter().map(|(n, _)| n.to_string()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn refreeze_unshares_outstanding_snapshots() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("10.0.0.0/8"), 1);
+        t.insert(net("10.5.0.0/16"), 2);
+        let mut live = t.freeze();
+        let epoch0 = live.snapshot();
+        assert!(live.is_shared());
+
+        let mut d = DeltaOverlay::new();
+        d.withdraw(&net("10.5.0.0/16"), &live);
+        d.announce(net("10.6.0.0/16"), 3);
+        live.refreeze_subtree(&d);
+
+        // The snapshot still sees epoch 0...
+        assert_eq!(
+            epoch0.longest_match(addr("10.5.1.1")).map(|(_, v)| *v),
+            Some(2)
+        );
+        assert!(epoch0.longest_match(addr("10.6.1.1")).map(|(_, v)| *v) == Some(1));
+        // ...while the live table moved to epoch 1, now un-shared.
+        assert_eq!(
+            live.longest_match(addr("10.5.1.1")).map(|(_, v)| *v),
+            Some(1)
+        );
+        assert_eq!(
+            live.longest_match(addr("10.6.1.1")).map(|(_, v)| *v),
+            Some(3)
+        );
+        assert!(!std::sync::Arc::ptr_eq(&live.core, &epoch0.core));
+    }
+
+    #[test]
+    fn compaction_threshold_behaviour() {
+        let d: DeltaOverlay<u8> = DeltaOverlay::new();
+        assert!(!d.should_compact(0));
+        let mut d = DeltaOverlay::new();
+        for i in 0..MIN_COMPACT as u32 {
+            let a = std::net::Ipv4Addr::from(0x0A00_0000 | (i << 8));
+            d.announce(IpNet::V4(crate::prefix::Ipv4Net::clamped(a, 24)), 1u8);
+        }
+        // 64 patches vs a large base: not yet worth it.
+        assert!(!d.should_compact(100_000));
+        // 64 patches vs a small base: compact.
+        assert!(d.should_compact(256));
+    }
+}

@@ -7,7 +7,7 @@
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use proptest::prelude::*;
-use tectonic_net::{FrozenLpm, IpNet, Ipv4Net, Ipv6Net, PrefixTrie};
+use tectonic_net::{DeltaOverlay, FrozenLpm, IpNet, Ipv4Net, Ipv6Net, PrefixTrie};
 
 fn arb_v4net() -> impl Strategy<Value = Ipv4Net> {
     (any::<u32>(), 0u8..=32)
@@ -251,6 +251,165 @@ proptest! {
                 via_freeze.longest_match(addr).map(|(n, v)| (n, *v)),
                 via_pairs.longest_match(addr).map(|(n, v)| (n, *v))
             );
+        }
+    }
+
+    #[test]
+    fn overlay_equals_full_rebuild_under_interleaved_churn(
+        base in prop::collection::vec(arb_ipnet(), 1..40),
+        pool in prop::collection::vec(arb_ipnet(), 1..20),
+        ops in prop::collection::vec((0u8..8, any::<usize>()), 1..60),
+        addrs in prop::collection::vec(arb_addr(), 1..25),
+    ) {
+        // Frozen table + delta overlay on one side, a plain trie mirror on
+        // the other; after a random interleaving of announce / withdraw /
+        // subtree-compaction (drawing nets from a shared pool so duplicates
+        // and withdraw-then-reannounce sequences occur), every query API
+        // must agree with a from-scratch rebuild of the mirror.
+        let mut mirror: PrefixTrie<usize> =
+            base.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut frozen = mirror.freeze();
+        let mut delta = DeltaOverlay::new();
+        let all: Vec<IpNet> = base.iter().chain(pool.iter()).cloned().collect();
+        let mut next = 1_000usize;
+        for (kind, idx) in &ops {
+            let net = all[idx % all.len()];
+            match kind {
+                0..=4 => {
+                    next += 1;
+                    delta.announce(net, next);
+                    mirror.insert(net, next);
+                }
+                5 | 6 => {
+                    delta.withdraw(&net, &frozen);
+                    mirror.remove(&net);
+                }
+                _ => {
+                    frozen.refreeze_subtree(&delta);
+                    delta.clear();
+                }
+            }
+        }
+        let rebuilt = mirror.freeze();
+        let mut probes = addrs.clone();
+        probes.extend(all.iter().map(|n| n.network()));
+        for addr in &probes {
+            let want = rebuilt.longest_match(*addr).map(|(n, v)| (n, *v));
+            prop_assert_eq!(delta.longest_match(&frozen, *addr).map(|(n, v)| (n, *v)), want);
+            prop_assert_eq!(delta.lookup(&frozen, *addr).map(|(n, v)| (n, *v)), want);
+            prop_assert_eq!(
+                delta.longest_match_leaf(&frozen, *addr).map(|(n, v, _)| (n, *v)),
+                want
+            );
+            let oc: Vec<(IpNet, usize)> =
+                delta.covering(&frozen, *addr).into_iter().map(|(n, v)| (n, *v)).collect();
+            let rc: Vec<(IpNet, usize)> =
+                rebuilt.covering(*addr).into_iter().map(|(n, v)| (n, *v)).collect();
+            prop_assert_eq!(oc, rc);
+        }
+        for n in &all {
+            prop_assert_eq!(delta.exact(&frozen, n).copied(), rebuilt.exact(n).copied());
+            prop_assert_eq!(delta.contains(&frozen, n), rebuilt.contains(n));
+            prop_assert_eq!(
+                delta.longest_match_net(&frozen, n).map(|(m, v)| (m, *v)),
+                rebuilt.longest_match_net(n).map(|(m, v)| (m, *v))
+            );
+        }
+        let mut got = Vec::new();
+        delta.lookup_batch(&frozen, &probes, &mut got);
+        let mut want = Vec::new();
+        rebuilt.lookup_batch(&probes, &mut want);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.map(|(n, v)| (n, *v)), w.map(|(n, v)| (n, *v)));
+        }
+    }
+
+    #[test]
+    fn overlay_default_routes_do_not_alias_families(
+        base in prop::collection::vec(arb_ipnet(), 0..20),
+        v4 in any::<u32>(),
+        v6 in any::<u128>(),
+    ) {
+        // A /0 announced in each family *through the overlay* must answer
+        // only its own family, exactly like a /0 baked into the frozen
+        // table; both keys share the u128 bit space internally.
+        let mut mirror: PrefixTrie<usize> = base
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, i + 2))
+            .collect();
+        let frozen = mirror.freeze();
+        let mut delta = DeltaOverlay::new();
+        let d4 = IpNet::V4(Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0).unwrap());
+        let d6 = IpNet::V6(Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0).unwrap());
+        delta.announce(d4, 0usize);
+        delta.announce(d6, 1usize);
+        mirror.insert(d4, 0usize);
+        mirror.insert(d6, 1usize);
+        let rebuilt = mirror.freeze();
+        let a4 = IpAddr::V4(Ipv4Addr::from(v4));
+        let a6 = IpAddr::V6(Ipv6Addr::from(v6));
+        let (n4, _) = delta.longest_match(&frozen, a4).expect("v4 default catches all v4");
+        prop_assert!(n4.is_v4());
+        let (n6, _) = delta.longest_match(&frozen, a6).expect("v6 default catches all v6");
+        prop_assert!(!n6.is_v4());
+        for addr in [a4, a6] {
+            prop_assert_eq!(
+                delta.longest_match(&frozen, addr).map(|(n, v)| (n, *v)),
+                rebuilt.longest_match(addr).map(|(n, v)| (n, *v))
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_snapshots_stay_pinned_as_base_mutates(
+        base in prop::collection::vec(arb_ipnet(), 1..30),
+        rounds in prop::collection::vec(
+            prop::collection::vec((arb_ipnet(), any::<bool>()), 1..8),
+            1..5,
+        ),
+        addrs in prop::collection::vec(arb_addr(), 1..15),
+    ) {
+        // Take an epoch snapshot before each churn round, then compact the
+        // round's overlay into the live table. Every earlier epoch must keep
+        // answering from its point-in-time state — later refreezes must not
+        // leak backwards through the shared arenas — so each snapshot agrees
+        // with a trie frozen at the same instant, and consecutive epochs
+        // diff exactly as their references do.
+        let mut mirror: PrefixTrie<usize> =
+            base.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut frozen = mirror.freeze();
+        let mut epochs: Vec<(FrozenLpm<usize>, FrozenLpm<usize>)> = Vec::new();
+        let mut next = 10_000usize;
+        for ops in &rounds {
+            epochs.push((frozen.snapshot(), mirror.freeze()));
+            let mut delta = DeltaOverlay::new();
+            for (net, announce) in ops {
+                if *announce {
+                    next += 1;
+                    delta.announce(*net, next);
+                    mirror.insert(*net, next);
+                } else {
+                    delta.withdraw(net, &frozen);
+                    mirror.remove(net);
+                }
+            }
+            frozen.refreeze_subtree(&delta);
+        }
+        epochs.push((frozen.snapshot(), mirror.freeze()));
+        let mut probes = addrs.clone();
+        for ops in &rounds {
+            probes.extend(ops.iter().map(|(n, _)| n.network()));
+        }
+        for (snap, reference) in &epochs {
+            prop_assert_eq!(snap.len(), reference.len());
+            for addr in &probes {
+                prop_assert_eq!(
+                    snap.longest_match(*addr).map(|(n, v)| (n, *v)),
+                    reference.longest_match(*addr).map(|(n, v)| (n, *v))
+                );
+            }
         }
     }
 

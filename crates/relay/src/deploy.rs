@@ -168,9 +168,11 @@ impl Deployment {
         for p in (0..unused.v6).filter_map(|i| unused.v6_pool.nth_subnet(48, i as u128).ok()) {
             rib.announce(p, Asn::AKAMAI_PR);
         }
-        // The table is fully loaded and never mutated again: compile it so
-        // every steady-state consumer (scanner, analyses, correlation)
-        // looks up through the flat engine instead of the pointer trie.
+        // The table is fully loaded: compile it so every steady-state
+        // consumer (scanner, analyses, correlation) looks up through the
+        // flat engine instead of the pointer trie. Later churn (the chaos
+        // pipeline's BGP flaps) patches the compiled table through the
+        // RIB's delta overlay rather than invalidating it.
         rib.freeze();
 
         // --- AS topology: AkamaiPR hangs off AkamaiEG alone (§6).

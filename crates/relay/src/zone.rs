@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use tectonic_dns::zone::{EcsAnswer, EcsAnswerer, QueryInfo};
 use tectonic_dns::{DomainName, EcsOption, QType, Question, RData};
-use tectonic_net::{Asn, Epoch, FrozenLpm, Ipv4Net, PrefixTrie, SimTime};
+use tectonic_net::{Asn, DeltaOverlay, Epoch, FrozenLpm, Ipv4Net, PrefixTrie, SimTime};
 
 use tectonic_geo::country::CountryCode;
 
@@ -55,8 +55,11 @@ pub struct MaskZone {
     /// structure; [`seal`](MaskZone::seal) compiles it for the per-query
     /// lookups.
     extra_cc: PrefixTrie<CountryCode>,
-    /// Compiled `extra_cc`; dropped by further registrations.
+    /// Compiled `extra_cc`; registrations after a seal patch it through
+    /// `extra_cc_delta` instead of dropping it.
     extra_cc_frozen: Option<FrozenLpm<CountryCode>>,
+    /// Post-seal registrations pending against `extra_cc_frozen`.
+    extra_cc_delta: DeltaOverlay<CountryCode>,
     max_records: usize,
     seed: u64,
 }
@@ -74,15 +77,25 @@ impl MaskZone {
             world,
             extra_cc: PrefixTrie::new(),
             extra_cc_frozen: None,
+            extra_cc_delta: DeltaOverlay::new(),
             max_records: max_records.max(1),
             seed,
         }
     }
 
     /// Registers an out-of-world source range as located in `cc`
-    /// (public-resolver anycast sites near the querying probes).
+    /// (public-resolver anycast sites near the querying probes). After a
+    /// [`seal`](MaskZone::seal) the mapping is patched into the compiled
+    /// table through a delta overlay instead of dropping it.
     pub fn register_source_cc(&mut self, net: impl Into<tectonic_net::IpNet>, cc: CountryCode) {
-        self.extra_cc_frozen = None;
+        let net = net.into();
+        if let Some(frozen) = self.extra_cc_frozen.as_mut() {
+            self.extra_cc_delta.announce(net, cc);
+            if self.extra_cc_delta.should_compact(frozen.len()) {
+                frozen.refreeze_subtree(&self.extra_cc_delta);
+                self.extra_cc_delta.clear();
+            }
+        }
         self.extra_cc.insert(net, cc);
     }
 
@@ -91,6 +104,7 @@ impl MaskZone {
     /// back to the trie while unsealed, so sealing is purely a fast path.
     pub fn seal(&mut self) {
         self.extra_cc_frozen = Some(self.extra_cc.freeze());
+        self.extra_cc_delta.clear();
     }
 
     fn domain_of(&self, name: &DomainName) -> Option<Domain> {
@@ -126,7 +140,10 @@ impl MaskZone {
             }
         }
         match &self.extra_cc_frozen {
-            Some(lpm) => lpm.longest_match(src).map(|(_, cc)| *cc),
+            Some(lpm) => self
+                .extra_cc_delta
+                .longest_match(lpm, src)
+                .map(|(_, cc)| *cc),
             None => self.extra_cc.longest_match(src).map(|(_, cc)| *cc),
         }
     }
@@ -510,6 +527,43 @@ mod tests {
         let cluster = fleets.cc_cluster(fleet, CountryCode::DE);
         assert!(cluster.contains(&addr));
         let _ = world;
+    }
+
+    #[test]
+    fn register_after_seal_patches_compiled_table() {
+        let (fleets, _world, mut zone) = setup();
+        zone.register_source_cc(
+            "172.70.9.0/24".parse::<tectonic_net::IpNet>().unwrap(),
+            CountryCode::DE,
+        );
+        zone.seal();
+        // A post-seal registration must be visible without re-sealing: it
+        // patches the compiled table through the delta overlay.
+        zone.register_source_cc(
+            "172.71.3.0/24".parse::<tectonic_net::IpNet>().unwrap(),
+            CountryCode::US,
+        );
+        for (src, cc) in [
+            ("172.70.9.53", CountryCode::DE),
+            ("172.71.3.53", CountryCode::US),
+        ] {
+            let ans = zone
+                .answer(
+                    &q("mask.icloud.com", QType::A),
+                    None,
+                    &QueryInfo {
+                        src: src.parse().unwrap(),
+                        now: Epoch::Apr2022.start(),
+                    },
+                )
+                .unwrap();
+            assert!(!ans.rdatas.is_empty());
+            let addr = ans.rdatas[0].as_a().unwrap();
+            let asn = fleets.asn_of(IpAddr::V4(addr)).unwrap();
+            let fleet = fleets.fleet_v4(Epoch::Apr2022, Domain::MaskQuic, asn);
+            let cluster = fleets.cc_cluster(fleet, cc);
+            assert!(cluster.contains(&addr), "{src} not steered to {cc:?}");
+        }
     }
 
     #[test]

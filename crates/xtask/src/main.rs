@@ -22,7 +22,9 @@
 //!   the shim's `BENCH_JSON` line output enabled and distil it into
 //!   `BENCH_lpm.json` / `BENCH_scan.json` (bench name → ns/op, median),
 //!   the artifacts CI uploads. The scan suite appends derived
-//!   `speedup_engine_w8_*` ratios. Default suite: `lpm`.
+//!   `speedup_engine_w8_*` ratios; the lpm suite appends
+//!   `speedup_churn_*` (full-refreeze over amortized-overlay update
+//!   cost). Default suite: `lpm`.
 //! * `chaos` — run the fault-injection scenario matrix in-process:
 //!   `--scenario NAME --seed N` for one cell, `--all --seeds K` for the
 //!   whole registry, `--out PATH` for a JSON invariant report. Exits
@@ -287,7 +289,9 @@ const BENCH_SUITES: [BenchSuite; 2] = [
 /// `BENCH_JSON` lines into flat bench-name → ns/op (median) reports.
 /// `--suite lpm` (the default, matching the original behaviour), `--suite
 /// scan`, or `--suite all`; the scan suite appends derived
-/// `speedup_engine_w8_*` ratios (serial median / engine-8-worker median).
+/// `speedup_engine_w8_*` ratios (serial median / engine-8-worker median)
+/// and the lpm suite appends `speedup_churn_*` ratios (full-refreeze
+/// median / amortized-overlay median, per table size).
 fn bench_report(args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut out_path: Option<PathBuf> = None;
@@ -461,6 +465,23 @@ fn run_bench_suite(root: &PathBuf, suite: &BenchSuite, out_path: &PathBuf) -> Re
             ) {
                 if engine > 0.0 {
                     derived.push((format!("speedup_engine_w8_{size}"), serial / engine));
+                }
+            }
+        }
+        rows.extend(derived);
+    }
+    // The churn suite's headline numbers: per-update cost of a whole-table
+    // refreeze over the amortized overlay + subtree-compaction path.
+    if suite.name == "lpm" {
+        let mut derived: Vec<(String, f64)> = Vec::new();
+        let median = |name: &str| rows.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns);
+        for size in ["100k", "900k"] {
+            if let (Some(full), Some(overlay)) = (
+                median(&format!("update_full_refreeze_{size}")),
+                median(&format!("update_overlay_{size}")),
+            ) {
+                if overlay > 0.0 {
+                    derived.push((format!("speedup_churn_{size}"), full / overlay));
                 }
             }
         }

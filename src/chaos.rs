@@ -124,6 +124,13 @@ pub struct ChaosMetrics {
     pub table3_post_flap: Option<u64>,
     /// Table 3 total after the restore leg of a BGP flap.
     pub table3_restored: Option<u64>,
+    /// Rendered Table 3 before any flap — the byte-comparison surface the
+    /// restore leg must reproduce exactly.
+    pub table3_pre_flap_render: String,
+    /// Rendered Table 3 after the restore leg of a BGP flap. The flap now
+    /// flows through the RIB's delta overlay (no snapshot invalidation),
+    /// so this must be byte-identical to the pre-flap render.
+    pub table3_restored_render: Option<String>,
 }
 
 /// One pipeline execution: the rendered artifacts, the reconciliation
@@ -226,6 +233,8 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         table3_total_subnets: 0,
         table3_post_flap: None,
         table3_restored: None,
+        table3_pre_flap_render: String::new(),
+        table3_restored_render: None,
     };
 
     // ----- Table 1: ECS scans (January baseline + April default/fallback).
@@ -270,9 +279,11 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
     artifacts.push_str(&report::render_table2(&table2));
     {
         let analysis = EgressAnalysis::new(&deployment.egress_list, &deployment.rib);
-        artifacts.push_str(&report::render_table3(&analysis.table3()));
+        let table3_render = report::render_table3(&analysis.table3());
+        artifacts.push_str(&table3_render);
         artifacts.push_str(&report::render_table4(&analysis.table4()));
         metrics.table3_total_subnets = table3_subnet_total(&analysis);
+        metrics.table3_pre_flap_render = table3_render;
     }
 
     // ----- Atlas campaigns (A-link ledger snapshotted before AAAA).
@@ -478,6 +489,7 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         }
         let analysis = EgressAnalysis::new(&deployment.egress_list, &deployment.rib);
         metrics.table3_restored = Some(table3_subnet_total(&analysis));
+        metrics.table3_restored_render = Some(report::render_table3(&analysis.table3()));
     }
 
     // Fold the per-shard engine channels into the main ledger: the
@@ -665,6 +677,18 @@ pub fn check_invariants(scenario: &str, run: &ChaosRun, golden: &ChaosRun) -> Ve
                 "restored Table 3 subnets {:?} != fault-free {}",
                 m.table3_restored, g.table3_total_subnets
             ),
+        );
+        // The flap/restore cycle runs through the RIB's delta overlay
+        // (announce/withdraw patch the frozen table in place); the
+        // rendered Table 3 must come back byte-identical, not merely
+        // equal in totals.
+        check(
+            m.table3_restored_render.as_deref() == Some(m.table3_pre_flap_render.as_str()),
+            "post-restore Table 3 render is not byte-identical to the pre-flap render".to_string(),
+        );
+        check(
+            m.table3_pre_flap_render == g.table3_pre_flap_render,
+            "pre-flap Table 3 render differs from the golden run".to_string(),
         );
     }
 
