@@ -1,0 +1,53 @@
+//! Ablation — the §4 CONNECT-UDP session storm, serial driver against the
+//! sharded discrete-event engine.
+//!
+//! The session layer's contract is that the engine is unobservable in the
+//! report (same seed ⇒ byte-identical per-session metrics at any worker
+//! count — `tests/masque_load.rs` pins it), so the only thing left to
+//! measure is wall-clock: `run_serial` vs `run_engine` at 1/4/8 workers,
+//! on a small (256-session) and a large (4,800-session, ≥2,000
+//! concurrent) storm. `xtask bench-report --suite masque` distils the
+//! medians into `BENCH_masque.json` with derived sessions/sec rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tectonic_bench::{banner, BENCH_SEED};
+use tectonic_core::masque_load::{run_engine, run_serial, PerfectChannel, StormConfig};
+use tectonic_relay::{Deployment, DeploymentConfig};
+
+fn bench(c: &mut Criterion) {
+    let deployment = Deployment::build(BENCH_SEED, DeploymentConfig::scaled(512));
+    // Session counts here are mirrored by the sessions/sec derivation in
+    // `xtask bench-report --suite masque`; keep them in sync.
+    let small = StormConfig::sized(64, 2, 0xBE9C);
+    let large = StormConfig::sized(1200, 2, 0xBE9C);
+
+    // The equivalence claim once, at the large scale: the engine report
+    // must be identical to the serial report, not merely equal in totals.
+    let serial = run_serial(&deployment, &large, &PerfectChannel);
+    let engine8 = run_engine(&deployment, &large, &PerfectChannel, 8);
+    banner("Ablation: CONNECT-UDP session storm, serial vs discrete-event engine");
+    println!(
+        "large storm: {} sessions ({} peak concurrent), {} datagrams echoed",
+        serial.sessions.len(),
+        serial.peak_concurrent,
+        serial.replies_received
+    );
+    println!("engine(8w) report identical: {}", serial == engine8);
+
+    let mut group = c.benchmark_group("ablation_masque");
+    group.sample_size(10);
+    for (label, cfg) in [("small", &small), ("large", &large)] {
+        group.bench_function(format!("serial_{label}"), |b| {
+            b.iter(|| run_serial(&deployment, cfg, &PerfectChannel))
+        });
+        for workers in [1usize, 4, 8] {
+            group.bench_function(format!("engine_w{workers}_{label}"), |b| {
+                b.iter(|| run_engine(&deployment, cfg, &PerfectChannel, workers))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -27,6 +27,7 @@
 //! | [`qoe`] | "how does the service impact QoE?" — two-hop latency experiment |
 //! | [`passive`] | §6's passive-measurement / IDS discussion — flow classification, session fragmentation |
 //! | [`correlation_attack`] | §6's Tor-style timing correlation, dual-role vs split operators |
+//! | [`masque_load`] | §4 findings rerun as a traffic-scale CONNECT-UDP session load test |
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -41,6 +42,7 @@ pub mod dataset;
 pub mod ecs_scan;
 pub mod egress_analysis;
 pub mod load;
+pub mod masque_load;
 pub mod monitor;
 pub mod passive;
 pub mod qoe;
@@ -58,6 +60,10 @@ pub use dataset::{Archive, ArchiveMeta};
 pub use ecs_scan::{EcsScanConfig, EcsScanReport, EcsScanner};
 pub use egress_analysis::{EgressAnalysis, Table3, Table4};
 pub use load::LoadReport;
+pub use masque_load::{
+    run_engine as run_masque_engine, run_serial as run_masque_serial, DatagramChannel,
+    PerfectChannel, RotationStats, StormConfig, StormReport,
+};
 pub use monitor::{evolution, ScanDiff};
 pub use passive::{ids_fragmentation, PassiveMonitor, PassiveReport};
 pub use qoe::{qoe_experiment, QoeReport};

@@ -384,6 +384,37 @@ pub fn country_info(code: CountryCode) -> Option<CountryInfo> {
     })
 }
 
+/// The country whose centroid is closest to the given coordinates.
+///
+/// Used to map a geohash cell (what a relay egress advertises) back to a
+/// represented country. Distance is the squared equirectangular
+/// approximation — adequate for centroid-granularity matching — with ties
+/// broken by table order so the result is deterministic. Longitude wraps
+/// at the antimeridian.
+pub fn nearest_country(lat: f64, lon: f64) -> CountryInfo {
+    let mut best: Option<(f64, CountryInfo)> = None;
+    let cos_lat = lat.to_radians().cos();
+    for info in all_countries() {
+        let dlat = info.lat - lat;
+        let mut dlon = (info.lon - lon).abs() % 360.0;
+        if dlon > 180.0 {
+            dlon = 360.0 - dlon;
+        }
+        let dlon = dlon * cos_lat;
+        let dist = dlat * dlat + dlon * dlon;
+        if best.as_ref().is_none_or(|(d, _)| dist < *d) {
+            best = Some((dist, info));
+        }
+    }
+    // The table is non-empty by construction; fall back to US regardless.
+    best.map(|(_, info)| info).unwrap_or(CountryInfo {
+        code: CountryCode::US,
+        lat: 39.8,
+        lon: -98.6,
+        weight: 0.0,
+    })
+}
+
 /// Countries where a large CDN physically operates points of presence.
 ///
 /// §4.2 compares Akamai's published PoP-country list against the egress
@@ -453,6 +484,17 @@ mod tests {
         // Microstates fall outside the infrastructure footprint.
         assert!(!pops.contains(&CountryCode::new("KN").unwrap()));
         assert!(!pops.contains(&CountryCode::new("NR").unwrap()));
+    }
+
+    #[test]
+    fn nearest_country_recovers_every_centroid() {
+        // A country's own centroid must map back to itself.
+        for c in all_countries() {
+            assert_eq!(nearest_country(c.lat, c.lon).code, c.code, "{}", c.code);
+        }
+        // A point jittered off the US centroid still resolves to the US.
+        let us = country_info(CountryCode::US).unwrap();
+        assert_eq!(nearest_country(us.lat + 1.5, us.lon - 1.5).code, us.code);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod mmdb;
 
 pub use city::{City, CityUniverse};
 pub use coords::haversine_km;
-pub use country::{CountryCode, CountryInfo};
+pub use country::{nearest_country, CountryCode, CountryInfo};
 pub use csv::{CsvParseStats, EgressParseError};
 pub use egress::{EgressEntry, EgressList, OperatorEgressSpec};
 pub use mmdb::{GeoDb, Location};

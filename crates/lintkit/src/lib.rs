@@ -148,6 +148,13 @@ impl Config {
                 "crates/net/src/overlay.rs".to_string(),
                 "crates/quic/src/packet.rs".to_string(),
                 "crates/quic/src/varint.rs".to_string(),
+                // Capsule/HTTP-Datagram codecs: decoding hostile tunnel
+                // bytes must be total.
+                "crates/quic/src/capsule.rs".to_string(),
+                // Sealed-payload and datagram framing on the session path:
+                // the egress opens bytes a faulted channel may have
+                // mangled.
+                "crates/relay/src/session.rs".to_string(),
                 "crates/simnet/src/channel.rs".to_string(),
             ],
             strict_arith: vec![
@@ -163,6 +170,10 @@ impl Config {
                 "crates/net/src/overlay.rs".to_string(),
                 // RFC 9000 varints: 62-bit values through shifts and masks.
                 "crates/quic/src/varint.rs".to_string(),
+                // Capsule header offsets and declared-length arithmetic: a
+                // silent wrap turns a truncation error into a mis-framed
+                // read.
+                "crates/quic/src/capsule.rs".to_string(),
             ],
             skip_crates: vec!["xtask".to_string()],
             entry_points: vec![
@@ -189,6 +200,14 @@ impl Config {
                 "relay::client::odoh_resolve".to_string(),
                 // The fault-injection delivery hot path (chaos harness).
                 "simnet::channel::deliver".to_string(),
+                // CONNECT-UDP codecs fed hostile tunnel bytes.
+                "quic::capsule::decode_capsule".to_string(),
+                "quic::capsule::decode_datagram".to_string(),
+                // The session layer's receive path: unframing and opening
+                // datagrams a faulted channel may have truncated or
+                // corrupted.
+                "relay::session::unframe_datagram".to_string(),
+                "relay::session::open_payload".to_string(),
                 // The sharded discrete-event engine: scheduler loop and
                 // every shard-facing surface must be panic-free — a panic
                 // in one worker poisons the whole scan.
@@ -227,6 +246,7 @@ impl Config {
                 "core::atlas_campaign::handle".to_string(),
                 "core::ecs_scan::handle".to_string(),
                 "core::relay_scan::handle".to_string(),
+                "core::masque_load::handle".to_string(),
                 // Same boundary one layer down: the simulated *server* side
                 // of an exchange (zone lookup, reply synthesis) allocates
                 // by design — it plays the remote resolver. The scanner's

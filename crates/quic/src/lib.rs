@@ -9,17 +9,25 @@
 //!   an unknown version), revealing support for QUIC v1 and drafts 29–27.
 //!
 //! [`packet`] implements the long-header encoding both sides need;
-//! [`probe`] implements the scanner and the ingress responder model.
+//! [`probe`] implements the scanner and the ingress responder model;
+//! [`capsule`] adds the HTTP/3 capsule + HTTP Datagram framing the
+//! CONNECT-UDP data plane (§4 traffic) rides on.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod capsule;
 pub mod h3;
 pub mod packet;
 pub mod probe;
 pub mod varint;
 
+pub use capsule::{
+    datagram_capsule, decode_capsule, decode_datagram, encode_capsule, encode_datagram,
+    open_datagram_capsule, udp_datagram, Capsule, CapsuleError, HttpDatagram, CAPSULE_DATAGRAM,
+    CONTEXT_UDP_PAYLOAD,
+};
 pub use h3::{decode_frame, encode_frame, Frame, FrameType, Headers};
 pub use packet::{LongHeader, PacketType, QuicPacket, QuicWireError, VersionNegotiation};
 pub use probe::{IngressQuicBehavior, ProbeOutcome, QuicProber};

@@ -208,6 +208,100 @@ impl EgressSelector {
     pub fn location_pool_size(&self) -> u64 {
         self.subnets_per_location as u64 * self.addrs_per_subnet
     }
+
+    /// The small, stable pool of egress addresses representing one client
+    /// geohash cell at one operator (§4.3: the authors saw six addresses
+    /// from four subnets over 48 h at a fixed vantage point).
+    ///
+    /// The pool is a pure function of `(seed, operator, cc, geohash)` — no
+    /// interior state — so every engine shard derives the identical pool
+    /// and per-connection draws from it stay worker-invariant. Prefers the
+    /// operator's footprint at the client's country, topping up from the
+    /// operator-wide footprint when the local one is too small (a client
+    /// in a one-`/32` country still sees the paper's small multi-address
+    /// pool). Returns up to `pool_size` distinct IPv4 addresses; fewer
+    /// only when the operator's entire footprint is smaller than that.
+    pub fn geohash_pool(
+        &self,
+        operator: Asn,
+        cc: CountryCode,
+        geohash: &str,
+        pool_size: usize,
+    ) -> Vec<IpAddr> {
+        let local: Vec<&IpNet> = self
+            .pools
+            .get(&(operator, cc))
+            .into_iter()
+            .flatten()
+            .filter(|s| s.is_v4())
+            .collect();
+        let global: Vec<&IpNet> = self
+            .global_pools
+            .get(&operator)
+            .into_iter()
+            .flatten()
+            .filter(|s| s.is_v4())
+            .collect();
+        // FNV over the geohash, then the selector's mixer, anchors the
+        // pool to the cell rather than to any single client.
+        let mut key = 0xCBF2_9CE4_8422_2325u64;
+        for b in geohash.bytes() {
+            key = (key ^ u64::from(b)).wrapping_mul(0x1_0000_01B3);
+        }
+        let base = self.mix(key ^ u64::from(operator.value()).rotate_left(23)) as usize;
+        // Hosts to walk per subnet: at least the configured rotation span,
+        // and enough that even a single-subnet footprint can fill the pool
+        // — capped by the subnet's usable host span so the walk never
+        // revisits an address within one subnet.
+        let span = |subnet: &IpNet| -> u64 {
+            let usable = match subnet {
+                IpNet::V4(n) => {
+                    let count = n.addr_count();
+                    if count > 2 {
+                        count - 2
+                    } else {
+                        count.max(1)
+                    }
+                }
+                // v6 footprints are astronomically wide; bound the walk.
+                IpNet::V6(_) => 1 << 16,
+            };
+            self.addrs_per_subnet.max(pool_size as u64).min(usable)
+        };
+        let mut pool = Vec::with_capacity(pool_size);
+        for family in [local, global] {
+            if family.is_empty() || pool.len() >= pool_size {
+                continue;
+            }
+            // Walk (subnet, host) pairs in a cell-deterministic order until
+            // the pool is full; distinct pairs yield distinct addresses
+            // because the egress-list subnets do not overlap, and the
+            // global top-up pass dedups anything the local pass already
+            // picked.
+            let candidates: u64 = family.iter().map(|s| span(s)).sum();
+            for i in 0..candidates {
+                if pool.len() >= pool_size {
+                    break;
+                }
+                let Some(subnet) = family.get((base + i as usize) % family.len()).copied() else {
+                    break;
+                };
+                let host = (base as u64 / family.len().max(1) as u64 + i / family.len() as u64)
+                    % span(subnet);
+                let addr = match subnet {
+                    IpNet::V4(n) => {
+                        let host = if n.addr_count() > 2 { 1 + host } else { host };
+                        IpAddr::V4(n.nth_addr(host))
+                    }
+                    IpNet::V6(n) => IpAddr::V6(n.nth_addr(1 + u128::from(host))),
+                };
+                if !pool.contains(&addr) {
+                    pool.push(addr);
+                }
+            }
+        }
+        pool
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +446,32 @@ mod tests {
         assert!(s
             .select(1, CountryCode::US, SimTime::EPOCH, 0, false)
             .is_none());
+    }
+
+    #[test]
+    fn geohash_pool_is_stable_small_and_distinct() {
+        let s = selector();
+        let pool = s.geohash_pool(Asn::CLOUDFLARE, CountryCode::US, "9q8y", 3);
+        assert_eq!(pool.len(), 3, "US footprint supports a full pool");
+        let distinct: HashSet<_> = pool.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            pool.len(),
+            "pool addresses must be distinct"
+        );
+        // Pure function of (seed, operator, cc, geohash): identical on
+        // every recomputation, as the sharded engine requires.
+        assert_eq!(
+            pool,
+            s.geohash_pool(Asn::CLOUDFLARE, CountryCode::US, "9q8y", 3)
+        );
+        // A different cell gets a different pool (overwhelmingly likely).
+        let other = s.geohash_pool(Asn::CLOUDFLARE, CountryCode::US, "u281", 3);
+        assert_ne!(pool, other);
+        // An operator with no footprint at all yields an empty pool.
+        assert!(s
+            .geohash_pool(Asn(64_512), CountryCode::US, "9q8y", 3)
+            .is_empty());
     }
 
     #[test]

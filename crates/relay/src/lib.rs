@@ -22,6 +22,8 @@
 //! * [`client`] — the macOS-like device model: open vs fixed DNS, Safari +
 //!   curl request pairs, ODoH resolution, the Appendix-B management
 //!   connection,
+//! * [`session`] — the CONNECT-UDP data plane: ingress admission, the
+//!   egress `SessionTable` and per-session traffic counters (§4),
 //! * [`path`] — router-level paths and traceroute (last-hop sharing, §6).
 
 #![forbid(unsafe_code)]
@@ -35,6 +37,7 @@ pub mod ingress;
 pub mod latency;
 pub mod masque;
 pub mod path;
+pub mod session;
 pub mod world;
 pub mod zone;
 
@@ -46,5 +49,9 @@ pub use ingress::IngressFleets;
 pub use latency::{ConnectionLatency, LatencyModel};
 pub use masque::{MasqueSession, TokenIssuer, Transport};
 pub use path::{RouterHop, RouterTopology};
+pub use session::{
+    DatagramOutcome, EgressNode, IngressNode, SessionAccept, SessionCounters, SessionReport,
+    SessionTable,
+};
 pub use world::{ClientAs, ClientWorld, ServiceSplit};
 pub use zone::MaskZone;

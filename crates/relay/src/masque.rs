@@ -62,11 +62,24 @@ impl std::fmt::Display for TokenError {
 
 impl std::error::Error for TokenError {}
 
+/// Milliseconds per token-validity day.
+const DAY_MS: u64 = 86_400_000;
+
+/// Per-day issuance ledger; entries for past days are pruned when the day
+/// rolls over so the map stays bounded across `SimTime` rollover.
+#[derive(Debug, Default)]
+struct IssuerLedger {
+    /// The most recent day the issuer has seen.
+    latest_day: u64,
+    /// Tokens issued per `(user, day)`; only days `>= latest_day` survive.
+    counts: std::collections::HashMap<(u64, u64), u32>,
+}
+
 /// Issues a bounded number of tokens per user and day.
 #[derive(Debug)]
 pub struct TokenIssuer {
     per_day: u32,
-    issued: Mutex<std::collections::HashMap<(u64, u64), u32>>,
+    ledger: Mutex<IssuerLedger>,
 }
 
 impl TokenIssuer {
@@ -74,16 +87,26 @@ impl TokenIssuer {
     pub fn new(per_day: u32) -> TokenIssuer {
         TokenIssuer {
             per_day,
-            issued: Mutex::new(std::collections::HashMap::new()),
+            ledger: Mutex::new(IssuerLedger::default()),
         }
     }
 
+    /// The per-user daily budget.
+    pub fn per_day(&self) -> u32 {
+        self.per_day
+    }
+
     /// Issues a token for `user` at `now`, or fails when the budget is
-    /// spent.
+    /// spent. When the day advances, budgets reset and the ledger drops
+    /// entries from past days — tokens from those days are already invalid.
     pub fn issue(&self, user: u64, now: SimTime) -> Result<AccessToken, TokenError> {
-        let day = now.as_millis() / 86_400_000;
-        let mut issued = self.issued.lock();
-        let count = issued.entry((user, day)).or_insert(0);
+        let day = now.as_millis() / DAY_MS;
+        let mut ledger = self.ledger.lock();
+        if day > ledger.latest_day {
+            ledger.latest_day = day;
+            ledger.counts.retain(|(_, d), _| *d >= day);
+        }
+        let count = ledger.counts.entry((user, day)).or_insert(0);
         if *count >= self.per_day {
             return Err(TokenError::DailyBudgetExhausted);
         }
@@ -95,9 +118,30 @@ impl TokenIssuer {
         })
     }
 
-    /// Validates a token for the current day.
+    /// Validates a token at `now`.
+    ///
+    /// A token is valid only on the day it was issued for (a token issued
+    /// at 23:59:59.999 expires exactly at the next midnight), only with a
+    /// serial the issuer actually handed out — forged serials above the
+    /// per-day budget, or above this user's issued count, are rejected.
     pub fn validate(&self, token: &AccessToken, now: SimTime) -> bool {
-        token.day == now.as_millis() / 86_400_000 && token.serial >= 1
+        if token.day != now.as_millis() / DAY_MS {
+            return false;
+        }
+        if token.serial == 0 || token.serial > self.per_day {
+            return false;
+        }
+        let ledger = self.ledger.lock();
+        ledger
+            .counts
+            .get(&(token.user, token.day))
+            .is_some_and(|issued| token.serial <= *issued)
+    }
+
+    /// How many `(user, day)` entries the ledger currently tracks (pruning
+    /// observability for tests).
+    pub fn tracked_entries(&self) -> usize {
+        self.ledger.lock().counts.len()
     }
 }
 
@@ -321,6 +365,80 @@ mod tests {
         let token = issuer.issue(1, day1).unwrap();
         assert!(issuer.validate(&token, day1));
         assert!(!issuer.validate(&token, SimTime::from_ymd(2022, 5, 11)));
+    }
+
+    #[test]
+    fn token_expires_exactly_at_the_day_boundary() {
+        let issuer = TokenIssuer::new(10);
+        let midnight = SimTime::from_ymd(2022, 5, 11);
+        let last_ms = SimTime(midnight.as_millis() - 1); // 23:59:59.999
+        let token = issuer.issue(7, last_ms).unwrap();
+        // Valid for every remaining instant of its issue day…
+        assert!(issuer.validate(&token, last_ms));
+        // …and invalid from the first millisecond of the next day.
+        assert!(!issuer.validate(&token, midnight));
+        assert!(!issuer.validate(&token, SimTime(midnight.as_millis() + 1)));
+    }
+
+    #[test]
+    fn budget_resets_exactly_at_the_day_boundary() {
+        let issuer = TokenIssuer::new(2);
+        let midnight = SimTime::from_ymd(2022, 5, 11);
+        let before = SimTime(midnight.as_millis() - 1);
+        assert!(issuer.issue(7, before).is_ok());
+        assert!(issuer.issue(7, before).is_ok());
+        assert_eq!(
+            issuer.issue(7, before),
+            Err(TokenError::DailyBudgetExhausted)
+        );
+        // The very first millisecond of the new day starts a fresh budget.
+        let fresh = issuer.issue(7, midnight).unwrap();
+        assert_eq!(fresh.serial, 1);
+        assert!(issuer.validate(&fresh, midnight));
+    }
+
+    #[test]
+    fn day_rollover_prunes_the_ledger() {
+        let issuer = TokenIssuer::new(5);
+        let day1 = SimTime::from_ymd(2022, 5, 10);
+        for user in 0..4 {
+            issuer.issue(user, day1).unwrap();
+        }
+        assert_eq!(issuer.tracked_entries(), 4);
+        // Rolling to the next day drops all of day 1's accounting.
+        let day2 = SimTime::from_ymd(2022, 5, 11);
+        issuer.issue(9, day2).unwrap();
+        assert_eq!(issuer.tracked_entries(), 1);
+    }
+
+    #[test]
+    fn forged_serials_fail_validation() {
+        let issuer = TokenIssuer::new(5);
+        let now = SimTime::from_ymd(2022, 5, 10);
+        let token = issuer.issue(7, now).unwrap();
+        assert!(issuer.validate(&token, now));
+        // Serial 0 was never handed out.
+        let zero = AccessToken {
+            serial: 0,
+            ..token.clone()
+        };
+        assert!(!issuer.validate(&zero, now));
+        // A serial above this user's issued count was never handed out…
+        let ahead = AccessToken {
+            serial: 2,
+            ..token.clone()
+        };
+        assert!(!issuer.validate(&ahead, now));
+        // …nor was one above the per-day budget, for any user.
+        let over = AccessToken { serial: 6, ..token };
+        assert!(!issuer.validate(&over, now));
+        // A user the issuer never saw has no valid serials at all.
+        let ghost = AccessToken {
+            user: 99,
+            day: now.as_millis() / 86_400_000,
+            serial: 1,
+        };
+        assert!(!issuer.validate(&ghost, now));
     }
 
     #[test]

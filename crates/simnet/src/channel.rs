@@ -117,7 +117,7 @@ impl LinkStats {
     }
 }
 
-/// The six per-link ledgers, one field per [`Link`] so access never
+/// The seven per-link ledgers, one field per [`Link`] so access never
 /// allocates or hashes.
 #[derive(Debug, Clone, Default)]
 struct ChannelStats {
@@ -127,6 +127,7 @@ struct ChannelStats {
     relay_dns: LinkStats,
     quic_ingress: LinkStats,
     bgp_feed: LinkStats,
+    masque_data: LinkStats,
 }
 
 impl ChannelStats {
@@ -138,6 +139,7 @@ impl ChannelStats {
             Link::RelayDns => &mut self.relay_dns,
             Link::QuicIngress => &mut self.quic_ingress,
             Link::BgpFeed => &mut self.bgp_feed,
+            Link::MasqueData => &mut self.masque_data,
         }
     }
 
@@ -149,6 +151,7 @@ impl ChannelStats {
             Link::RelayDns => &self.relay_dns,
             Link::QuicIngress => &self.quic_ingress,
             Link::BgpFeed => &self.bgp_feed,
+            Link::MasqueData => &self.masque_data,
         }
     }
 }

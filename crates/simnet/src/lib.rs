@@ -57,17 +57,20 @@ pub enum Link {
     QuicIngress,
     /// BGP session → RIB announce/withdraw event feed.
     BgpFeed,
+    /// Relay client → egress tunnelled CONNECT-UDP datagram path (§4).
+    MasqueData,
 }
 
 impl Link {
     /// Every link, in stats/report order.
-    pub const ALL: [Link; 6] = [
+    pub const ALL: [Link; 7] = [
         Link::ScanAuth,
         Link::AtlasAuth,
         Link::ControlAuth,
         Link::RelayDns,
         Link::QuicIngress,
         Link::BgpFeed,
+        Link::MasqueData,
     ];
 
     /// Stable lowercase label used in reports and RNG fork seeds.
@@ -79,6 +82,7 @@ impl Link {
             Link::RelayDns => "relay-dns",
             Link::QuicIngress => "quic-ingress",
             Link::BgpFeed => "bgp-feed",
+            Link::MasqueData => "masque-data",
         }
     }
 }
@@ -231,7 +235,7 @@ pub mod scenarios {
     use tectonic_net::SimDuration;
 
     /// Every scenario the matrix runs, in execution order.
-    pub const ALL: [&str; 11] = [
+    pub const ALL: [&str; 12] = [
         "baseline",
         "lossy-resolver",
         "flaky-network",
@@ -242,6 +246,7 @@ pub mod scenarios {
         "control-outage",
         "ingress-blackhole",
         "bgp-flap",
+        "relay-session-storm",
         "kitchen-sink",
     ];
 
@@ -343,6 +348,23 @@ pub mod scenarios {
             // Withdraw half the egress table, then restore it: Table 3 must
             // shrink monotonically and recover exactly.
             "bgp-flap" => FaultPlan::named(name).with_flap(FlapSpec { one_in: 2 }),
+            // A burst of concurrent CONNECT-UDP sessions through a lossy,
+            // rate-limited tunnel: every injected datagram must reconcile
+            // as delivered, channel-dropped, or egress-dropped, and token
+            // grants must respect the per-user daily budget.
+            "relay-session-storm" => FaultPlan::named(name).with_link(
+                Link::MasqueData,
+                LinkFaults {
+                    drop: 0.15,
+                    truncate: 0.05,
+                    corrupt: 0.05,
+                    burst: Some(Burst {
+                        period: SimDuration::from_millis(2_000),
+                        outage: SimDuration::from_millis(200),
+                    }),
+                    ..LinkFaults::default()
+                },
+            ),
             // Everything at once, at survivable rates.
             "kitchen-sink" => FaultPlan::named(name)
                 .with_link(
@@ -375,6 +397,13 @@ pub mod scenarios {
                     Link::QuicIngress,
                     LinkFaults {
                         drop: 0.2,
+                        ..LinkFaults::default()
+                    },
+                )
+                .with_link(
+                    Link::MasqueData,
+                    LinkFaults {
+                        drop: 0.1,
                         ..LinkFaults::default()
                     },
                 )

@@ -18,13 +18,14 @@
 //!   (rule/file/line/message) for CI artifacts.
 //! * `lint --sarif PATH` — write the same findings as a SARIF v2.1.0 log
 //!   (one result per finding) for code-hosting annotation UIs.
-//! * `bench-report [--suite lpm|scan|all]` — run an ablation bench with
-//!   the shim's `BENCH_JSON` line output enabled and distil it into
-//!   `BENCH_lpm.json` / `BENCH_scan.json` (bench name → ns/op, median),
-//!   the artifacts CI uploads. The scan suite appends derived
-//!   `speedup_engine_w8_*` ratios; the lpm suite appends
+//! * `bench-report [--suite lpm|scan|masque|all]` — run an ablation bench
+//!   with the shim's `BENCH_JSON` line output enabled and distil it into
+//!   `BENCH_lpm.json` / `BENCH_scan.json` / `BENCH_masque.json` (bench
+//!   name → ns/op, median), the artifacts CI uploads. The scan suite
+//!   appends derived `speedup_engine_w8_*` ratios; the lpm suite appends
 //!   `speedup_churn_*` (full-refreeze over amortized-overlay update
-//!   cost). Default suite: `lpm`.
+//!   cost); the masque suite appends `sessions_per_sec_*` throughput and
+//!   the serial/engine speedup. Default suite: `lpm`.
 //! * `chaos` — run the fault-injection scenario matrix in-process:
 //!   `--scenario NAME --seed N` for one cell, `--all --seeds K` for the
 //!   whole registry, `--out PATH` for a JSON invariant report. Exits
@@ -111,7 +112,7 @@ fn main() -> ExitCode {
             "usage: cargo run -p xtask -- lint \
              [--update-manifest] [--update-baseline] [--timings] [--graph[=PATH]] [--json PATH] \
              [--sarif PATH]\n\
-             \x20      cargo run -p xtask -- bench-report [--suite lpm|scan|lint|all] [--out PATH]\n\
+             \x20      cargo run -p xtask -- bench-report [--suite lpm|scan|masque|lint|all] [--out PATH]\n\
              \x20      cargo run -p xtask -- chaos (--scenario NAME | --all) \
              [--seed N] [--seeds K] [--out PATH]"
         );
@@ -272,7 +273,7 @@ struct BenchSuite {
     report: &'static str,
 }
 
-const BENCH_SUITES: [BenchSuite; 2] = [
+const BENCH_SUITES: [BenchSuite; 3] = [
     BenchSuite {
         name: "lpm",
         bench: "ablation_rib_lpm",
@@ -283,15 +284,27 @@ const BENCH_SUITES: [BenchSuite; 2] = [
         bench: "ablation_scan_engine",
         report: "BENCH_scan.json",
     },
+    BenchSuite {
+        name: "masque",
+        bench: "ablation_masque",
+        report: "BENCH_masque.json",
+    },
 ];
+
+/// Sessions per storm in `ablation_masque` (clients × rounds × 2 agents);
+/// mirrors the `StormConfig::sized` calls in the bench so the report can
+/// derive sessions/sec from ns/op medians.
+const MASQUE_STORM_SESSIONS: [(&str, f64); 2] = [("small", 256.0), ("large", 4_800.0)];
 
 /// Runs one or more ablation benches and condenses the shim's
 /// `BENCH_JSON` lines into flat bench-name → ns/op (median) reports.
 /// `--suite lpm` (the default, matching the original behaviour), `--suite
-/// scan`, or `--suite all`; the scan suite appends derived
-/// `speedup_engine_w8_*` ratios (serial median / engine-8-worker median)
-/// and the lpm suite appends `speedup_churn_*` ratios (full-refreeze
-/// median / amortized-overlay median, per table size).
+/// scan`, `--suite masque`, or `--suite all`; the scan suite appends
+/// derived `speedup_engine_w8_*` ratios (serial median / engine-8-worker
+/// median), the lpm suite appends `speedup_churn_*` ratios (full-refreeze
+/// median / amortized-overlay median, per table size), and the masque
+/// suite appends `sessions_per_sec_*` throughput rows plus the
+/// serial/engine speedup per storm size.
 fn bench_report(args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut out_path: Option<PathBuf> = None;
@@ -346,7 +359,7 @@ fn bench_report(args: &[String]) -> ExitCode {
             Some(s) => vec![s],
             None => {
                 eprintln!(
-                    "xtask bench-report: unknown suite `{suite}` (known: lpm, scan, lint, all)"
+                    "xtask bench-report: unknown suite `{suite}` (known: lpm, scan, masque, lint, all)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -463,6 +476,40 @@ fn run_bench_suite(root: &PathBuf, suite: &BenchSuite, out_path: &PathBuf) -> Re
                 median(&format!("serial_{size}")),
                 median(&format!("engine_w8_{size}")),
             ) {
+                if engine > 0.0 {
+                    derived.push((format!("speedup_engine_w8_{size}"), serial / engine));
+                }
+            }
+        }
+        rows.extend(derived);
+    }
+    // The masque suite's headline numbers: session throughput of the
+    // serial driver and the 8-worker engine (sessions/sec, derived from
+    // the ns/op median and the storm's fixed session count), plus the
+    // wall-clock ratio between them.
+    if suite.name == "masque" {
+        let mut derived: Vec<(String, f64)> = Vec::new();
+        let median = |name: &str| rows.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns);
+        for (size, sessions) in MASQUE_STORM_SESSIONS {
+            let serial = median(&format!("serial_{size}"));
+            let engine = median(&format!("engine_w8_{size}"));
+            if let Some(ns) = serial {
+                if ns > 0.0 {
+                    derived.push((
+                        format!("sessions_per_sec_serial_{size}"),
+                        sessions * 1e9 / ns,
+                    ));
+                }
+            }
+            if let Some(ns) = engine {
+                if ns > 0.0 {
+                    derived.push((
+                        format!("sessions_per_sec_engine_w8_{size}"),
+                        sessions * 1e9 / ns,
+                    ));
+                }
+            }
+            if let (Some(serial), Some(engine)) = (serial, engine) {
                 if engine > 0.0 {
                     derived.push((format!("speedup_engine_w8_{size}"), serial / engine));
                 }

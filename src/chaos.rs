@@ -30,6 +30,7 @@ use crate::core::blocking::survey;
 use crate::core::correlation::CorrelationReport;
 use crate::core::ecs_scan::{EcsScanReport, EcsScanner};
 use crate::core::egress_analysis::EgressAnalysis;
+use crate::core::masque_load::{self, StormConfig};
 use crate::core::quic_probe::QuicProbeReport;
 use crate::core::relay_scan::{RelayScanConfig, RelayScanSeries};
 use crate::core::report;
@@ -37,10 +38,10 @@ use crate::core::rotation::RotationReport;
 use crate::dns::{AuthoritativeServer, DomainName, NameServer, QType, RData, Record, Zone};
 use crate::engine::EngineConfig;
 use crate::geo::CountryCode;
-use crate::net::{Asn, Epoch, IpNet, SimClock, SimDuration};
+use crate::net::{Asn, Epoch, IpNet, SimClock, SimDuration, SimTime};
 use crate::relay::{Deployment, DeploymentConfig, DnsMode, Domain};
 use crate::simnet::{
-    scenarios, FaultPlan, FaultedChannel, FaultedServer, Link, LinkStats, RibEvent,
+    scenarios, Delivery, FaultPlan, FaultedChannel, FaultedServer, Link, LinkStats, RibEvent,
 };
 
 /// Sizing knobs for one chaos pipeline run. The defaults keep a full
@@ -54,6 +55,8 @@ pub struct ChaosConfig {
     pub probes: usize,
     /// QUIC probing sample size.
     pub quic_sample: usize,
+    /// Client pairs in the §4 CONNECT-UDP session storm.
+    pub storm_clients: u32,
     /// When set, the ECS scans, Atlas campaigns, and open-DNS relay series
     /// run on the sharded discrete-event engine with this configuration;
     /// `None` (the default) is the legacy serial path, byte-for-byte.
@@ -68,6 +71,7 @@ impl Default for ChaosConfig {
             scale: 4096,
             probes: 400,
             quic_sample: 40,
+            storm_clients: 96,
             engine: None,
         }
     }
@@ -131,6 +135,31 @@ pub struct ChaosMetrics {
     /// flows through the RIB's delta overlay (no snapshot invalidation),
     /// so this must be byte-identical to the pre-flap render.
     pub table3_restored_render: Option<String>,
+    /// §4 storm: sessions the clients attempted (before admission).
+    pub storm_attempted: u64,
+    /// §4 storm: sessions the egress opened (equals tokens issued).
+    pub storm_sessions: u64,
+    /// §4 storm: tokens the ingress granted.
+    pub storm_tokens_issued: u64,
+    /// §4 storm: admissions rejected by the per-user daily budget.
+    pub storm_token_rejections: u64,
+    /// §4 storm: sessions skipped for lack of an operator at the location.
+    pub storm_no_operator: u64,
+    /// §4 storm: peak simultaneously-open sessions.
+    pub storm_peak: u64,
+    /// §4 storm: datagrams clients injected into the tunnel.
+    pub storm_sent: u64,
+    /// §4 storm: datagrams that survived the faulted tunnel (possibly
+    /// mutated).
+    pub storm_forwarded: u64,
+    /// §4 storm: datagrams the egress accepted as valid.
+    pub storm_delivered: u64,
+    /// §4 storm: datagrams dropped at the egress as undecodable.
+    pub storm_session_drops: u64,
+    /// §4 storm: validated echo replies back at the clients.
+    pub storm_replies: u64,
+    /// §4 storm: datagrams addressed to unknown/closed sessions.
+    pub storm_strays: u64,
 }
 
 /// One pipeline execution: the rendered artifacts, the reconciliation
@@ -174,6 +203,39 @@ fn engine_servers<'a>(
             .iter()
             .map(|w| w as &(dyn NameServer + Sync))
             .collect()
+    }
+}
+
+/// Routes §4 storm datagrams through the scenario's fault channels:
+/// engine runs carry one channel per shard (each storm shard only ever
+/// calls its own index, keeping the RNG streams worker-invariant), serial
+/// runs share the main channel.
+struct MasqueWire<'a> {
+    channels: Vec<&'a FaultedChannel>,
+}
+
+impl masque_load::DatagramChannel for MasqueWire<'_> {
+    fn transfer(&self, shard: usize, src: IpAddr, now: SimTime, wire: &[u8]) -> Option<Vec<u8>> {
+        let channel = self.channels.get(shard % self.channels.len().max(1))?;
+        match channel.deliver(Link::MasqueData, src, now, wire.len(), false) {
+            Delivery::Deliver | Delivery::RewriteRcode(_) => Some(wire.to_vec()),
+            Delivery::Drop => None,
+            Delivery::Truncate(len) => {
+                let mut mutated = wire.to_vec();
+                mutated.truncate(len);
+                Some(mutated)
+            }
+            Delivery::CorruptCounts => {
+                // The DNS-shaped corruption stomps bytes 4..12; on a sealed
+                // MASQUE datagram that lands inside the magic/seq fields,
+                // so the egress detects the damage and counts a drop.
+                let mut mutated = wire.to_vec();
+                for byte in mutated.iter_mut().take(12).skip(4) {
+                    *byte = 0xFF;
+                }
+                Some(mutated)
+            }
+        }
     }
 }
 
@@ -235,6 +297,18 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
         table3_restored: None,
         table3_pre_flap_render: String::new(),
         table3_restored_render: None,
+        storm_attempted: 0,
+        storm_sessions: 0,
+        storm_tokens_issued: 0,
+        storm_token_rejections: 0,
+        storm_no_operator: 0,
+        storm_peak: 0,
+        storm_sent: 0,
+        storm_forwarded: 0,
+        storm_delivered: 0,
+        storm_session_drops: 0,
+        storm_replies: 0,
+        storm_strays: 0,
     };
 
     // ----- Table 1: ECS scans (January baseline + April default/fallback).
@@ -452,6 +526,54 @@ pub fn run_pipeline(seed: u64, plan: Option<&FaultPlan>, config: &ChaosConfig) -
     metrics.quic_standard_timeouts = quic.standard_timeouts;
     metrics.quic_negotiations = quic.negotiations;
 
+    // ----- §4 session storm: the CONNECT-UDP data plane under the
+    // scenario's tunnel faults. Admission and the CONNECT/close exchanges
+    // ride the reliable stream; only the tunnelled datagrams cross
+    // [`Link::MasqueData`].
+    let mut storm_cfg = StormConfig::sized(config.storm_clients, 2, seed ^ 0x5E55_0104);
+    // 2 rounds × 2 agents = 4 admissions per client against a budget of 3:
+    // the daily budget deterministically rejects each client's last try.
+    storm_cfg.per_day_tokens = 3;
+    if let Some(e) = config.engine.as_ref() {
+        storm_cfg.shards = e.shards.max(1);
+    }
+    let storm_wire = channel.as_ref().map(|c| MasqueWire {
+        channels: if shard_channels.is_empty() {
+            vec![c]
+        } else {
+            shard_channels.iter().collect()
+        },
+    });
+    let storm = match (storm_wire.as_ref(), config.engine.as_ref()) {
+        (Some(wire), Some(e)) => masque_load::run_engine(&deployment, &storm_cfg, wire, e.workers),
+        (Some(wire), None) => masque_load::run_serial(&deployment, &storm_cfg, wire),
+        (None, Some(e)) => masque_load::run_engine(
+            &deployment,
+            &storm_cfg,
+            &masque_load::PerfectChannel,
+            e.workers,
+        ),
+        (None, None) => {
+            masque_load::run_serial(&deployment, &storm_cfg, &masque_load::PerfectChannel)
+        }
+    };
+    for line in storm.render() {
+        artifacts.push_str(&line);
+        artifacts.push('\n');
+    }
+    metrics.storm_attempted = storm_cfg.attempted_sessions();
+    metrics.storm_sessions = storm.sessions.len() as u64;
+    metrics.storm_tokens_issued = storm.tokens_issued;
+    metrics.storm_token_rejections = storm.token_rejections;
+    metrics.storm_no_operator = storm.no_operator;
+    metrics.storm_peak = storm.peak_concurrent;
+    metrics.storm_sent = storm.datagrams_sent;
+    metrics.storm_forwarded = storm.datagrams_forwarded;
+    metrics.storm_delivered = storm.datagrams_delivered;
+    metrics.storm_session_drops = storm.session_drops;
+    metrics.storm_replies = storm.replies_received;
+    metrics.storm_strays = storm.strays;
+
     // ----- BGP flap (after every artifact is computed): withdraw every
     // k-th egress-origin prefix over the faulted event feed, measure the
     // Table 3 shrinkage, then replay the announcements and verify exact
@@ -654,6 +776,82 @@ pub fn check_invariants(scenario: &str, run: &ChaosRun, golden: &ChaosRun) -> Ve
             m.quic_negotiations, m.quic_probed, m.quic_blackholed
         ),
     );
+    // --- Universal: §4 storm accounting. Admission rides the reliable
+    // stream, so the session/token counts are fault-independent; every
+    // tunnelled datagram must reconcile as delivered, channel-dropped, or
+    // egress-dropped against the [`Link::MasqueData`] ledger.
+    let masque = link_stats(run, Link::MasqueData);
+    check(
+        m.storm_sessions == g.storm_sessions
+            && m.storm_tokens_issued == g.storm_tokens_issued
+            && m.storm_sent == g.storm_sent,
+        format!(
+            "storm admission must be fault-independent: {}/{}/{} vs golden {}/{}/{}",
+            m.storm_sessions,
+            m.storm_tokens_issued,
+            m.storm_sent,
+            g.storm_sessions,
+            g.storm_tokens_issued,
+            g.storm_sent
+        ),
+    );
+    check(
+        m.storm_tokens_issued + m.storm_token_rejections + m.storm_no_operator
+            == m.storm_attempted,
+        format!(
+            "storm admissions don't partition: {} issued + {} rejected + {} no-operator != {} attempted",
+            m.storm_tokens_issued, m.storm_token_rejections, m.storm_no_operator, m.storm_attempted
+        ),
+    );
+    check(
+        m.storm_sessions == m.storm_tokens_issued,
+        format!(
+            "every granted token must become a session report: {} sessions vs {} tokens",
+            m.storm_sessions, m.storm_tokens_issued
+        ),
+    );
+    check(
+        masque.deliveries == m.storm_sent,
+        format!(
+            "storm datagrams bypassed the channel: {} ledger deliveries vs {} sent",
+            masque.deliveries, m.storm_sent
+        ),
+    );
+    check(
+        m.storm_sent == m.storm_forwarded + masque.all_dropped(),
+        format!(
+            "storm channel-loss split: {} sent != {} forwarded + {} dropped",
+            m.storm_sent,
+            m.storm_forwarded,
+            masque.all_dropped()
+        ),
+    );
+    check(
+        m.storm_forwarded == m.storm_delivered + m.storm_session_drops,
+        format!(
+            "storm egress split: {} forwarded != {} delivered + {} session drops",
+            m.storm_forwarded, m.storm_delivered, m.storm_session_drops
+        ),
+    );
+    check(
+        m.storm_session_drops == masque.undecodable(),
+        format!(
+            "injected garbage {} != egress session drops {}",
+            masque.undecodable(),
+            m.storm_session_drops
+        ),
+    );
+    check(
+        m.storm_replies == m.storm_delivered,
+        format!(
+            "replies {} != delivered {} (return path is loss-free)",
+            m.storm_replies, m.storm_delivered
+        ),
+    );
+    check(
+        m.storm_strays == 0,
+        format!("storm produced {} stray datagrams", m.storm_strays),
+    );
     // --- Universal: pre-flap Table 3 is untouched by delivery faults, and
     // a flap may only shrink it, recovering exactly on restore.
     check(
@@ -770,6 +968,21 @@ pub fn check_invariants(scenario: &str, run: &ChaosRun, golden: &ChaosRun) -> Ve
             m.relay_failures > 0 && m.quic_blackholed > 0,
             "scenario must fail relay rounds and blackhole QUIC probes".to_string(),
         ),
+        "relay-session-storm" => {
+            check(
+                masque.dropped > 0 && masque.burst_dropped > 0 && masque.undecodable() > 0,
+                "storm must exercise loss, rate-limit bursts, and garbage on the tunnel"
+                    .to_string(),
+            );
+            check(
+                m.storm_delivered < m.storm_sent,
+                "tunnel faults must cost datagrams".to_string(),
+            );
+            check(
+                m.storm_token_rejections > 0,
+                "the per-user daily budget must bite".to_string(),
+            );
+        }
         "bgp-flap" => check(
             matches!(m.table3_post_flap, Some(post) if post < g.table3_total_subnets),
             format!(
@@ -782,6 +995,7 @@ pub fn check_invariants(scenario: &str, run: &ChaosRun, golden: &ChaosRun) -> Ve
                 && atlas_a.rcode_rewritten > 0
                 && m.relay_failures > 0
                 && m.quic_blackholed > 0
+                && masque.all_dropped() > 0
                 && m.table3_post_flap.is_some(),
             "kitchen-sink must exercise every fault family at once".to_string(),
         ),

@@ -89,6 +89,11 @@ fn scenario_bgp_flap() {
 }
 
 #[test]
+fn scenario_relay_session_storm() {
+    run_scenario("relay-session-storm");
+}
+
+#[test]
 fn scenario_kitchen_sink() {
     run_scenario("kitchen-sink");
 }

@@ -10,7 +10,9 @@
 //! surface the CI `scan-bench` job runs.
 
 use tectonic::chaos::{run_pipeline, ChaosConfig, ChaosRun};
+use tectonic::core::masque_load::{run_engine, run_serial, PerfectChannel, StormConfig};
 use tectonic::engine::EngineConfig;
+use tectonic::relay::{Deployment, DeploymentConfig};
 use tectonic::simnet::scenarios;
 
 /// Reduced sizing so the full pipeline stays affordable per run: the
@@ -20,6 +22,7 @@ fn config(engine: Option<EngineConfig>) -> ChaosConfig {
         scale: 8192,
         probes: 200,
         quic_sample: 20,
+        storm_clients: 48,
         engine,
     }
 }
@@ -67,6 +70,29 @@ fn kitchen_sink_engine_run_is_worker_invariant() {
     assert!(injected > 0, "kitchen-sink run injected nothing");
 }
 
+/// The session layer's own equivalence surface, below the chaos pipeline:
+/// a CONNECT-UDP storm driven serially and through the engine at one and
+/// many workers must serialise to identical bytes — per-session counters,
+/// addresses, rotation flags and all.
+#[test]
+fn session_storm_reports_are_worker_invariant() {
+    let deployment = Deployment::build(13, DeploymentConfig::scaled(2048));
+    for seed in [2, 17] {
+        let cfg = StormConfig::sized(64, 3, seed);
+        let serial = run_serial(&deployment, &cfg, &PerfectChannel);
+        let serial_json = serde_json::to_string(&serial).expect("serialise serial report");
+        for workers in [1, 3] {
+            let engine = run_engine(&deployment, &cfg, &PerfectChannel, workers);
+            let engine_json = serde_json::to_string(&engine).expect("serialise engine report");
+            assert_eq!(
+                serial_json, engine_json,
+                "seed {seed}, {workers} workers: session reports diverged"
+            );
+        }
+        assert_eq!(serial.sessions.len() as u64, cfg.attempted_sessions());
+    }
+}
+
 /// The quick cell the CI `scan-bench` job runs on its own: serial vs a
 /// three-worker engine at small scale.
 #[test]
@@ -75,6 +101,7 @@ fn quick_three_worker_equivalence() {
         scale: 16384,
         probes: 100,
         quic_sample: 10,
+        storm_clients: 24,
         engine: None,
     };
     let serial = run_pipeline(11, None, &small);
